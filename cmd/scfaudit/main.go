@@ -1,0 +1,35 @@
+// Command scfaudit prints the provider management-posture audit derived
+// from the paper's §6 recommendations: supervision of abuse, architecture
+// security (wildcard DNS, third-party ingress), and access-control defaults.
+//
+// Usage:
+//
+//	scfaudit            # audit all nine providers
+//	scfaudit -p Baidu   # audit one provider
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/posture"
+	"repro/internal/providers"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scfaudit: ")
+	var one = flag.String("p", "", "audit a single provider by name (e.g. AWS, Baidu)")
+	flag.Parse()
+
+	if *one != "" {
+		in, ok := providers.ByName(*one)
+		if !ok {
+			log.Fatalf("unknown provider %q", *one)
+		}
+		fmt.Print(posture.Render(posture.Audit(posture.FactsFor(in.ID))))
+		return
+	}
+	fmt.Print(posture.Render(posture.AuditAll()))
+}

@@ -1,0 +1,40 @@
+// Command scfexperiments runs the full pipeline (including the C2
+// fingerprint sweep) and emits the paper-vs-measured markdown record used
+// as EXPERIMENTS.md.
+//
+// Usage:
+//
+//	scfexperiments -scale 0.05 > EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scfexperiments: ")
+	var (
+		seed    = flag.Int64("seed", 1, "substrate seed")
+		scale   = flag.Float64("scale", 0.05, "fraction of the paper's population")
+		skipC2  = flag.Bool("skip-c2", false, "skip the C2 fingerprint sweep")
+		timeout = flag.Duration("probe-timeout", 2*time.Second, "per-request probe timeout")
+	)
+	flag.Parse()
+
+	res, err := core.Run(core.Config{
+		Seed:         *seed,
+		Scale:        *scale,
+		SkipC2Scan:   *skipC2,
+		ProbeTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.RenderExperiments())
+}

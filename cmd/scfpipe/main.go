@@ -1,0 +1,53 @@
+// Command scfpipe runs the paper's full measurement pipeline end to end on
+// the synthetic substrate and prints the summary plus every table and
+// figure of the evaluation.
+//
+// Usage:
+//
+//	scfpipe -seed 1 -scale 0.01
+//	scfpipe -scale 0.05 -skip-c2        # faster: skip the fingerprint sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scfpipe: ")
+	var (
+		seed    = flag.Int64("seed", 1, "substrate seed")
+		scale   = flag.Float64("scale", 0.01, "fraction of the paper's population")
+		skipC2  = flag.Bool("skip-c2", false, "skip the C2 fingerprint sweep")
+		cache   = flag.Bool("cache-model", false, "model resolver caching in PDNS counts")
+		timeout = flag.Duration("probe-timeout", 2*time.Second, "per-request probe timeout")
+	)
+	flag.Parse()
+
+	res, err := core.Run(core.Config{
+		Seed:         *seed,
+		Scale:        *scale,
+		SkipC2Scan:   *skipC2,
+		CacheModel:   *cache,
+		ProbeTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(res.RenderSummary())
+	fmt.Println(core.RenderTable1())
+	fmt.Println(res.RenderTable2())
+	fmt.Println(res.RenderTable3())
+	fmt.Println(res.RenderFigure3())
+	fmt.Println(res.RenderFigure4())
+	fmt.Println(res.RenderFigure5())
+	fmt.Println(res.RenderFigure6())
+	fmt.Println(res.RenderFigure7())
+	fmt.Println(res.RenderDisclosures())
+}

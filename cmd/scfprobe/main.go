@@ -1,0 +1,128 @@
+// Command scfprobe runs the ethical active prober over a list of function
+// domains (one FQDN per line on stdin or in a file) and prints one
+// tab-separated result row per domain: fqdn, reachable, scheme, status,
+// content-type, location, body-bytes, failure.
+//
+// Pointed at real endpoints it behaves per the paper's Appendix A: a single
+// parameter-free GET per scheme, HTTPS first, an identifying User-Agent,
+// redirects recorded but not followed, and a 60-second timeout.
+//
+// Usage:
+//
+//	scfprobe -f domains.txt
+//	pdnsgen -scale 0.001 | cut -f1 | sort -u | scfprobe
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/probe"
+	"repro/internal/providers"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scfprobe: ")
+	var (
+		file        = flag.String("f", "-", "file with one FQDN per line (- for stdin)")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request timeout")
+		concurrency = flag.Int("c", 16, "concurrent probes")
+		verifyOnly  = flag.Bool("identify-only", false, "only classify domains against provider patterns; no network contact")
+		optOutFile  = flag.String("opt-out", "", "file of FQDNs that must never be contacted")
+	)
+	flag.Parse()
+
+	fqdns, err := readLines(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	matcher := providers.NewMatcher(nil)
+
+	if *verifyOnly {
+		for _, fqdn := range fqdns {
+			if in, ok := matcher.Identify(fqdn); ok {
+				fmt.Printf("%s\t%s\n", fqdn, in.Name)
+			} else {
+				fmt.Printf("%s\t-\n", fqdn)
+			}
+		}
+		return
+	}
+
+	p := probe.New(probe.Config{Timeout: *timeout, Concurrency: *concurrency})
+	if *optOutFile != "" {
+		outs, err := readLines(*optOutFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, o := range outs {
+			p.OptOut(o)
+		}
+	}
+
+	// Keep the contact to function domains only.
+	var targets []string
+	for _, fqdn := range fqdns {
+		if _, ok := matcher.Identify(fqdn); ok {
+			targets = append(targets, fqdn)
+		} else {
+			fmt.Fprintf(os.Stderr, "scfprobe: skipping %s (not a known function domain)\n", fqdn)
+		}
+	}
+	results := p.ProbeAll(context.Background(), targets)
+	for i := range results {
+		r := &results[i]
+		scheme := "http"
+		if r.HTTPS {
+			scheme = "https"
+		}
+		if !r.Reachable {
+			scheme = "-"
+		}
+		fmt.Printf("%s\t%v\t%s\t%d\t%s\t%s\t%d\t%s\n",
+			r.FQDN, r.Reachable, scheme, r.Status,
+			sanitizeField(r.ContentType), sanitizeField(r.Location),
+			len(r.Body), r.Failure)
+	}
+	st := p.Stats()
+	fmt.Fprintf(os.Stderr, "scfprobe: probed %d, reachable %d, unreachable %d (dns %d)\n",
+		st.Probed, st.Reachable, st.Unreachable, st.DNSFailures)
+}
+
+func readLines(path string) ([]string, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var out []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return out, sc.Err()
+}
+
+func sanitizeField(s string) string {
+	s = strings.ReplaceAll(s, "\t", " ")
+	s = strings.ReplaceAll(s, "\n", " ")
+	if s == "" {
+		return "-"
+	}
+	return s
+}

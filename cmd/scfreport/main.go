@@ -1,0 +1,70 @@
+// Command scfreport runs the pipeline and renders one selected artifact —
+// a table or a figure of the paper's evaluation — instead of the full dump.
+//
+// Usage:
+//
+//	scfreport -table 1            # static URL-format registry, no run
+//	scfreport -table 2 -scale 0.02
+//	scfreport -figure 7 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scfreport: ")
+	var (
+		table   = flag.Int("table", 0, "render table N (1-3)")
+		figure  = flag.Int("figure", 0, "render figure N (3-7)")
+		seed    = flag.Int64("seed", 1, "substrate seed")
+		scale   = flag.Float64("scale", 0.01, "fraction of the paper's population")
+		skipC2  = flag.Bool("skip-c2", false, "skip the C2 fingerprint sweep")
+		timeout = flag.Duration("probe-timeout", 2*time.Second, "per-request probe timeout")
+	)
+	flag.Parse()
+
+	if *table == 0 && *figure == 0 {
+		log.Fatal("pass -table N or -figure N")
+	}
+	if *table == 1 {
+		fmt.Println(core.RenderTable1())
+		return
+	}
+	// Table 3 and the figures need only content classification; the C2
+	// sweep matters solely for the C2 row of Table 3.
+	skip := *skipC2
+	if *figure != 0 || *table == 2 {
+		skip = true
+	}
+	res, err := core.Run(core.Config{
+		Seed: *seed, Scale: *scale, SkipC2Scan: skip, ProbeTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case *table == 2:
+		fmt.Println(res.RenderTable2())
+	case *table == 3:
+		fmt.Println(res.RenderTable3())
+	case *figure == 3:
+		fmt.Println(res.RenderFigure3())
+	case *figure == 4:
+		fmt.Println(res.RenderFigure4())
+	case *figure == 5:
+		fmt.Println(res.RenderFigure5())
+	case *figure == 6:
+		fmt.Println(res.RenderFigure6())
+	case *figure == 7:
+		fmt.Println(res.RenderFigure7())
+	default:
+		log.Fatalf("no such artifact: table %d / figure %d", *table, *figure)
+	}
+}

@@ -1,0 +1,107 @@
+// Package divecloud is the public API of this reproduction of "Dive into
+// the Cloud: Unveiling the (Ab)Usage of Serverless Cloud Function in the
+// Wild" (IMC 2025).
+//
+// The library bundles the paper's measurement pipeline — serverless function
+// identification from passive DNS, usage analysis, ethical active probing,
+// content clustering, abuse classification, and threat-intelligence gap
+// assessment — together with the synthetic substrates (a calibrated
+// two-year PDNS workload, a DNS resolution simulator, and a multi-provider
+// FaaS platform served over real HTTP) that stand in for the study's gated
+// inputs.
+//
+// Quick start:
+//
+//	res, err := divecloud.Run(divecloud.Config{Seed: 1, Scale: 0.01})
+//	if err != nil { ... }
+//	fmt.Println(res.RenderSummary())
+//	fmt.Println(res.RenderTable3())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package divecloud
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dnssim"
+	"repro/internal/faas"
+	"repro/internal/pdns"
+	"repro/internal/posture"
+	"repro/internal/providers"
+	"repro/internal/workload"
+)
+
+// Config parameterises a full pipeline run. The zero value runs at 1% of
+// the paper's population with sane timeouts.
+type Config = core.Config
+
+// Results carries every artifact of a run; its Render* methods print the
+// paper's tables and figures.
+type Results = core.Results
+
+// Run executes the end-to-end pipeline: generate the calibrated fleet,
+// stream and aggregate its PDNS history, probe every eligible function over
+// HTTP(S), sanitise and cluster the responses, classify abuse, sweep for C2
+// relays, and assess threat-intelligence coverage.
+func Run(cfg Config) (*Results, error) { return core.Run(cfg) }
+
+// RenderTable1 prints the static URL-format registry (Table 1).
+func RenderTable1() string { return core.RenderTable1() }
+
+// Provider re-exports the provider registry entry type.
+type Provider = providers.Info
+
+// Providers returns the ten registered function-URL formats in Table 1
+// order (nine providers; Google ships two generations).
+func Providers() []*Provider { return providers.All() }
+
+// IdentifyFQDN classifies a domain name against the provider patterns,
+// reporting the owning provider when it is a serverless function domain.
+func IdentifyFQDN(fqdn string) (*Provider, bool) {
+	return defaultMatcher.Identify(fqdn)
+}
+
+var defaultMatcher = providers.NewMatcher(nil)
+
+// Record is one passive-DNS observation tuple (paper §3.2).
+type Record = pdns.Record
+
+// GeneratePDNS streams the synthetic two-year PDNS dataset for the given
+// seed and scale to sink, in deterministic order. Use this to export a
+// dataset for external tooling; Run regenerates it internally.
+func GeneratePDNS(seed int64, scale float64, sink func(*Record) error) error {
+	pop := workload.Generate(workload.Config{Seed: seed, Scale: scale})
+	return workload.EmitPDNS(pop, dnssim.NewResolver(), sink)
+}
+
+// Window returns the study's measurement window (April 2022 – March 2024).
+func Window() (start, end string) {
+	w := workload.Window()
+	return w.Start.String(), w.End.String()
+}
+
+// AuditProviders runs the management-posture audit of the paper's §6
+// recommendations over all nine providers and returns the findings rendered
+// as text.
+func AuditProviders() string {
+	return posture.Render(posture.AuditAll())
+}
+
+// DoWParams re-exports the Denial-of-Wallet attack parameters (Finding 5).
+type DoWParams = faas.DoWParams
+
+// DoWEstimate re-exports the projected outcome.
+type DoWEstimate = faas.DoWEstimate
+
+// EstimateDoW projects the cost a publicly accessible function owner bears
+// under a sustained unauthorised request flood, using the provider's
+// published price model.
+func EstimateDoW(provider string, p DoWParams) (DoWEstimate, error) {
+	in, ok := providers.ByName(provider)
+	if !ok {
+		return DoWEstimate{}, fmt.Errorf("divecloud: unknown provider %q", provider)
+	}
+	return faas.EstimateDoW(faas.PriceFor(in.ID), p)
+}

@@ -1,0 +1,73 @@
+package divecloud
+
+import (
+	"testing"
+)
+
+func TestFacadeProviders(t *testing.T) {
+	ps := Providers()
+	if len(ps) != 10 {
+		t.Fatalf("Providers() = %d formats, want 10", len(ps))
+	}
+	in, ok := IdentifyFQDN("h2ag4fmzrlwqify7rz2jak4mhi3lmytz.lambda-url.us-east-1.on.aws")
+	if !ok || in.Name != "AWS" {
+		t.Errorf("IdentifyFQDN = %v, %v", in, ok)
+	}
+	if _, ok := IdentifyFQDN("www.example.com"); ok {
+		t.Error("non-function domain identified")
+	}
+}
+
+func TestFacadeWindow(t *testing.T) {
+	start, end := Window()
+	if start != "2022-04-01" || end != "2024-03-31" {
+		t.Errorf("window = %s .. %s", start, end)
+	}
+}
+
+func TestFacadeGeneratePDNS(t *testing.T) {
+	n := 0
+	var first Record
+	err := GeneratePDNS(3, 0.0005, func(r *Record) error {
+		if n == 0 {
+			first = *r
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no records generated")
+	}
+	if _, ok := IdentifyFQDN(first.FQDN); !ok {
+		t.Errorf("generated record FQDN %q is not a function domain", first.FQDN)
+	}
+	// Determinism.
+	n2 := 0
+	GeneratePDNS(3, 0.0005, func(r *Record) error { n2++; return nil })
+	if n2 != n {
+		t.Errorf("regeneration produced %d records, want %d", n2, n)
+	}
+}
+
+func TestFacadeAudit(t *testing.T) {
+	out := AuditProviders()
+	if len(out) < 100 {
+		t.Fatalf("audit output too short:\n%s", out)
+	}
+}
+
+func TestFacadeDoW(t *testing.T) {
+	est, err := EstimateDoW("AWS", DoWParams{RequestsPerSecond: 100, Duration: 3600e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Invocations != 360_000 {
+		t.Errorf("invocations = %d", est.Invocations)
+	}
+	if _, err := EstimateDoW("nosuch", DoWParams{RequestsPerSecond: 1, Duration: 1e9}); err == nil {
+		t.Error("unknown provider accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// C2 scan: demonstrate the fingerprint-based detection of covert C2 relays
+// (paper §5.1) against live TCP listeners. Two simulated endpoints are
+// stood up — one relaying a Cobalt Strike-like C2, one a clean 404 server —
+// and the scanner probes both with all 26 family signatures.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/c2"
+)
+
+func main() {
+	log.SetFlags(0)
+	db := c2.DefaultDB()
+	fmt.Printf("fingerprint corpus: %d signatures across %d families\n\n", db.Len(), db.Families())
+
+	// A cloud function hiding a C2 server (Algorithm 1 in the paper): it
+	// answers its family's beacon protocol and 404s everything else.
+	relay, err := c2.NewRelay(db, c2.FamilyCobaltStrike)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer relay.Close()
+
+	// A benign function for contrast.
+	clean, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer clean.Close()
+	go serve404(clean)
+
+	scanner := c2.NewScanner(db)
+	scanner.Timeout = 2 * time.Second
+
+	scan := func(label, addr, host string) {
+		scanner.Dial = func(ctx context.Context, network, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, network, addr)
+		}
+		ds := scanner.ScanHost(context.Background(), host)
+		fmt.Printf("%s (%s):\n", label, host)
+		if len(ds) == 0 {
+			fmt.Println("  no C2 fingerprints matched")
+		}
+		for _, d := range ds {
+			fmt.Printf("  MATCH family=%s fingerprint=%s port=%d\n", d.Family, d.Fingerprint, d.Port)
+		}
+		fmt.Println()
+	}
+
+	scan("suspected relay", relay.Addr(), "1234567890-h3xkf92a1b-ap-guangzhou.scf.tencentcs.com")
+	scan("benign function", clean.Addr().String(), "api-demo-x7gk29slq1-uc.a.run.app")
+
+	fmt.Println("The relay only reveals itself to family-specific probes; a plain GET")
+	fmt.Println("sees a 404, which is why content review alone misses C2 abuse.")
+}
+
+func serve404(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			c.SetDeadline(time.Now().Add(2 * time.Second))
+			buf := make([]byte, 4096)
+			c.Read(buf)
+			c.Write([]byte("HTTP/1.1 404 Not Found\r\nContent-Length: 9\r\nConnection: close\r\n\r\nNot Found"))
+		}(conn)
+	}
+}

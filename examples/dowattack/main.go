@@ -1,0 +1,89 @@
+// Denial-of-Wallet: quantify the Finding 5 threat — a publicly accessible
+// function lets any HTTP client run up the owner's bill. This example
+// deploys an unprotected function, drives a short burst of unauthorised
+// requests through the platform, meters the real usage, and projects the
+// cost of sustained floods under the provider's price model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/providers"
+)
+
+func main() {
+	log.SetFlags(0)
+	platform := faas.NewPlatform()
+	t0 := time.Date(2024, time.April, 1, 0, 0, 0, 0, time.UTC)
+
+	// A typical unprotected data-export function: 512 MB, ~200 ms per call,
+	// public because the developer never changed the default.
+	victim := platform.Deploy("export.lambda-url.us-east-1.on.aws", providers.AWS, "us-east-1",
+		faas.Config{MemoryMB: 512, Access: faas.Public},
+		func(ctx *faas.InvokeContext) faas.Response {
+			return faas.Response{
+				Status:  200,
+				Headers: map[string]string{"Content-Type": "application/json", faas.DurationHeader: "200ms"},
+				Body:    []byte(`{"export":"weekly-report","rows":120843}`),
+			}
+		}, t0)
+
+	// Simulate one minute of unauthorised traffic at 50 rps.
+	const rps = 50
+	for i := 0; i < 60*rps; i++ {
+		at := t0.Add(time.Duration(i) * time.Second / rps)
+		if _, _, err := platform.Invoke(victim.FQDN, faas.Request{Method: "GET", Path: "/", Time: at}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	m := victim.Meter()
+	pm := faas.PriceFor(providers.AWS)
+	fmt.Printf("observed burst: %d invocations, %.1f GB-s, %d cold starts\n",
+		m.Invocations, m.GBSeconds, m.ColdStarts)
+	fmt.Printf("burst cost (within free tier): $%.4f\n\n", m.Cost(pm))
+
+	// Project sustained floods (paper: unexpected charges known as DoW).
+	fmt.Println("projected Denial-of-Wallet exposure (512MB / 200ms function):")
+	fmt.Printf("%-12s %-10s %14s %16s %22s\n", "rate", "duration", "invocations", "cost (USD)", "free tier gone after")
+	for _, sc := range []struct {
+		rps float64
+		dur time.Duration
+	}{
+		{10, 24 * time.Hour},
+		{100, 24 * time.Hour},
+		{1000, 24 * time.Hour},
+		{1000, 30 * 24 * time.Hour},
+	} {
+		est, err := faas.EstimateDoW(pm, faas.DoWParams{
+			RequestsPerSecond: sc.rps,
+			Duration:          sc.dur,
+			MemoryMB:          512,
+			ExecDuration:      200 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gone := "never"
+		if est.FreeTierExhaustedAfter > 0 {
+			gone = est.FreeTierExhaustedAfter.Round(time.Minute).String()
+		}
+		fmt.Printf("%-12s %-10s %14d %16.2f %22s\n",
+			fmt.Sprintf("%.0f rps", sc.rps), sc.dur, est.Invocations, est.CostUSD, gone)
+	}
+
+	fmt.Println("\nmitigation (paper §6): default IAM auth blocks the whole attack —")
+	protected := platform.Deploy("safe.lambda-url.us-east-1.on.aws", providers.AWS, "us-east-1",
+		faas.Config{MemoryMB: 512, Access: faas.IAMAuth},
+		func(ctx *faas.InvokeContext) faas.Response {
+			return faas.Response{Status: 200, Body: []byte("ok")}
+		}, t0)
+	resp, _, err := platform.Invoke(protected.FQDN, faas.Request{Method: "GET", Path: "/", Time: t0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unauthenticated request to IAM-protected function: HTTP %d (no compute billed: %.0f GB-s)\n",
+		resp.Status, protected.Meter().GBSeconds)
+}

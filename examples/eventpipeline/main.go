@@ -1,0 +1,93 @@
+// Event pipeline: exercise the non-HTTP invocation paths of paper §2.2 —
+// storage events, message queues, and scheduled tasks — and show why they
+// sit outside the study's measurement boundary: event-triggered functions
+// expose no function URL, so passive DNS and active probing never see them.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/faas"
+	"repro/internal/providers"
+)
+
+func main() {
+	log.SetFlags(0)
+	platform := faas.NewPlatform()
+	t0 := time.Date(2024, time.February, 1, 8, 0, 0, 0, time.UTC)
+
+	// An image-thumbnailing pipeline: upload -> storage trigger -> queue of
+	// resize jobs -> worker -> nightly cleanup schedule.
+	queue := events.NewQueue()
+
+	platform.Deploy("internal://on-upload", providers.Google2, "us-central1", faas.Config{},
+		func(ctx *faas.InvokeContext) faas.Response {
+			var ev events.Event
+			json.Unmarshal(ctx.Request.Body, &ev)
+			var detail struct {
+				Key  string `json:"key"`
+				Size int    `json:"size"`
+			}
+			json.Unmarshal(ev.Detail, &detail)
+			queue.Send([]byte("resize:" + detail.Key))
+			fmt.Printf("  [storage->fn] %s uploaded (%d bytes), resize job queued\n", detail.Key, detail.Size)
+			return faas.Response{Status: 200}
+		}, t0)
+
+	var resized []string
+	platform.Deploy("internal://resizer", providers.Google2, "us-central1", faas.Config{},
+		func(ctx *faas.InvokeContext) faas.Response {
+			var ev events.Event
+			json.Unmarshal(ctx.Request.Body, &ev)
+			var job string
+			json.Unmarshal(ev.Detail, &job)
+			resized = append(resized, job)
+			fmt.Printf("  [queue->fn]   processed %q\n", job)
+			return faas.Response{Status: 200}
+		}, t0)
+
+	ticks := 0
+	platform.Deploy("internal://nightly-cleanup", providers.Google2, "us-central1", faas.Config{},
+		func(ctx *faas.InvokeContext) faas.Response {
+			ticks++
+			return faas.Response{Status: 200}
+		}, t0)
+
+	store := events.NewStorage()
+	store.OnObjectCreated(events.Target{Platform: platform, Name: "internal://on-upload"})
+	queue.Subscribe(events.Target{Platform: platform, Name: "internal://resizer"})
+	sched := events.NewScheduler()
+	if err := sched.Every(24*time.Hour, t0, events.Target{Platform: platform, Name: "internal://nightly-cleanup"}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("uploading three photos:")
+	for i, name := range []string{"cat.jpg", "dog.jpg", "fox.jpg"} {
+		if err := store.Put("photos/"+name, make([]byte, 1000*(i+1)), t0.Add(time.Duration(i)*time.Minute)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\ndraining the resize queue:")
+	queue.Poll(10, t0.Add(5*time.Minute))
+
+	fmt.Println("\nadvancing the simulated clock one week:")
+	fired := sched.AdvanceTo(t0.Add(7 * 24 * time.Hour))
+	fmt.Printf("  [schedule]    nightly cleanup fired %d times (ticks recorded: %d)\n", fired, ticks)
+
+	fmt.Printf("\npipeline results: %d thumbnails, queue stats %+v\n", len(resized), queue.Stats())
+
+	// The measurement boundary (paper §2.2): none of these functions has a
+	// function URL, so the study's identification step cannot see them.
+	m := providers.NewMatcher(nil)
+	fmt.Println("\nmeasurement visibility of the pipeline's functions:")
+	for _, name := range []string{"internal://on-upload", "internal://resizer", "internal://nightly-cleanup"} {
+		_, visible := m.Identify(name)
+		fmt.Printf("  %-28s visible to PDNS identification: %v\n", name, visible)
+	}
+	fmt.Println("\nonly functions with HTTP(S) endpoints enter the paper's dataset —")
+	fmt.Println("event-triggered workloads are structurally invisible to external measurement.")
+}

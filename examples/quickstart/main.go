@@ -1,0 +1,33 @@
+// Quickstart: run the full measurement pipeline at a small scale and print
+// the headline findings — the one-screen version of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	divecloud "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	res, err := divecloud.Run(divecloud.Config{
+		Seed:         1,
+		Scale:        0.005, // ≈2,650 of the paper's 531k function domains
+		SkipC2Scan:   true,  // the fingerprint sweep dominates runtime; see examples/c2scan
+		ProbeTimeout: time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.RenderSummary())
+	fmt.Println(res.RenderTable3())
+
+	start, end := divecloud.Window()
+	fmt.Printf("measurement window: %s .. %s\n", start, end)
+
+	// The provider registry is available without running anything.
+	fmt.Println()
+	fmt.Println(divecloud.RenderTable1())
+}

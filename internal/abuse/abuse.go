@@ -1,0 +1,178 @@
+// Package abuse classifies cloud-function responses into the four abuse
+// scenarios and eight concrete cases of paper §5: covert C2 communication,
+// hosting malicious websites (gambling / porn-related / cheating tools),
+// hidden illicit services (redirects to concealed domains / OpenAI API key
+// resale), and egress-node abuse (illegal-service proxies / geo-bypass
+// proxies).
+//
+// This is defensive measurement tooling: the detectors encode the
+// characteristic patterns the paper's analysts confirmed, so that abuse of
+// serverless platforms can be found and reported, mirroring the paper's
+// responsible disclosure.
+package abuse
+
+import "fmt"
+
+// Type is one of the four abuse scenarios.
+type Type int
+
+const (
+	C2 Type = iota
+	MaliciousWebsite
+	IllicitService
+	EgressProxy
+	numTypes
+)
+
+// NumTypes is the number of abuse scenarios.
+const NumTypes = int(numTypes)
+
+func (t Type) String() string {
+	switch t {
+	case C2:
+		return "Abuse I: Covert C2 Communication"
+	case MaliciousWebsite:
+		return "Abuse II: Hosting Malicious Websites"
+	case IllicitService:
+		return "Abuse III: Hidden Illicit Service"
+	case EgressProxy:
+		return "Abuse IV: Egress Nodes Abuse"
+	default:
+		return fmt.Sprintf("abuse.Type(%d)", int(t))
+	}
+}
+
+// Case is one of the eight concrete cases of Table 3.
+type Case int
+
+const (
+	CaseC2 Case = iota
+	CaseGambling
+	CasePorn
+	CaseCheating
+	CaseRedirect
+	CaseOpenAIResale
+	CaseIllegalProxy
+	CaseGeoProxy
+	numCases
+)
+
+// NumCases is the number of concrete cases.
+const NumCases = int(numCases)
+
+func (c Case) String() string {
+	switch c {
+	case CaseC2:
+		return "Hide C2 server"
+	case CaseGambling:
+		return "Gambling Website"
+	case CasePorn:
+		return "Porn-related Sites"
+	case CaseCheating:
+		return "Cheating Tool"
+	case CaseRedirect:
+		return "Redirect to New Domains"
+	case CaseOpenAIResale:
+		return "Resale of OpenAI Key"
+	case CaseIllegalProxy:
+		return "Illegal Service Proxy"
+	case CaseGeoProxy:
+		return "Geo-bypass Proxy"
+	default:
+		return fmt.Sprintf("abuse.Case(%d)", int(c))
+	}
+}
+
+// TypeOf maps a case to its abuse scenario.
+func (c Case) TypeOf() Type {
+	switch c {
+	case CaseC2:
+		return C2
+	case CaseGambling, CasePorn, CaseCheating:
+		return MaliciousWebsite
+	case CaseRedirect, CaseOpenAIResale:
+		return IllicitService
+	default:
+		return EgressProxy
+	}
+}
+
+// Document is one probed function response presented to the classifiers.
+// Bodies are expected to be sanitised by the secrets package first.
+type Document struct {
+	FQDN        string
+	Provider    string
+	Region      string
+	ChinaRegion bool
+	Status      int
+	ContentType string
+	Body        string
+	// Location carries an HTTP redirect target if the probe got a 3xx.
+	Location string
+}
+
+// Verdict is one classification outcome.
+type Verdict struct {
+	FQDN     string
+	Case     Case
+	Evidence []string // matched indicators, for analyst review
+	// Contacts holds extracted promotion contact handles (resale case).
+	Contacts []string
+	// Targets holds extracted redirect destinations (redirect case).
+	Targets []string
+	// Dynamic marks randomly generated redirect targets.
+	Dynamic bool
+	// Campaign is the shared SEO verification token of gambling sites run
+	// by one operation (§5.2: campaign consistency).
+	Campaign string
+}
+
+// Classify runs all content-based detectors over the document and returns
+// the matched verdicts. C2 detection is fingerprint-based (package c2) and
+// therefore not part of content classification; callers merge those
+// detections separately when assembling a Report.
+func Classify(doc *Document) []Verdict {
+	var out []Verdict
+	if v, ok := classifyResale(doc); ok {
+		out = append(out, v)
+	}
+	if v, ok := classifyRedirect(doc); ok {
+		out = append(out, v)
+	}
+	if v, ok := classifyProxy(doc); ok {
+		out = append(out, v)
+	}
+	if v, ok := classifyKeywordSite(doc); ok {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Primary reduces multi-label verdicts to the single strongest case, using
+// the paper's triage order: resale and redirects are the most specific
+// signals, followed by proxies, then keyword sites.
+func Primary(vs []Verdict) (Verdict, bool) {
+	if len(vs) == 0 {
+		return Verdict{}, false
+	}
+	best := vs[0]
+	for _, v := range vs[1:] {
+		if caseRank(v.Case) < caseRank(best.Case) {
+			best = v
+		}
+	}
+	return best, true
+}
+
+func caseRank(c Case) int {
+	switch c {
+	case CaseOpenAIResale:
+		return 0
+	case CaseRedirect:
+		return 1
+	case CaseIllegalProxy, CaseGeoProxy:
+		return 2
+	default:
+		return 3
+	}
+}

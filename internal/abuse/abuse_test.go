@@ -1,0 +1,318 @@
+package abuse
+
+import (
+	"strings"
+	"testing"
+)
+
+func htmlDoc(fqdn, body string) *Document {
+	return &Document{FQDN: fqdn, Status: 200, ContentType: "text/html", Body: body}
+}
+
+func TestGamblingDetection(t *testing.T) {
+	doc := htmlDoc("g1.a.run.app", `<html><head>
+		<meta name="google-site-verification" content="abc"/>
+		<title>Best Slot Games - Online Betting Casino Jackpot</title></head>
+		<body>slot betting casino welcome bonus</body></html>`)
+	vs := Classify(doc)
+	v, ok := Primary(vs)
+	if !ok || v.Case != CaseGambling {
+		t.Fatalf("verdicts = %v", vs)
+	}
+	found := false
+	for _, e := range v.Evidence {
+		if e == "google-site-verification" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("campaign marker missing from evidence: %v", v.Evidence)
+	}
+}
+
+func TestSingleWeakKeywordIgnored(t *testing.T) {
+	doc := htmlDoc("ok.a.run.app", `<html><body>My parking lot has one free slot today.</body></html>`)
+	if vs := Classify(doc); len(vs) != 0 {
+		t.Errorf("weak single keyword flagged: %v", vs)
+	}
+}
+
+func TestPornAndCheatDetection(t *testing.T) {
+	porn := htmlDoc("p.a.run.app", `<html><body>adult video and sex chat directory</body></html>`)
+	if v, ok := Primary(Classify(porn)); !ok || v.Case != CasePorn {
+		t.Errorf("porn verdict = %v ok=%v", v, ok)
+	}
+	cheat := htmlDoc("c.a.run.app", `<html><body>Verification generator to bypass parental controls for your game account</body></html>`)
+	if v, ok := Primary(Classify(cheat)); !ok || v.Case != CaseCheating {
+		t.Errorf("cheat verdict = %v ok=%v", v, ok)
+	}
+}
+
+func TestNonHTMLNotKeywordSite(t *testing.T) {
+	doc := &Document{FQDN: "x", Status: 200, ContentType: "application/json",
+		Body: `{"msg":"casino slot betting"}`}
+	for _, v := range Classify(doc) {
+		if v.Case == CaseGambling {
+			t.Errorf("JSON response classified as gambling site")
+		}
+	}
+}
+
+func TestRedirectHTTPLocation(t *testing.T) {
+	doc := &Document{FQDN: "r.fcapp.run", Status: 302, Location: "http://dlcy.zeldalink.top/wlxcList.html"}
+	v, ok := Primary(Classify(doc))
+	if !ok || v.Case != CaseRedirect {
+		t.Fatalf("verdict = %v ok=%v", v, ok)
+	}
+	if len(v.Targets) != 1 || v.Targets[0] != "http://dlcy.zeldalink.top/wlxcList.html" {
+		t.Errorf("targets = %v", v.Targets)
+	}
+}
+
+func TestRedirectStaticHref(t *testing.T) {
+	doc := htmlDoc("r.fcapp.run", `<script>location.href = "http://dlcy.zeldalink.top/wlxcList.html"</script>`)
+	v, ok := Primary(Classify(doc))
+	if !ok || v.Case != CaseRedirect || v.Dynamic {
+		t.Fatalf("verdict = %+v ok=%v", v, ok)
+	}
+}
+
+func TestRedirectRandomSplicing(t *testing.T) {
+	// Table 4's random-splicing example.
+	doc := htmlDoc("r2.fcapp.run", `<script>
+		var Rand = Math.round(Math.random() * 999999)
+		location.href="https://"+Rand+".yerbsdga.xyz"</script>`)
+	v, ok := Primary(Classify(doc))
+	if !ok || v.Case != CaseRedirect {
+		t.Fatalf("verdict = %v ok=%v", v, ok)
+	}
+	if !v.Dynamic {
+		t.Error("random splicing not marked dynamic")
+	}
+}
+
+func TestRedirectRandomSelection(t *testing.T) {
+	// Table 4's random-selection example.
+	doc := htmlDoc("r3.fcapp.run", `<script>
+	const urls =[
+	  'https://polaris.zijieapi.com/luckycat/super_inviter/v1/invite_code',
+	  'https://www.bilibili.com/',
+	  'https://www.bilibili.com/',
+	]
+	const url = urls[Math.floor(Math.random() * urls.length)]
+	location.href = url</script>`)
+	v, ok := Primary(Classify(doc))
+	if !ok || v.Case != CaseRedirect || !v.Dynamic {
+		t.Fatalf("verdict = %+v ok=%v", v, ok)
+	}
+	// bilibili is excluded as well-known; the zijieapi target remains.
+	if len(v.Targets) != 1 || !strings.Contains(v.Targets[0], "zijieapi") {
+		t.Errorf("targets = %v", v.Targets)
+	}
+}
+
+func TestRedirectMetaRefresh(t *testing.T) {
+	doc := htmlDoc("r4.fcapp.run", `<meta http-equiv="refresh" content="0; url=https://fxbtg-trade.example/open">`)
+	v, ok := Primary(Classify(doc))
+	if !ok || v.Case != CaseRedirect {
+		t.Fatalf("verdict = %v ok=%v", v, ok)
+	}
+	if len(v.Targets) != 1 || !strings.HasPrefix(v.Targets[0], "https://fxbtg") {
+		t.Errorf("targets = %v", v.Targets)
+	}
+}
+
+func TestRedirectBenignExcluded(t *testing.T) {
+	doc := htmlDoc("b.fcapp.run", `<script>location.href = "https://www.sogou.com/"</script>`)
+	if vs := Classify(doc); len(vs) != 0 {
+		t.Errorf("benign redirect flagged: %v", vs)
+	}
+}
+
+func TestResaleDetection(t *testing.T) {
+	doc := &Document{FQDN: "s.fcapp.run", Status: 200, ContentType: "text/plain",
+		Body: "To purchase an API key (e.g., sk-s5S5BoV***), contact via WeChat: gptkey_seller88"}
+	v, ok := Primary(Classify(doc))
+	if !ok || v.Case != CaseOpenAIResale {
+		t.Fatalf("verdict = %v ok=%v", v, ok)
+	}
+	if len(v.Contacts) != 1 || v.Contacts[0] != "wechat:gptkey_seller88" {
+		t.Errorf("contacts = %v", v.Contacts)
+	}
+}
+
+func TestResaleSanitisedBody(t *testing.T) {
+	// After secrets sanitisation the example key becomes a redaction
+	// marker; detection must survive.
+	doc := &Document{FQDN: "s2.fcapp.run", Status: 200,
+		Body: "Buy OpenAI API key [REDACTED:api-key:abcd1234] contact QQ: 123456789"}
+	v, ok := Primary(Classify(doc))
+	if !ok || v.Case != CaseOpenAIResale {
+		t.Fatalf("verdict = %v ok=%v", v, ok)
+	}
+	if len(v.Contacts) != 1 || v.Contacts[0] != "qq:123456789" {
+		t.Errorf("contacts = %v", v.Contacts)
+	}
+}
+
+func TestResaleAccountSale(t *testing.T) {
+	doc := &Document{FQDN: "s3.fcapp.run", Status: 200,
+		Body: "OpenAI account with $18 credit for 10 RMB, email: seller@mail.example"}
+	v, ok := Primary(Classify(doc))
+	if !ok || v.Case != CaseOpenAIResale {
+		t.Fatalf("verdict = %v ok=%v", v, ok)
+	}
+}
+
+func TestResaleRequiresContactOrKey(t *testing.T) {
+	doc := &Document{FQDN: "n.fcapp.run", Status: 200,
+		Body: "how to purchase an api key from the official site"}
+	for _, v := range Classify(doc) {
+		if v.Case == CaseOpenAIResale {
+			t.Errorf("contactless mention flagged as resale")
+		}
+	}
+}
+
+func TestGroupByContact(t *testing.T) {
+	vs := []Verdict{
+		{FQDN: "f1", Case: CaseOpenAIResale, Contacts: []string{"wechat:big"}},
+		{FQDN: "f2", Case: CaseOpenAIResale, Contacts: []string{"wechat:big"}},
+		{FQDN: "f3", Case: CaseOpenAIResale, Contacts: []string{"wechat:big", "qq:42424"}},
+		{FQDN: "f4", Case: CaseOpenAIResale, Contacts: []string{"qq:42424"}},
+		{FQDN: "x", Case: CaseGambling},
+	}
+	gs := GroupByContact(vs)
+	if len(gs) != 2 {
+		t.Fatalf("groups = %v", gs)
+	}
+	if gs[0].Contact != "wechat:big" || len(gs[0].Functions) != 3 {
+		t.Errorf("largest group = %+v", gs[0])
+	}
+	if gs[1].Contact != "qq:42424" || len(gs[1].Functions) != 2 {
+		t.Errorf("second group = %+v", gs[1])
+	}
+}
+
+func TestIllegalProxyDetection(t *testing.T) {
+	doc := &Document{FQDN: "t.scf.tencentcs.com", Status: 200,
+		Body: "Ticketmaster puppeteer service: auto purchase tickets at scale"}
+	v, ok := Primary(Classify(doc))
+	if !ok || v.Case != CaseIllegalProxy {
+		t.Fatalf("verdict = %v ok=%v", v, ok)
+	}
+	doc2 := &Document{FQDN: "t2.scf.tencentcs.com", Status: 200,
+		Body: "Download TikTok download watermark-free videos"}
+	if v, ok := Primary(Classify(doc2)); !ok || v.Case != CaseIllegalProxy {
+		t.Errorf("tiktok verdict = %v ok=%v", v, ok)
+	}
+}
+
+func TestGeoProxyRequiresNonChina(t *testing.T) {
+	body := "This is a simple web application that interacts with OpenAI's chatbot API. Enter a message in the input box below"
+	outside := &Document{FQDN: "o.a.run.app", Status: 200, Body: body, ChinaRegion: false}
+	v, ok := Primary(Classify(outside))
+	if !ok || v.Case != CaseGeoProxy {
+		t.Fatalf("outside-China verdict = %v ok=%v", v, ok)
+	}
+	inside := &Document{FQDN: "i.fcapp.run", Status: 200, Body: body, ChinaRegion: true}
+	for _, v := range Classify(inside) {
+		if v.Case == CaseGeoProxy {
+			t.Error("China-region function flagged as geo-bypass proxy")
+		}
+	}
+}
+
+func TestPrimaryRanking(t *testing.T) {
+	vs := []Verdict{
+		{Case: CaseGambling},
+		{Case: CaseOpenAIResale},
+		{Case: CaseGeoProxy},
+	}
+	v, ok := Primary(vs)
+	if !ok || v.Case != CaseOpenAIResale {
+		t.Errorf("Primary = %v", v.Case)
+	}
+	if _, ok := Primary(nil); ok {
+		t.Error("Primary(nil) should report none")
+	}
+}
+
+func TestCaseTypeMapping(t *testing.T) {
+	want := map[Case]Type{
+		CaseC2: C2, CaseGambling: MaliciousWebsite, CasePorn: MaliciousWebsite,
+		CaseCheating: MaliciousWebsite, CaseRedirect: IllicitService,
+		CaseOpenAIResale: IllicitService, CaseIllegalProxy: EgressProxy,
+		CaseGeoProxy: EgressProxy,
+	}
+	for c, ty := range want {
+		if c.TypeOf() != ty {
+			t.Errorf("%v.TypeOf() = %v, want %v", c, c.TypeOf(), ty)
+		}
+	}
+}
+
+func TestReportAssembly(t *testing.T) {
+	verdicts := map[string][]Verdict{
+		"c2.example":   {{FQDN: "c2.example", Case: CaseC2}},
+		"g.example":    {{FQDN: "g.example", Case: CaseGambling}},
+		"both.example": {{FQDN: "both.example", Case: CaseGambling}, {FQDN: "both.example", Case: CaseOpenAIResale}},
+	}
+	reqs := map[string]int64{"c2.example": 100, "g.example": 50, "both.example": 7}
+	r := NewReport(verdicts, reqs, 1000)
+	if r.TotalFunctions() != 3 {
+		t.Errorf("TotalFunctions = %d", r.TotalFunctions())
+	}
+	if r.TotalRequests() != 157 {
+		t.Errorf("TotalRequests = %d", r.TotalRequests())
+	}
+	if r.ByCase[CaseGambling].Functions != 1 {
+		t.Errorf("gambling row = %+v (multi-label function must count once)", r.ByCase[CaseGambling])
+	}
+	if r.ByCase[CaseOpenAIResale].Functions != 1 || r.ByCase[CaseOpenAIResale].Requests != 7 {
+		t.Errorf("resale row = %+v", r.ByCase[CaseOpenAIResale])
+	}
+	if got := r.AbuseRate(); got != 0.003 {
+		t.Errorf("AbuseRate = %v", got)
+	}
+	if r.Assigned["both.example"] != CaseOpenAIResale {
+		t.Errorf("primary case = %v", r.Assigned["both.example"])
+	}
+}
+
+func TestEmptyBodyNoVerdicts(t *testing.T) {
+	if vs := Classify(&Document{FQDN: "e", Status: 200}); len(vs) != 0 {
+		t.Errorf("empty body classified: %v", vs)
+	}
+	if vs := Classify(&Document{FQDN: "e", Status: 404, Body: "casino slot betting jackpot"}); len(vs) != 0 {
+		t.Errorf("404 body classified: %v", vs)
+	}
+}
+
+func TestGamblingCampaignExtraction(t *testing.T) {
+	mk := func(fqdn, token string) *Document {
+		return htmlDoc(fqdn, `<html><head>
+<meta name="google-site-verification" content="`+token+`"/>
+<title>slot betting casino</title></head><body>jackpot slot betting</body></html>`)
+	}
+	var vs []Verdict
+	for _, c := range []struct{ fqdn, token string }{
+		{"a.a.run.app", "gsv-campaign-00"},
+		{"b.a.run.app", "gsv-campaign-00"},
+		{"c.a.run.app", "gsv-campaign-00"},
+		{"d.a.run.app", "gsv-campaign-01"},
+	} {
+		v, ok := Primary(Classify(mk(c.fqdn, c.token)))
+		if !ok || v.Case != CaseGambling {
+			t.Fatalf("%s not classified as gambling", c.fqdn)
+		}
+		if v.Campaign != c.token {
+			t.Fatalf("%s campaign = %q, want %q", c.fqdn, v.Campaign, c.token)
+		}
+		vs = append(vs, v)
+	}
+	gs := GroupByCampaign(vs)
+	if len(gs) != 2 || len(gs[0].Functions) != 3 || gs[0].Token != "gsv-campaign-00" {
+		t.Errorf("campaign groups = %+v", gs)
+	}
+}

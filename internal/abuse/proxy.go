@@ -1,0 +1,53 @@
+package abuse
+
+import (
+	"strings"
+)
+
+// Egress-node abuse detection (paper §5.4). Cloud functions make ideal IP
+// proxies: every scaled-out instance may get a different egress address.
+// Two flavours are reported: proxies fronting underground services that
+// hammer a target platform from ever-changing cloud IPs, and proxies that
+// bypass geographic restrictions by running outside China (OpenAI, GitHub,
+// VPN) — the paper confirmed the latter are all deployed in non-China
+// regions.
+
+var illegalProxyIndicators = []string{
+	"ticketmaster", "puppeteer", "watermark-free", "without watermark",
+	"tiktok download", "douyin download", "kuwo", "qq music", "scraper api",
+	"ticket grabbing", "auto purchase",
+}
+
+var geoProxyIndicators = []string{
+	"openai", "chatgpt", "api.openai.com", "github proxy", "github.com/",
+	"vpn", "v2ray", "shadowsocks", "clash",
+}
+
+var proxySemantics = []string{
+	"proxy", "forward", "relay", "mirror", "chatbot api", "completions",
+	"interacts with openai", "enter a message",
+}
+
+// classifyProxy detects both proxy cases. Geo-bypass requires the function
+// to sit outside China — the defining deployment property (§5.4) — so a
+// China-region function mentioning OpenAI is not flagged as geo-bypass.
+func classifyProxy(doc *Document) (Verdict, bool) {
+	if doc.Status != 200 {
+		return Verdict{}, false
+	}
+	body := strings.ToLower(doc.Body)
+
+	if ev := hitsAny(body, illegalProxyIndicators); len(ev) > 0 {
+		return Verdict{FQDN: doc.FQDN, Case: CaseIllegalProxy, Evidence: ev}, true
+	}
+
+	geo := hitsAny(body, geoProxyIndicators)
+	sem := hitsAny(body, proxySemantics)
+	if len(geo) > 0 && len(sem) > 0 && !doc.ChinaRegion {
+		return Verdict{
+			FQDN: doc.FQDN, Case: CaseGeoProxy,
+			Evidence: append(geo, sem...),
+		}, true
+	}
+	return Verdict{}, false
+}

@@ -1,0 +1,116 @@
+package abuse
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Redirect extraction (paper §5.3, Table 4). Hidden illicit services are
+// promoted by sending visitors onward: an HTTP 3xx Location, a JavaScript
+// location.href assignment, or a <meta http-equiv="refresh"> tag. Targets
+// may be static, spliced from random numbers, or picked at random from a
+// URL array — the dynamic forms exist precisely to defeat blocklists.
+
+var (
+	reLocationHref = regexp.MustCompile(`location\.href\s*=\s*(?:"([^"]+)"|'([^']+)'|([A-Za-z_][A-Za-z0-9_]*))`)
+	reMetaRefresh  = regexp.MustCompile(`(?i)<meta[^>]*http-equiv=["']?refresh["']?[^>]*content=["'][^"']*url=([^"'>\s]+)`)
+	reURLLiteral   = regexp.MustCompile(`https?://[^\s"'<>\\)+,]+`)
+	reRandomSplice = regexp.MustCompile(`Math\.random\(\)`)
+	reURLArray     = regexp.MustCompile(`(?s)(?:urls|links|list)\s*=\s*\[(.*?)\]`)
+)
+
+// classifyRedirect detects concealed-service redirects and extracts their
+// targets. Redirects to a handful of well-known benign destinations are
+// excluded, as in the paper (e.g. functions bouncing to www.sogou.com).
+func classifyRedirect(doc *Document) (Verdict, bool) {
+	v := Verdict{FQDN: doc.FQDN, Case: CaseRedirect}
+
+	// HTTP-level redirect.
+	if doc.Status >= 300 && doc.Status < 400 && doc.Location != "" {
+		v.Targets = append(v.Targets, doc.Location)
+		v.Evidence = append(v.Evidence, "http-location")
+	}
+
+	body := doc.Body
+	// Random splicing: Math.random() feeding a location.href assignment.
+	dynamic := reRandomSplice.MatchString(body) && strings.Contains(body, "location.href")
+
+	// Random selection from a URL array.
+	if m := reURLArray.FindStringSubmatch(body); m != nil && strings.Contains(body, "location.href") {
+		for _, u := range reURLLiteral.FindAllString(m[1], -1) {
+			v.Targets = append(v.Targets, strings.TrimRight(u, "',\""))
+		}
+		if len(v.Targets) > 0 {
+			dynamic = true
+			v.Evidence = append(v.Evidence, "url-array-selection")
+		}
+	}
+
+	// Direct location.href assignment.
+	for _, m := range reLocationHref.FindAllStringSubmatch(body, -1) {
+		switch {
+		case m[1] != "":
+			v.Targets = append(v.Targets, m[1])
+			v.Evidence = append(v.Evidence, "location.href")
+		case m[2] != "":
+			v.Targets = append(v.Targets, m[2])
+			v.Evidence = append(v.Evidence, "location.href")
+		case m[3] != "" && dynamic:
+			// Assignment from a variable built with Math.random().
+			v.Evidence = append(v.Evidence, "random-splicing")
+		}
+	}
+
+	// Meta refresh.
+	for _, m := range reMetaRefresh.FindAllStringSubmatch(body, -1) {
+		v.Targets = append(v.Targets, m[1])
+		v.Evidence = append(v.Evidence, "meta-refresh")
+	}
+
+	v.Targets = dedupe(v.Targets)
+	v.Targets = filterBenign(v.Targets)
+	v.Dynamic = dynamic
+	if len(v.Targets) == 0 && !v.Dynamic {
+		return Verdict{}, false
+	}
+	if len(v.Targets) == 0 && v.Dynamic && len(v.Evidence) == 0 {
+		return Verdict{}, false
+	}
+	return v, true
+}
+
+// wellKnown lists destinations the paper excluded as benign.
+var wellKnown = []string{
+	"www.sogou.com", "www.baidu.com", "www.google.com", "www.bilibili.com",
+	"example.com",
+}
+
+func filterBenign(targets []string) []string {
+	out := targets[:0]
+	for _, t := range targets {
+		benign := false
+		for _, w := range wellKnown {
+			if strings.Contains(t, w) {
+				benign = true
+				break
+			}
+		}
+		if !benign {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func dedupe(xs []string) []string {
+	seen := make(map[string]struct{}, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if _, ok := seen[x]; ok {
+			continue
+		}
+		seen[x] = struct{}{}
+		out = append(out, x)
+	}
+	return out
+}

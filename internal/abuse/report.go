@@ -1,0 +1,75 @@
+package abuse
+
+import (
+	"sort"
+)
+
+// CaseStats is one Table 3 row: functions and PDNS requests per case.
+type CaseStats struct {
+	Case      Case
+	Functions int
+	Requests  int64
+}
+
+// Report is the assembled abuse picture of paper §5.5 (Table 3).
+type Report struct {
+	ByCase [NumCases]CaseStats
+	// Assigned maps each abused FQDN to its primary case.
+	Assigned map[string]Case
+	// ContentRich is the denominator for AbuseRate: probed functions with
+	// non-empty 200 responses (12,138 in the paper).
+	ContentRich int
+}
+
+// NewReport assembles Table 3 from per-function verdicts. Each function
+// counts once under its primary case; requests[fqdn] supplies the PDNS
+// total_request_cnt joined per function (missing FQDNs count 0 requests).
+// C2 detections must be passed in as CaseC2 verdicts.
+func NewReport(verdictsByFQDN map[string][]Verdict, requests map[string]int64, contentRich int) *Report {
+	r := &Report{Assigned: make(map[string]Case), ContentRich: contentRich}
+	for i := range r.ByCase {
+		r.ByCase[i].Case = Case(i)
+	}
+	fqdns := make([]string, 0, len(verdictsByFQDN))
+	for f := range verdictsByFQDN {
+		fqdns = append(fqdns, f)
+	}
+	sort.Strings(fqdns)
+	for _, f := range fqdns {
+		v, ok := Primary(verdictsByFQDN[f])
+		if !ok {
+			continue
+		}
+		r.Assigned[f] = v.Case
+		r.ByCase[v.Case].Functions++
+		r.ByCase[v.Case].Requests += requests[f]
+	}
+	return r
+}
+
+// TotalFunctions is the number of abused functions across all cases.
+func (r *Report) TotalFunctions() int {
+	n := 0
+	for _, cs := range r.ByCase {
+		n += cs.Functions
+	}
+	return n
+}
+
+// TotalRequests is the cumulative PDNS request count of abused functions.
+func (r *Report) TotalRequests() int64 {
+	var n int64
+	for _, cs := range r.ByCase {
+		n += cs.Requests
+	}
+	return n
+}
+
+// AbuseRate is abused functions over content-rich functions — the paper's
+// headline 4.89% (594/12,138).
+func (r *Report) AbuseRate() float64 {
+	if r.ContentRich == 0 {
+		return 0
+	}
+	return float64(r.TotalFunctions()) / float64(r.ContentRich)
+}

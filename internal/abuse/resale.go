@@ -1,0 +1,105 @@
+package abuse
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// OpenAI API key resale detection (paper §5.3). Promotion texts follow the
+// format "To purchase an API key (e.g., sk-…), contact via [contact]"; the
+// same WeChat/QQ/email handle reused across many functions reveals group
+// affiliation — the largest group in the paper ran one WeChat handle across
+// 157 functions.
+
+var (
+	reResaleMention = regexp.MustCompile(`(?i)(?:purchase|buy|resale|sell|出售|购买|代充).{0,80}(?:api\s*key|openai\s*(?:account|key))`)
+	reSKKey         = regexp.MustCompile(`\bsk-[A-Za-z0-9*.…]{6,}`)
+	reWeChat        = regexp.MustCompile(`(?i)(?:wechat|weixin|微信)[:：\s]*([A-Za-z][A-Za-z0-9_-]{5,19})`)
+	reQQ            = regexp.MustCompile(`(?i)(?:qq)[:：\s]*([0-9]{5,11})`)
+	reEmail         = regexp.MustCompile(`[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}`)
+	reAccountSale   = regexp.MustCompile(`(?i)(?:openai|chatgpt)\s*account.{0,60}(?:\$|usd|rmb|credit|trial)`)
+)
+
+// classifyResale detects OpenAI key/account resale promotions and extracts
+// the contact handles used to cluster abuse groups.
+func classifyResale(doc *Document) (Verdict, bool) {
+	if doc.Status != 200 {
+		return Verdict{}, false
+	}
+	body := doc.Body
+	mention := reResaleMention.MatchString(body)
+	account := reAccountSale.MatchString(body)
+	hasKeyExample := reSKKey.MatchString(body) ||
+		strings.Contains(body, "[REDACTED:api-key:") // sanitised example keys
+	if !mention && !account {
+		return Verdict{}, false
+	}
+	v := Verdict{FQDN: doc.FQDN, Case: CaseOpenAIResale}
+	if mention {
+		v.Evidence = append(v.Evidence, "resale-mention")
+	}
+	if account {
+		v.Evidence = append(v.Evidence, "account-sale")
+	}
+	if hasKeyExample {
+		v.Evidence = append(v.Evidence, "key-example")
+	}
+	for _, m := range reWeChat.FindAllStringSubmatch(body, -1) {
+		v.Contacts = append(v.Contacts, "wechat:"+strings.ToLower(m[1]))
+	}
+	for _, m := range reQQ.FindAllStringSubmatch(body, -1) {
+		v.Contacts = append(v.Contacts, "qq:"+m[1])
+	}
+	for _, m := range reEmail.FindAllString(body, -1) {
+		v.Contacts = append(v.Contacts, "email:"+strings.ToLower(m))
+	}
+	v.Contacts = dedupe(v.Contacts)
+	// A resale promotion without any contact channel is not actionable and
+	// is likely a false positive; require at least one, like the analysts.
+	if len(v.Contacts) == 0 && !hasKeyExample {
+		return Verdict{}, false
+	}
+	return v, true
+}
+
+// Group is a cluster of resale functions sharing a contact handle.
+type Group struct {
+	Contact   string
+	Functions []string
+}
+
+// GroupByContact clusters resale verdicts by shared contact handle
+// (paper §5.3: repeated use of the same contact suggests group affiliation).
+// A function advertising several handles joins each handle's group; groups
+// come back largest-first.
+func GroupByContact(vs []Verdict) []Group {
+	byContact := map[string]map[string]struct{}{}
+	for _, v := range vs {
+		if v.Case != CaseOpenAIResale {
+			continue
+		}
+		for _, c := range v.Contacts {
+			if byContact[c] == nil {
+				byContact[c] = map[string]struct{}{}
+			}
+			byContact[c][v.FQDN] = struct{}{}
+		}
+	}
+	out := make([]Group, 0, len(byContact))
+	for c, fns := range byContact {
+		g := Group{Contact: c}
+		for f := range fns {
+			g.Functions = append(g.Functions, f)
+		}
+		sort.Strings(g.Functions)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Functions) != len(out[j].Functions) {
+			return len(out[i].Functions) > len(out[j].Functions)
+		}
+		return out[i].Contact < out[j].Contact
+	})
+	return out
+}

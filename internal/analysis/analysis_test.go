@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pdns"
+	"repro/internal/providers"
+)
+
+func d(y int, m time.Month, day int) pdns.Date { return pdns.NewDate(y, m, day) }
+
+func window() pdns.Window {
+	return pdns.Window{Start: d(2022, time.April, 1), End: d(2024, time.March, 31)}
+}
+
+func mkAgg(t *testing.T, recs []pdns.Record) *pdns.Aggregate {
+	t.Helper()
+	w := window()
+	a := pdns.NewAggregator(nil, w.Start, w.End)
+	for i := range recs {
+		a.Add(&recs[i])
+	}
+	return a.Finish()
+}
+
+func rec(fqdn string, day pdns.Date, rt pdns.RType, rdata string, cnt int64) pdns.Record {
+	ts := day.Time().Add(time.Hour)
+	return pdns.Record{FQDN: fqdn, RType: rt, RData: rdata,
+		FirstSeen: ts, LastSeen: ts.Add(time.Minute), RequestCnt: cnt, PDate: day}
+}
+
+func TestNewFQDNsByMonth(t *testing.T) {
+	ag := mkAgg(t, []pdns.Record{
+		rec("a.lambda-url.us-east-1.on.aws", d(2022, time.April, 3), pdns.TypeA, "1.1.1.1", 1),
+		rec("b.lambda-url.us-east-1.on.aws", d(2022, time.April, 20), pdns.TypeA, "1.1.1.1", 1),
+		rec("c.lambda-url.us-east-1.on.aws", d(2022, time.May, 2), pdns.TypeA, "1.1.1.1", 1),
+		// Second sighting of a: not a new FQDN.
+		rec("a.lambda-url.us-east-1.on.aws", d(2022, time.June, 3), pdns.TypeA, "1.1.1.1", 1),
+	})
+	s := NewFQDNsByMonth(ag)
+	if len(s) != 24 {
+		t.Fatalf("series has %d months, want 24 (dense window)", len(s))
+	}
+	if s[0].Value != 2 || s[1].Value != 1 || s[2].Value != 0 {
+		t.Errorf("series head = %v %v %v", s[0], s[1], s[2])
+	}
+	cum := CumulativeFQDNs(s)
+	if cum[23].Value != 3 {
+		t.Errorf("cumulative end = %d, want 3", cum[23].Value)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i].Value < cum[i-1].Value {
+			t.Error("cumulative series decreasing")
+		}
+	}
+}
+
+func TestInvocationTrend(t *testing.T) {
+	ag := mkAgg(t, []pdns.Record{
+		rec("a.lambda-url.us-east-1.on.aws", d(2022, time.April, 3), pdns.TypeA, "1.1.1.1", 10),
+		rec("a.lambda-url.us-east-1.on.aws", d(2022, time.April, 9), pdns.TypeA, "1.1.1.1", 5),
+		rec("x-y-abcdefghij.cn-shanghai.fcapp.run", d(2022, time.May, 1), pdns.TypeCNAME, "c.aliyuncs.com", 7),
+	})
+	tr := InvocationTrend(ag)
+	aws := tr[providers.AWS]
+	if aws[0].Value != 15 {
+		t.Errorf("AWS April = %d, want 15", aws[0].Value)
+	}
+	ali := tr[providers.Aliyun]
+	if ali[1].Value != 7 {
+		t.Errorf("Aliyun May = %d, want 7", ali[1].Value)
+	}
+}
+
+func TestEventsCalendar(t *testing.T) {
+	evs := Events()
+	if len(evs) < 6 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Month < evs[i-1].Month {
+			t.Error("events not chronological")
+		}
+	}
+}
+
+func statsWithTotals(totals []int64) []*pdns.FQDNStats {
+	var out []*pdns.FQDNStats
+	w := window()
+	for _, tot := range totals {
+		out = append(out, &pdns.FQDNStats{
+			Provider: providers.AWS, TotalRequest: tot,
+			FirstSeenAll: w.Start, LastSeenAll: w.Start, DaysCount: 1,
+		})
+	}
+	return out
+}
+
+func TestFrequency(t *testing.T) {
+	// 8 functions: 6 tiny (<5), 1 mid, 1 heavy (>100).
+	fs := statsWithTotals([]int64{1, 2, 3, 4, 4, 3, 50, 5000})
+	st := Frequency(fs)
+	if st.Functions != 8 {
+		t.Fatalf("functions = %d", st.Functions)
+	}
+	if math.Abs(st.FracUnder5-0.75) > 1e-9 {
+		t.Errorf("FracUnder5 = %v, want 0.75", st.FracUnder5)
+	}
+	if math.Abs(st.FracOver100-0.125) > 1e-9 {
+		t.Errorf("FracOver100 = %v", st.FracOver100)
+	}
+	if st.ModalFrac != 0.5 { // totals in [3,6]: 3,4,4,3 = 4/8
+		t.Errorf("ModalFrac = %v, want 0.5", st.ModalFrac)
+	}
+	// Histogram counts sum to population.
+	sum := 0
+	for _, b := range st.Histogram {
+		sum += b.Count
+	}
+	if sum != 8 {
+		t.Errorf("histogram sums to %d", sum)
+	}
+	// CDF ends at 1 and is monotone.
+	if st.CDF[len(st.CDF)-1].Frac != 1 {
+		t.Errorf("CDF end = %v", st.CDF[len(st.CDF)-1])
+	}
+	for i := 1; i < len(st.CDF); i++ {
+		if st.CDF[i].Frac < st.CDF[i-1].Frac || st.CDF[i].Log10Req < st.CDF[i-1].Log10Req {
+			t.Error("CDF not monotone")
+		}
+	}
+}
+
+func TestFrequencyEmpty(t *testing.T) {
+	st := Frequency(nil)
+	if st.Functions != 0 || st.Histogram != nil {
+		t.Errorf("empty frequency = %+v", st)
+	}
+}
+
+func TestLifespan(t *testing.T) {
+	w := window()
+	mk := func(first pdns.Date, span, days int, total int64) *pdns.FQDNStats {
+		return &pdns.FQDNStats{
+			FirstSeenAll: first, LastSeenAll: first.AddDays(span - 1),
+			DaysCount: days, TotalRequest: total,
+		}
+	}
+	fns := []*pdns.FQDNStats{
+		mk(w.Start, 1, 1, 3),        // single day, density 1
+		mk(w.Start, 1, 1, 2),        // single day
+		mk(w.Start, 3, 3, 9),        // 3-day dense
+		mk(w.Start, 100, 4, 40),     // sparse
+		mk(w.Start, w.Days(), 2, 2), // full window, 2 calls: long-lived rare
+	}
+	st := Lifespan(fns, w)
+	if st.Functions != 5 {
+		t.Fatalf("functions = %d", st.Functions)
+	}
+	if math.Abs(st.FracSingleDay-0.4) > 1e-9 {
+		t.Errorf("FracSingleDay = %v", st.FracSingleDay)
+	}
+	if math.Abs(st.FracUnder5Days-0.6) > 1e-9 {
+		t.Errorf("FracUnder5Days = %v", st.FracUnder5Days)
+	}
+	if math.Abs(st.FracDensityOne-0.6) > 1e-9 {
+		t.Errorf("FracDensityOne = %v", st.FracDensityOne)
+	}
+	if st.FracFullWindow != 0.2 {
+		t.Errorf("FracFullWindow = %v", st.FracFullWindow)
+	}
+	if st.LongLivedRare != 1 {
+		t.Errorf("LongLivedRare = %d", st.LongLivedRare)
+	}
+	wantMean := (1.0 + 1 + 3 + 100 + float64(w.Days())) / 5
+	if math.Abs(st.MeanDays-wantMean) > 1e-9 {
+		t.Errorf("MeanDays = %v, want %v", st.MeanDays, wantMean)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	ag := mkAgg(t, []pdns.Record{
+		rec("a.lambda-url.us-east-1.on.aws", d(2022, time.May, 1), pdns.TypeA, "1.1.1.1", 70),
+		rec("a.lambda-url.us-east-1.on.aws", d(2022, time.May, 2), pdns.TypeAAAA, "2600::1", 30),
+		rec("1234567890-abcdefghij-ap-guangzhou.scf.tencentcs.com", d(2023, time.September, 1), pdns.TypeCNAME, "gz.scf.tencentcs.com", 10),
+	})
+	rows := Table2(ag)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper order: Tencent before AWS.
+	if rows[0].Provider != providers.Tencent || rows[1].Provider != providers.AWS {
+		t.Errorf("row order = %v, %v", rows[0].Provider, rows[1].Provider)
+	}
+	aws := rows[1]
+	if aws.Domains != 1 || aws.Requests != 100 || aws.Regions != 1 {
+		t.Errorf("aws row = %+v", aws)
+	}
+	if math.Abs(aws.AShare-0.7) > 1e-9 || math.Abs(aws.AAAAShare-0.3) > 1e-9 {
+		t.Errorf("aws shares = %v/%v", aws.AShare, aws.AAAAShare)
+	}
+	if aws.ARData != 1 || aws.ATop10 != 1 {
+		t.Errorf("aws rdata = %d top10 %v", aws.ARData, aws.ATop10)
+	}
+	ten := rows[0]
+	if ten.CNAMEShare != 1 || ten.CNAMERData != 1 {
+		t.Errorf("tencent row = %+v", ten)
+	}
+}
+
+func TestThirdParty(t *testing.T) {
+	ag := mkAgg(t, []pdns.Record{
+		// Baidu answered by telecom operators.
+		rec("a1b2c3d4e5f6g.cfc-execute.bj.baidubce.com", d(2022, time.May, 1), pdns.TypeCNAME, "cfc-bj.ct.bcelb.com", 70),
+		rec("a1b2c3d4e5f6g.cfc-execute.bj.baidubce.com", d(2022, time.May, 2), pdns.TypeA, "101.33.9.9", 30),
+		// AWS answered by itself.
+		rec("a.lambda-url.us-east-1.on.aws", d(2022, time.May, 1), pdns.TypeA, "20.33.1.1", 10),
+	})
+	classify := func(rdata string) string {
+		switch {
+		case strings.Contains(rdata, "bcelb.com"), strings.HasPrefix(rdata, "101.33."):
+			return "china-telecom"
+		default:
+			return ""
+		}
+	}
+	rows := ThirdParty(ag, classify)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	baidu := rows[0]
+	if baidu.Provider != providers.Baidu {
+		t.Fatalf("row order: %v", baidu.Provider)
+	}
+	if baidu.ProviderShare != 0 || baidu.ThirdParty["china-telecom"] != 1 {
+		t.Errorf("baidu row = %+v", baidu)
+	}
+	aws := rows[1]
+	if aws.ProviderShare != 1 || len(aws.ThirdParty) != 0 {
+		t.Errorf("aws row = %+v", aws)
+	}
+}
+
+func TestIngressConcentration(t *testing.T) {
+	recs := []pdns.Record{
+		rec("a.lambda-url.us-east-1.on.aws", d(2022, time.May, 1), pdns.TypeA, "1.1.1.1", 5),
+		rec("a.lambda-url.us-east-1.on.aws", d(2022, time.May, 2), pdns.TypeA, "1.1.1.2", 5),
+		rec("b.lambda-url.us-east-1.on.aws", d(2022, time.May, 1), pdns.TypeA, "1.1.1.3", 5),
+		rec("c.lambda-url.eu-west-1.on.aws", d(2022, time.May, 1), pdns.TypeA, "2.2.2.2", 7),
+		rec("x-y-abcdefghij.cn-shanghai.fcapp.run", d(2022, time.May, 1), pdns.TypeCNAME, "ingress.aliyuncs.com", 3),
+		{FQDN: "junk.example", RType: pdns.TypeA, RData: "9.9.9.9", RequestCnt: 1,
+			PDate: d(2022, time.May, 1), FirstSeen: d(2022, time.May, 1).Time(), LastSeen: d(2022, time.May, 1).Time()},
+	}
+	rows := IngressConcentration(recs, nil)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d: %+v", len(rows), rows)
+	}
+	find := func(id providers.ID, region string) *RegionNodes {
+		for i := range rows {
+			if rows[i].Provider == id && rows[i].Region == region {
+				return &rows[i]
+			}
+		}
+		return nil
+	}
+	use1 := find(providers.AWS, "us-east-1")
+	if use1 == nil || use1.Nodes != 3 || use1.Requests != 15 {
+		t.Errorf("us-east-1 row = %+v", use1)
+	}
+	euw1 := find(providers.AWS, "eu-west-1")
+	if euw1 == nil || euw1.Nodes != 1 || euw1.Requests != 7 {
+		t.Errorf("eu-west-1 row = %+v", euw1)
+	}
+	if find(providers.Aliyun, "cn-shanghai") == nil {
+		t.Error("Aliyun region row missing")
+	}
+}

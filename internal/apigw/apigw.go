@@ -1,0 +1,255 @@
+// Package apigw simulates the API Gateway products of paper §2.2: the
+// second HTTP invocation path for serverless functions. A gateway binds
+// backends (cloud functions or arbitrary HTTP services) behind a generated
+// REST API and adds the features the paper lists — response caching, rate
+// limiting, and custom authentication — at extra cost.
+//
+// The package also encodes why the study excluded API gateways (§3.5):
+// gateway domains are generated from an opaque API ID and a shared suffix,
+// and the backend may be any service, so a gateway FQDN neither matches any
+// function-URL pattern nor proves a serverless backend. TestExclusionRationale
+// demonstrates both properties.
+package apigw
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faas"
+)
+
+// Backend handles a routed request. Implementations: FunctionBackend
+// (invokes a cloud function) and StaticBackend (any other HTTP service —
+// the reason gateway traffic cannot be attributed to serverless).
+type Backend interface {
+	Handle(req faas.Request) (faas.Response, error)
+	// Kind is a human label ("function", "http", …).
+	Kind() string
+}
+
+// FunctionBackend invokes a function deployed on a faas.Platform.
+type FunctionBackend struct {
+	Platform *faas.Platform
+	FQDN     string
+}
+
+// Handle implements Backend.
+func (b *FunctionBackend) Handle(req faas.Request) (faas.Response, error) {
+	resp, _, err := b.Platform.Invoke(b.FQDN, req)
+	return resp, err
+}
+
+// Kind implements Backend.
+func (b *FunctionBackend) Kind() string { return "function" }
+
+// StaticBackend returns a fixed response, standing in for VMs, containers,
+// or third-party services bound behind the same gateway product.
+type StaticBackend struct {
+	Status      int
+	ContentType string
+	Body        []byte
+}
+
+// Handle implements Backend.
+func (b *StaticBackend) Handle(req faas.Request) (faas.Response, error) {
+	return faas.Response{
+		Status:  b.Status,
+		Headers: map[string]string{"Content-Type": b.ContentType},
+		Body:    b.Body,
+	}, nil
+}
+
+// Kind implements Backend.
+func (b *StaticBackend) Kind() string { return "http" }
+
+// Route binds a method+path to a backend with optional gateway features.
+type Route struct {
+	Method  string
+	Path    string // exact match; a trailing "/*" matches any suffix
+	Backend Backend
+
+	// CacheTTL enables response caching for the route (paper: "caching").
+	CacheTTL time.Duration
+	// RateLimit caps requests per client per second; 0 disables
+	// (paper: "rate limiting"). Burst equals the limit.
+	RateLimit int
+	// Auth validates the request before routing (paper: "custom
+	// authentication"); nil admits everyone.
+	Auth Authorizer
+}
+
+// Authorizer decides whether a request may pass.
+type Authorizer func(req faas.Request) bool
+
+// APIKeyAuth admits requests carrying one of the keys in an x-api-key
+// header.
+func APIKeyAuth(keys ...string) Authorizer {
+	set := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		set[k] = struct{}{}
+	}
+	return func(req faas.Request) bool {
+		_, ok := set[req.Headers["X-Api-Key"]]
+		return ok
+	}
+}
+
+// Gateway is one deployed REST API.
+type Gateway struct {
+	// ID is the opaque generated API identifier; Domain embeds it under the
+	// provider's shared execute-api suffix.
+	ID     string
+	Domain string
+	Stage  string
+
+	mu      sync.Mutex
+	routes  []*Route
+	cache   map[string]cacheEntry
+	buckets map[string]*bucket
+	meter   Meter
+}
+
+type cacheEntry struct {
+	resp    faas.Response
+	expires time.Time
+}
+
+// Meter counts gateway traffic for billing (API calls are charged per
+// million on top of function costs — the "additional costs" of §2.2).
+type Meter struct {
+	Calls      int64
+	CacheHits  int64
+	Throttled  int64
+	AuthDenied int64
+}
+
+// USDPerMillionCalls is a representative gateway price.
+const USDPerMillionCalls = 3.50
+
+// Cost prices the accumulated calls.
+func (m Meter) Cost() float64 { return float64(m.Calls) / 1e6 * USDPerMillionCalls }
+
+// New creates a gateway with a generated API ID under the region's
+// execute-api suffix.
+func New(rng *rand.Rand, region, stage string) *Gateway {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	id := make([]byte, 10)
+	for i := range id {
+		id[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return &Gateway{
+		ID:      string(id),
+		Domain:  fmt.Sprintf("%s.execute-api.%s.amazonaws.com", id, region),
+		Stage:   stage,
+		cache:   make(map[string]cacheEntry),
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Bind registers a route.
+func (g *Gateway) Bind(r *Route) {
+	g.mu.Lock()
+	g.routes = append(g.routes, r)
+	g.mu.Unlock()
+}
+
+// Meter returns a snapshot of the traffic counters.
+func (g *Gateway) Meter() Meter {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.meter
+}
+
+// Dispatch routes one request arriving at simulated time req.Time from the
+// given client identity (for rate limiting). 404 for unbound paths, 401 for
+// failed auth, 429 when throttled.
+func (g *Gateway) Dispatch(client string, req faas.Request) (faas.Response, error) {
+	g.mu.Lock()
+	g.meter.Calls++
+	route := g.match(req.Method, req.Path)
+	g.mu.Unlock()
+	if route == nil {
+		return faas.Response{Status: 404, Body: []byte(`{"message":"Missing Authentication Token"}`)}, nil
+	}
+	if route.Auth != nil && !route.Auth(req) {
+		g.count(func(m *Meter) { m.AuthDenied++ })
+		return faas.Response{Status: 401, Body: []byte(`{"message":"Unauthorized"}`)}, nil
+	}
+	if route.RateLimit > 0 && !g.allow(client, route, req.Time) {
+		g.count(func(m *Meter) { m.Throttled++ })
+		return faas.Response{Status: 429, Body: []byte(`{"message":"Too Many Requests"}`)}, nil
+	}
+	if route.CacheTTL > 0 {
+		key := req.Method + " " + req.Path + "?" + req.Query
+		g.mu.Lock()
+		if e, ok := g.cache[key]; ok && req.Time.Before(e.expires) {
+			g.meter.CacheHits++
+			g.mu.Unlock()
+			return e.resp, nil
+		}
+		g.mu.Unlock()
+		resp, err := route.Backend.Handle(req)
+		if err == nil && resp.Status < 500 {
+			g.mu.Lock()
+			g.cache[key] = cacheEntry{resp: resp, expires: req.Time.Add(route.CacheTTL)}
+			g.mu.Unlock()
+		}
+		return resp, err
+	}
+	return route.Backend.Handle(req)
+}
+
+func (g *Gateway) count(fn func(*Meter)) {
+	g.mu.Lock()
+	fn(&g.meter)
+	g.mu.Unlock()
+}
+
+// match finds the first bound route for method+path.
+func (g *Gateway) match(method, path string) *Route {
+	for _, r := range g.routes {
+		if r.Method != method && r.Method != "*" {
+			continue
+		}
+		if r.Path == path {
+			return r
+		}
+		if strings.HasSuffix(r.Path, "/*") && strings.HasPrefix(path, strings.TrimSuffix(r.Path, "*")) {
+			return r
+		}
+	}
+	return nil
+}
+
+// bucket is a token bucket advanced on the simulated clock.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// allow draws a token from the (client, route) bucket.
+func (g *Gateway) allow(client string, route *Route, now time.Time) bool {
+	key := client + "|" + route.Method + " " + route.Path
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.buckets[key]
+	if !ok {
+		b = &bucket{tokens: float64(route.RateLimit), last: now}
+		g.buckets[key] = b
+	}
+	if now.After(b.last) {
+		b.tokens += now.Sub(b.last).Seconds() * float64(route.RateLimit)
+		if b.tokens > float64(route.RateLimit) {
+			b.tokens = float64(route.RateLimit)
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,188 @@
+package apigw
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/providers"
+)
+
+var t0 = time.Date(2023, time.June, 1, 12, 0, 0, 0, time.UTC)
+
+func newGW() *Gateway {
+	return New(rand.New(rand.NewSource(1)), "us-east-1", "prod")
+}
+
+func fnBackend(t *testing.T, body string) (*faas.Platform, *FunctionBackend) {
+	t.Helper()
+	p := faas.NewPlatform()
+	f := p.Deploy("x.lambda-url.us-east-1.on.aws", providers.AWS, "us-east-1", faas.Config{},
+		func(ctx *faas.InvokeContext) faas.Response {
+			return faas.Response{Status: 200, Headers: map[string]string{"Content-Type": "text/plain"}, Body: []byte(body)}
+		}, t0)
+	return p, &FunctionBackend{Platform: p, FQDN: f.FQDN}
+}
+
+func TestDispatchToFunctionBackend(t *testing.T) {
+	g := newGW()
+	_, be := fnBackend(t, "hello-from-lambda")
+	g.Bind(&Route{Method: "GET", Path: "/hello", Backend: be})
+	resp, err := g.Dispatch("client-a", faas.Request{Method: "GET", Path: "/hello", Time: t0})
+	if err != nil || resp.Status != 200 || string(resp.Body) != "hello-from-lambda" {
+		t.Fatalf("resp = %d %q err=%v", resp.Status, resp.Body, err)
+	}
+	if g.Meter().Calls != 1 {
+		t.Errorf("meter = %+v", g.Meter())
+	}
+}
+
+func TestDispatchUnboundPath(t *testing.T) {
+	g := newGW()
+	resp, err := g.Dispatch("c", faas.Request{Method: "GET", Path: "/nope", Time: t0})
+	if err != nil || resp.Status != 404 {
+		t.Errorf("unbound = %d, %v", resp.Status, err)
+	}
+}
+
+func TestWildcardRoute(t *testing.T) {
+	g := newGW()
+	g.Bind(&Route{Method: "*", Path: "/api/*", Backend: &StaticBackend{Status: 200, Body: []byte("wild")}})
+	resp, _ := g.Dispatch("c", faas.Request{Method: "POST", Path: "/api/v1/items", Time: t0})
+	if resp.Status != 200 || string(resp.Body) != "wild" {
+		t.Errorf("wildcard = %d %q", resp.Status, resp.Body)
+	}
+	resp, _ = g.Dispatch("c", faas.Request{Method: "GET", Path: "/other", Time: t0})
+	if resp.Status != 404 {
+		t.Errorf("non-matching path = %d", resp.Status)
+	}
+}
+
+func TestCustomAuthentication(t *testing.T) {
+	g := newGW()
+	g.Bind(&Route{
+		Method: "GET", Path: "/secure",
+		Backend: &StaticBackend{Status: 200, Body: []byte("ok")},
+		Auth:    APIKeyAuth("k1", "k2"),
+	})
+	resp, _ := g.Dispatch("c", faas.Request{Method: "GET", Path: "/secure", Time: t0})
+	if resp.Status != 401 {
+		t.Errorf("no key = %d, want 401", resp.Status)
+	}
+	resp, _ = g.Dispatch("c", faas.Request{
+		Method: "GET", Path: "/secure", Time: t0,
+		Headers: map[string]string{"X-Api-Key": "k2"},
+	})
+	if resp.Status != 200 {
+		t.Errorf("valid key = %d", resp.Status)
+	}
+	if g.Meter().AuthDenied != 1 {
+		t.Errorf("meter = %+v", g.Meter())
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	g := newGW()
+	g.Bind(&Route{
+		Method: "GET", Path: "/limited",
+		Backend:   &StaticBackend{Status: 200, Body: []byte("ok")},
+		RateLimit: 3,
+	})
+	var throttled int
+	for i := 0; i < 5; i++ {
+		resp, _ := g.Dispatch("same-client", faas.Request{Method: "GET", Path: "/limited", Time: t0})
+		if resp.Status == 429 {
+			throttled++
+		}
+	}
+	if throttled != 2 {
+		t.Errorf("throttled %d of 5 at burst 3", throttled)
+	}
+	// A different client has its own bucket.
+	resp, _ := g.Dispatch("other-client", faas.Request{Method: "GET", Path: "/limited", Time: t0})
+	if resp.Status != 200 {
+		t.Errorf("other client throttled: %d", resp.Status)
+	}
+	// Tokens refill with simulated time.
+	resp, _ = g.Dispatch("same-client", faas.Request{Method: "GET", Path: "/limited", Time: t0.Add(2 * time.Second)})
+	if resp.Status != 200 {
+		t.Errorf("bucket did not refill: %d", resp.Status)
+	}
+}
+
+func TestResponseCaching(t *testing.T) {
+	g := newGW()
+	p, be := fnBackend(t, "cached")
+	g.Bind(&Route{Method: "GET", Path: "/c", Backend: be, CacheTTL: time.Minute})
+	fn, _ := p.Lookup(be.FQDN)
+
+	g.Dispatch("c", faas.Request{Method: "GET", Path: "/c", Time: t0})
+	g.Dispatch("c", faas.Request{Method: "GET", Path: "/c", Time: t0.Add(10 * time.Second)})
+	if got := fn.Meter().Invocations; got != 1 {
+		t.Errorf("backend invoked %d times; second call should hit the cache", got)
+	}
+	if g.Meter().CacheHits != 1 {
+		t.Errorf("meter = %+v", g.Meter())
+	}
+	// After TTL expiry the backend is hit again.
+	g.Dispatch("c", faas.Request{Method: "GET", Path: "/c", Time: t0.Add(2 * time.Minute)})
+	if got := fn.Meter().Invocations; got != 2 {
+		t.Errorf("backend invoked %d times after TTL, want 2", got)
+	}
+	// Different query strings are distinct cache keys.
+	g.Dispatch("c", faas.Request{Method: "GET", Path: "/c", Query: "v=1", Time: t0.Add(2 * time.Minute)})
+	if got := fn.Meter().Invocations; got != 3 {
+		t.Errorf("query-distinct request served from cache (invocations %d)", got)
+	}
+}
+
+func TestGatewayCost(t *testing.T) {
+	m := Meter{Calls: 2_000_000}
+	if c := m.Cost(); c != 7.0 {
+		t.Errorf("cost = %v, want 7.0 (2M calls at $3.50/M)", c)
+	}
+}
+
+// TestExclusionRationale encodes §3.5: gateway domains do not match any
+// function-URL pattern, and the same gateway fronts non-function backends,
+// so gateway traffic cannot be attributed to serverless functions.
+func TestExclusionRationale(t *testing.T) {
+	g := newGW()
+	m := providers.NewMatcher(providers.All())
+	if in, ok := m.Identify(g.Domain); ok {
+		t.Errorf("gateway domain %q identified as %s; gateways must be invisible to the function matcher", g.Domain, in.Name)
+	}
+	// One gateway, two kinds of backend.
+	_, fb := fnBackend(t, "fn")
+	g.Bind(&Route{Method: "GET", Path: "/fn", Backend: fb})
+	g.Bind(&Route{Method: "GET", Path: "/vm", Backend: &StaticBackend{Status: 200, Body: []byte("vm")}})
+	kinds := map[string]bool{}
+	for _, route := range []*Route{g.routes[0], g.routes[1]} {
+		kinds[route.Backend.Kind()] = true
+	}
+	if !kinds["function"] || !kinds["http"] {
+		t.Errorf("backend kinds = %v; need both to demonstrate ambiguity", kinds)
+	}
+}
+
+func TestGatewayDomainShape(t *testing.T) {
+	g := New(rand.New(rand.NewSource(2)), "eu-west-1", "v1")
+	if len(g.ID) != 10 {
+		t.Errorf("API id = %q", g.ID)
+	}
+	want := g.ID + ".execute-api.eu-west-1.amazonaws.com"
+	if g.Domain != want {
+		t.Errorf("domain = %q, want %q", g.Domain, want)
+	}
+}
+
+func TestBackendErrorPropagates(t *testing.T) {
+	g := newGW()
+	p := faas.NewPlatform() // nothing deployed
+	g.Bind(&Route{Method: "GET", Path: "/dead", Backend: &FunctionBackend{Platform: p, FQDN: "ghost.on.aws"}})
+	_, err := g.Dispatch("c", faas.Request{Method: "GET", Path: "/dead", Time: t0})
+	if err == nil {
+		t.Error("missing backend error swallowed")
+	}
+}

@@ -1,0 +1,184 @@
+package c2
+
+import "fmt"
+
+// DB is a set of fingerprints indexed for scanning.
+type DB struct {
+	fps []*Fingerprint
+}
+
+// NewDB builds a database from fingerprints.
+func NewDB(fps []*Fingerprint) *DB { return &DB{fps: fps} }
+
+// All returns the fingerprints in registration order.
+func (db *DB) All() []*Fingerprint { return db.fps }
+
+// Families returns the number of distinct families covered.
+func (db *DB) Families() int {
+	m := map[string]struct{}{}
+	for _, f := range db.fps {
+		m[f.Family] = struct{}{}
+	}
+	return len(m)
+}
+
+// Len returns the number of signatures.
+func (db *DB) Len() int { return len(db.fps) }
+
+// ByFamily returns the fingerprints of one family.
+func (db *DB) ByFamily(family string) []*Fingerprint {
+	var out []*Fingerprint
+	for _, f := range db.fps {
+		if f.Family == family {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Family names of the two signatures the paper observed live in the wild.
+const (
+	FamilyCobaltStrike = "coboltstrike-like"
+	FamilyInfoStealer  = "infostealer-like"
+)
+
+// DefaultDB mirrors the shape of the commercial corpus used in the study:
+// 26 signatures across 18 families, with richer coverage of the Cobalt
+// Strike-like and InfoStealer-like families that the paper found active on
+// serverless platforms. All probes are HTTP-framed (C2 relays hide behind
+// function URLs, which only speak HTTP), and every response pattern is
+// synthetic — the binary shapes exercise the matcher without describing any
+// real malware protocol.
+func DefaultDB() *DB {
+	var fps []*Fingerprint
+
+	// Cobalt Strike-like: staged beacon checkins with a magic body header
+	// and pipe-delimited tasking fields. Three protocol variants.
+	fps = append(fps,
+		&Fingerprint{
+			ID: "cs-like-1", Family: FamilyCobaltStrike, Ports: []int{80, 443},
+			Probe: "GET /pixel.gif HTTP/1.1\r\nHost: {{HOST}}\r\n" +
+				"User-Agent: Mozilla/4.0 (compatible; MSIE 8.0; Windows NT 6.1)\r\n" +
+				"Cookie: SESSIONID=kZx9w1QmC2\r\nConnection: close\r\n\r\n",
+			Match: Matcher{
+				Tokens:    [][]byte{[]byte("MZRE"), []byte("\x01\x02stage")},
+				Delimiter: '|', MinFields: 4,
+			},
+		},
+		&Fingerprint{
+			ID: "cs-like-2", Family: FamilyCobaltStrike, Ports: []int{80, 443},
+			Probe: "GET /ga.js HTTP/1.1\r\nHost: {{HOST}}\r\n" +
+				"User-Agent: Mozilla/5.0 (Windows NT 10.0; WOW64)\r\n" +
+				"Accept: */*\r\nX-Request-ID: beacon-7f3a\r\nConnection: close\r\n\r\n",
+			Match: Matcher{
+				Tokens:    [][]byte{[]byte("MZRE"), []byte("taskq")},
+				Delimiter: '|', MinFields: 3,
+			},
+		},
+		&Fingerprint{
+			ID: "cs-like-3", Family: FamilyCobaltStrike, Ports: []int{443},
+			Probe: "POST /submit.php HTTP/1.1\r\nHost: {{HOST}}\r\n" +
+				"Content-Type: application/octet-stream\r\nContent-Length: 8\r\n" +
+				"Connection: close\r\n\r\n\x4d\x5a\x52\x45\x00\x00\x00\x01",
+			Match: Matcher{
+				Tokens: [][]byte{[]byte("MZRE"), []byte("\x00ack\x00")},
+			},
+		},
+	)
+
+	// InfoStealer-like: exfiltration check-ins answered with a tilde-framed
+	// config blob. Two variants.
+	fps = append(fps,
+		&Fingerprint{
+			ID: "stealer-like-1", Family: FamilyInfoStealer, Ports: []int{80, 443},
+			Probe: "POST /gate HTTP/1.1\r\nHost: {{HOST}}\r\n" +
+				"Content-Type: application/x-www-form-urlencoded\r\nContent-Length: 13\r\n" +
+				"Connection: close\r\n\r\nhwid=TESTHWID",
+			Match: Matcher{
+				Tokens:    [][]byte{[]byte("STCFG"), []byte("grab")},
+				Delimiter: '~', MinFields: 5,
+			},
+		},
+		&Fingerprint{
+			ID: "stealer-like-2", Family: FamilyInfoStealer, Ports: []int{80},
+			Probe: "GET /cfg?id=TESTHWID HTTP/1.1\r\nHost: {{HOST}}\r\n" +
+				"User-Agent: stl/2.1\r\nConnection: close\r\n\r\n",
+			Match: Matcher{
+				Tokens:    [][]byte{[]byte("STCFG"), []byte("loader")},
+				Delimiter: '~', MinFields: 3,
+			},
+		},
+	)
+
+	// Filler families mirroring the corpus breadth: five two-variant
+	// families and eleven single-variant families (3+2+10+11 = 26 over 18).
+	twoVariant := []string{"rat-kite", "rat-lynx", "bot-heron", "bot-ibis", "dl-crane"}
+	for _, fam := range twoVariant {
+		for v := 1; v <= 2; v++ {
+			fps = append(fps, fillerFingerprint(fam, v))
+		}
+	}
+	oneVariant := []string{
+		"rat-swift", "rat-stork", "bot-plover", "bot-finch", "dl-egret",
+		"dl-raven", "proxy-wren", "proxy-crake", "loader-teal", "loader-skua",
+		"miner-gull",
+	}
+	for _, fam := range oneVariant {
+		fps = append(fps, fillerFingerprint(fam, 1))
+	}
+	return NewDB(fps)
+}
+
+// fillerFingerprint synthesises a distinctive probe/response pair for a
+// filler family variant.
+func fillerFingerprint(family string, variant int) *Fingerprint {
+	magic := fillerMagic(family, variant)
+	return &Fingerprint{
+		ID:     fmt.Sprintf("%s-%d", family, variant),
+		Family: family,
+		Ports:  []int{80, 443},
+		Probe: fmt.Sprintf("GET /%s/v%d HTTP/1.1\r\nHost: {{HOST}}\r\n"+
+			"User-Agent: %s\r\nConnection: close\r\n\r\n", family, variant, family),
+		Match: Matcher{
+			Tokens:    [][]byte{[]byte(magic), []byte("cmdset")},
+			Delimiter: ';', MinFields: 3,
+		},
+	}
+}
+
+// Banner returns a response body that satisfies the fingerprint's matcher —
+// the payload a live relay of that family would return to its probe. The
+// simulated abusive functions serve this through their function URLs.
+func Banner(f *Fingerprint) []byte {
+	switch f.ID {
+	case "cs-like-1":
+		return []byte("MZRE\x01\x02stage|win64|sleep:60|jitter:10|eof")
+	case "cs-like-2":
+		return []byte("MZREtaskq|none|sleep:30|eof")
+	case "cs-like-3":
+		return []byte("MZRE\x00ack\x00")
+	case "stealer-like-1":
+		return []byte("STCFG~grab~wallets~browsers~files~screens~eof")
+	case "stealer-like-2":
+		return []byte("STCFG~loader~on~eof")
+	default:
+		magic := fillerMagic(f.Family, variantOf(f.ID))
+		return []byte(magic + "cmdset;idle;300;eof")
+	}
+}
+
+// fillerMagic derives a family+variant-unique magic token.
+func fillerMagic(family string, variant int) string {
+	return fmt.Sprintf("FX-%s-%02d\x00", family, variant)
+}
+
+func variantOf(id string) int {
+	if len(id) == 0 {
+		return 1
+	}
+	c := id[len(id)-1]
+	if c >= '0' && c <= '9' {
+		return int(c - '0')
+	}
+	return 1
+}

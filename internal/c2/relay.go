@@ -1,0 +1,168 @@
+package c2
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Relay simulates a cloud function hiding a C2 server of one family
+// (paper Algorithm 1: the function forwards requests to the hidden C2 and
+// returns its responses). Speaking the family protocol on a real TCP
+// listener lets the Scanner exercise its full network path in tests and in
+// the integration pipeline.
+type Relay struct {
+	Family string
+	db     *DB
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewRelay starts a relay for family on a loopback listener.
+func NewRelay(db *DB, family string) (*Relay, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("c2: relay listen: %w", err)
+	}
+	r := &Relay{Family: family, db: db, ln: ln, closed: make(chan struct{})}
+	r.wg.Add(1)
+	go r.serve()
+	return r, nil
+}
+
+// Addr returns the relay's host:port.
+func (r *Relay) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the listener and waits for in-flight connections.
+func (r *Relay) Close() {
+	close(r.closed)
+	r.ln.Close()
+	r.wg.Wait()
+}
+
+func (r *Relay) serve() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			select {
+			case <-r.closed:
+				return
+			default:
+				continue
+			}
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(5 * time.Second))
+			req := readRequest(conn)
+			conn.Write(HandleRaw(r.db, r.Family, req))
+		}()
+	}
+}
+
+// readRequest reads one HTTP-framed request (headers plus declared body).
+func readRequest(conn net.Conn) []byte {
+	br := bufio.NewReader(conn)
+	var buf bytes.Buffer
+	contentLength := 0
+	for {
+		line, err := br.ReadString('\n')
+		buf.WriteString(line)
+		if err != nil {
+			return buf.Bytes()
+		}
+		l := strings.ToLower(strings.TrimSpace(line))
+		if v, ok := strings.CutPrefix(l, "content-length:"); ok {
+			fmt.Sscanf(strings.TrimSpace(v), "%d", &contentLength)
+		}
+		if line == "\r\n" || line == "\n" {
+			break
+		}
+	}
+	if contentLength > 0 && contentLength < 1<<20 {
+		body := make([]byte, contentLength)
+		n, _ := io.ReadFull(br, body)
+		buf.Write(body[:n])
+	}
+	return buf.Bytes()
+}
+
+// HandleRaw answers a raw request as a relay of the given family would: if
+// the request matches the probe shape of one of the family's fingerprints,
+// the hidden C2's banner comes back framed as an HTTP 200; anything else
+// gets a generic 404, exactly how these functions evade content review.
+func HandleRaw(db *DB, family string, req []byte) []byte {
+	for _, fp := range db.ByFamily(family) {
+		if probeShapeMatches(fp, req) {
+			banner := Banner(fp)
+			return []byte(fmt.Sprintf(
+				"HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+				len(banner), banner))
+		}
+	}
+	body := "Not Found"
+	return []byte(fmt.Sprintf(
+		"HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+		len(body), body))
+}
+
+// probeShapeMatches checks whether req looks like fp's probe: same request
+// line and the probe's distinctive non-Host headers/body are present.
+func probeShapeMatches(fp *Fingerprint, req []byte) bool {
+	probe := fp.ProbeFor("x")
+	probeLine, _, ok := bytes.Cut(probe, []byte("\r\n"))
+	if !ok {
+		return false
+	}
+	reqLine, _, ok := bytes.Cut(req, []byte("\r\n"))
+	if !ok {
+		return false
+	}
+	if !bytes.Equal(probeLine, reqLine) {
+		return false
+	}
+	// Every probe line except request line, Host, and framing noise must
+	// appear in the request.
+	for _, line := range bytes.Split(probe, []byte("\r\n"))[1:] {
+		if len(line) == 0 || bytes.HasPrefix(line, []byte("Host:")) ||
+			bytes.HasPrefix(line, []byte("Connection:")) ||
+			bytes.HasPrefix(line, []byte("Content-Length:")) {
+			continue
+		}
+		if !bytes.Contains(req, line) {
+			return false
+		}
+	}
+	return true
+}
+
+// BannerResponse returns (status, contentType, body) for the simulated
+// function-level handler: abusive functions deployed on the faas platform
+// use this to answer HTTP-parsed requests the same way HandleRaw answers
+// raw ones.
+func BannerResponse(db *DB, family string, method, path string, headers map[string]string, body []byte) (int, string, []byte, bool) {
+	// Reconstruct enough of the raw request for probe-shape matching.
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", method, path)
+	for k, v := range headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	b.WriteString("\r\n")
+	b.Write(body)
+	for _, fp := range db.ByFamily(family) {
+		if probeShapeMatches(fp, b.Bytes()) {
+			return 200, "application/octet-stream", Banner(fp), true
+		}
+	}
+	return 404, "text/plain", []byte("Not Found"), false
+}

@@ -1,0 +1,103 @@
+package c2
+
+import (
+	"context"
+	"crypto/tls"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Scanner probes hosts for C2 relays by emitting each fingerprint's request
+// over a fresh TCP connection and matching the raw response bytes (paper
+// §5.1: connect on ports 80 and 443, send family probe payloads, match the
+// traffic fingerprint of the response).
+type Scanner struct {
+	DB *DB
+	// Timeout bounds each connection attempt and read.
+	Timeout time.Duration
+	// Dial opens the transport connection. Tests and the simulation point
+	// this at the in-process gateway; the default is net.Dialer.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
+	// TLSPort443 wraps port-443 connections in TLS, as a real scan would.
+	// The simulation serves plain TCP on both ports, so it stays off there.
+	TLSPort443 bool
+	// MaxResponse bounds how many response bytes are read per probe.
+	MaxResponse int
+}
+
+// NewScanner builds a scanner over db with sane defaults.
+func NewScanner(db *DB) *Scanner {
+	d := &net.Dialer{}
+	return &Scanner{
+		DB:          db,
+		Timeout:     5 * time.Second,
+		Dial:        d.DialContext,
+		MaxResponse: 64 << 10,
+	}
+}
+
+// ScanHost probes one host with every fingerprint on its declared ports and
+// returns the detections. A host that matches any variant of a family is
+// reported once per (fingerprint, port) hit; callers typically dedupe by
+// family. Connection failures are treated as "not a relay", never as errors:
+// a scan of the open Internet sees them constantly.
+func (s *Scanner) ScanHost(ctx context.Context, host string) []Detection {
+	var out []Detection
+	for _, fp := range s.DB.All() {
+		for _, port := range fp.Ports {
+			if ctx.Err() != nil {
+				return out
+			}
+			if s.probeOne(ctx, host, port, fp) {
+				out = append(out, Detection{
+					Host: host, Port: port,
+					Fingerprint: fp.ID, Family: fp.Family,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// probeOne sends one fingerprint probe and matches the response.
+func (s *Scanner) probeOne(ctx context.Context, host string, port int, fp *Fingerprint) bool {
+	cctx, cancel := context.WithTimeout(ctx, s.Timeout)
+	defer cancel()
+	conn, err := s.Dial(cctx, "tcp", net.JoinHostPort(host, fmt.Sprint(port)))
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	if s.TLSPort443 && port == 443 {
+		tc := tls.Client(conn, &tls.Config{ServerName: host, InsecureSkipVerify: true})
+		if err := tc.HandshakeContext(cctx); err != nil {
+			return false
+		}
+		conn = tc
+	}
+	deadline := time.Now().Add(s.Timeout)
+	conn.SetDeadline(deadline)
+	if _, err := conn.Write(fp.ProbeFor(host)); err != nil {
+		return false
+	}
+	resp, err := io.ReadAll(io.LimitReader(conn, int64(s.MaxResponse)))
+	if err != nil && len(resp) == 0 {
+		return false
+	}
+	return fp.Match.Matches(resp)
+}
+
+// Families collapses detections to the set of distinct families seen.
+func Families(ds []Detection) []string {
+	seen := map[string]struct{}{}
+	var out []string
+	for _, d := range ds {
+		if _, ok := seen[d.Family]; !ok {
+			seen[d.Family] = struct{}{}
+			out = append(out, d.Family)
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package content
+
+import (
+	"sort"
+)
+
+// Merge records one dendrogram join. A and B are representative leaves of
+// the two clusters joined at average-linkage distance Dist; Size is the
+// number of leaves under the merged cluster.
+type Merge struct {
+	A, B int
+	Dist float64
+	Size int
+}
+
+// Dendrogram is the agglomerative clustering of n items. Merges are sorted
+// by ascending distance; cutting at a threshold unions every merge below it.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// Agglomerate builds the average-linkage dendrogram over the items'
+// pairwise cosine distances using the nearest-neighbour-chain algorithm
+// (Müllner 2011, the reference cited by the paper), which runs in O(n²)
+// time and memory.
+func Agglomerate(vecs []Vector) *Dendrogram {
+	n := len(vecs)
+	d := &Dendrogram{N: n}
+	if n < 2 {
+		return d
+	}
+
+	// Full distance matrix over active slots, float32 to halve the
+	// footprint at corpus scale. Each active cluster lives in the slot of
+	// one of its leaves, so slot indices double as representative leaves.
+	dist := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := float32(CosineDistance(vecs[i], vecs[j]))
+			dist[i*n+j] = v
+			dist[j*n+i] = v
+		}
+	}
+
+	size := make([]int, n)
+	active := make([]bool, n)
+	for i := range size {
+		size[i] = 1
+		active[i] = true
+	}
+	remaining := n
+	chain := make([]int, 0, n)
+
+	for remaining > 1 {
+		if len(chain) == 0 {
+			for i := 0; i < n; i++ {
+				if active[i] {
+					chain = append(chain, i)
+					break
+				}
+			}
+		}
+		for {
+			tip := chain[len(chain)-1]
+			prev := -1
+			if len(chain) > 1 {
+				prev = chain[len(chain)-2]
+			}
+			// Nearest active neighbour of tip, preferring the previous
+			// chain element on ties so reciprocity terminates.
+			best, bestDist := -1, float32(0)
+			for j := 0; j < n; j++ {
+				if !active[j] || j == tip {
+					continue
+				}
+				dj := dist[tip*n+j]
+				if best == -1 || dj < bestDist || (dj == bestDist && j == prev) {
+					best, bestDist = j, dj
+				}
+			}
+			if best != prev {
+				chain = append(chain, best)
+				continue
+			}
+			// Reciprocal nearest neighbours: merge prev and tip.
+			chain = chain[:len(chain)-2]
+			a, b := prev, tip
+			d.Merges = append(d.Merges, Merge{
+				A: a, B: b,
+				Dist: float64(bestDist),
+				Size: size[a] + size[b],
+			})
+			// Lance-Williams update for average linkage into slot a.
+			na, nb := float32(size[a]), float32(size[b])
+			for k := 0; k < n; k++ {
+				if !active[k] || k == a || k == b {
+					continue
+				}
+				v := (na*dist[a*n+k] + nb*dist[b*n+k]) / (na + nb)
+				dist[a*n+k] = v
+				dist[k*n+a] = v
+			}
+			size[a] += size[b]
+			active[b] = false
+			remaining--
+			break
+		}
+	}
+	// NN-chain emits merges out of height order; sort so Cut can stop at
+	// the first merge above its threshold (average linkage is monotone, so
+	// the sorted order is also a valid dendrogram order).
+	sort.SliceStable(d.Merges, func(i, j int) bool { return d.Merges[i].Dist < d.Merges[j].Dist })
+	return d
+}
+
+// Cut slices the dendrogram at the given distance threshold and returns the
+// flat clustering as a slice of item-index groups, largest first. The
+// paper's setting is threshold 0.1 (90% similarity).
+func (d *Dendrogram) Cut(threshold float64) [][]int {
+	n := d.N
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, m := range d.Merges {
+		if m.Dist >= threshold {
+			break
+		}
+		a, b := find(m.A), find(m.B)
+		if a != b {
+			parent[b] = a
+		}
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+// NumClusters returns the flat cluster count at the threshold without
+// materialising the groups.
+func (d *Dendrogram) NumClusters(threshold float64) int {
+	n := d.N
+	if n == 0 {
+		return 0
+	}
+	k := n
+	seenPair := make([]int, n)
+	for i := range seenPair {
+		seenPair[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for seenPair[x] != x {
+			seenPair[x] = seenPair[seenPair[x]]
+			x = seenPair[x]
+		}
+		return x
+	}
+	for _, m := range d.Merges {
+		if m.Dist >= threshold {
+			break
+		}
+		a, b := find(m.A), find(m.B)
+		if a != b {
+			seenPair[b] = a
+			k--
+		}
+	}
+	return k
+}
+
+// ClusterDocs is the end-to-end grouping of paper §3.4 within one content
+// type: vectorise the documents and cut the average-linkage dendrogram at
+// the threshold. It returns groups of document indices.
+func ClusterDocs(docs []string, threshold float64) [][]int {
+	if len(docs) == 0 {
+		return nil
+	}
+	v := NewVectorizer(docs)
+	vecs := v.TransformAll(docs)
+	return Agglomerate(vecs).Cut(threshold)
+}

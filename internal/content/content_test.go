@@ -1,0 +1,261 @@
+package content
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDetectType(t *testing.T) {
+	cases := []struct {
+		body string
+		ct   string
+		want Type
+	}{
+		{`{"ok":true}`, "", JSON},
+		{`[1,2,3]`, "", JSON},
+		{`{"ok":true}`, "application/json; charset=utf-8", JSON},
+		{`<!DOCTYPE html><html><body>hi</body></html>`, "", HTML},
+		{`<div class="x">y</div>`, "", HTML},
+		{`hello from lambda`, "", Plaintext},
+		{``, "", Plaintext},
+		{`<?xml version="1.0"?><a/>`, "", Other},
+		{`<?php echo "x"; ?>`, "", Other},
+		{`var x = 1; function(){}`, "", Other},
+		{`anything`, "text/javascript", Other},
+		{`<html>`, "text/html", HTML},
+		{`not json`, "application/json", JSON}, // header wins
+		{`{"truncated":`, "", Plaintext},       // invalid JSON falls through
+	}
+	for _, c := range cases {
+		if got := DetectType([]byte(c.body), c.ct); got != c.want {
+			t.Errorf("DetectType(%q, %q) = %v, want %v", c.body, c.ct, got, c.want)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize(`<html>Hello, WORLD-42! x</html>`)
+	want := []string{"html", "hello", "world", "42", "html"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+	if Tokenize("") != nil {
+		t.Error("Tokenize(\"\") should be nil")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	v := NewVectorizer([]string{"alpha beta gamma", "alpha beta gamma", "delta epsilon"})
+	a := v.Transform("alpha beta gamma")
+	b := v.Transform("alpha beta gamma")
+	c := v.Transform("delta epsilon")
+	if s := Cosine(a, b); math.Abs(s-1) > 1e-9 {
+		t.Errorf("identical docs cosine = %v, want 1", s)
+	}
+	if s := Cosine(a, c); s != 0 {
+		t.Errorf("disjoint docs cosine = %v, want 0", s)
+	}
+	if d := CosineDistance(a, b); d > 1e-9 {
+		t.Errorf("identical docs distance = %v", d)
+	}
+	if d := CosineDistance(a, c); math.Abs(d-1) > 1e-9 {
+		t.Errorf("disjoint docs distance = %v, want 1", d)
+	}
+}
+
+func TestVectorizerIDFOrdering(t *testing.T) {
+	// A term in every doc must weigh less than a term in one doc.
+	corpus := []string{"common rare1", "common other", "common thing"}
+	v := NewVectorizer(corpus)
+	vec := v.Transform("common rare1")
+	terms := v.TopTerms(vec, 2)
+	if len(terms) != 2 || terms[0] != "rare1" {
+		t.Errorf("TopTerms = %v, want rare1 first", terms)
+	}
+}
+
+func TestTransformUnknownTerms(t *testing.T) {
+	v := NewVectorizer([]string{"alpha beta"})
+	vec := v.Transform("gamma delta")
+	if len(vec) != 0 {
+		t.Errorf("unknown-term vector = %v, want empty", vec)
+	}
+}
+
+func TestAgglomerateTwoBlobs(t *testing.T) {
+	// Two well-separated families of near-duplicates must form two
+	// clusters at the paper's 0.1 threshold.
+	var docs []string
+	for i := 0; i < 8; i++ {
+		docs = append(docs, fmt.Sprintf("gambling slot betting casino jackpot bonus win page %d", i))
+	}
+	for i := 0; i < 6; i++ {
+		docs = append(docs, fmt.Sprintf("api response status ok result data json record %d", i))
+	}
+	groups := ClusterDocs(docs, 0.1)
+	if len(groups) != 2 {
+		t.Fatalf("got %d clusters, want 2: %v", len(groups), groups)
+	}
+	if len(groups[0]) != 8 || len(groups[1]) != 6 {
+		t.Errorf("cluster sizes = %d, %d", len(groups[0]), len(groups[1]))
+	}
+	// Membership must be contiguous by family.
+	for _, idx := range groups[0] {
+		if idx >= 8 {
+			t.Errorf("gambling cluster contains doc %d", idx)
+		}
+	}
+}
+
+func TestAgglomerateThresholdSweep(t *testing.T) {
+	// Lower thresholds can only produce more clusters (dendrogram nesting).
+	var docs []string
+	rng := rand.New(rand.NewSource(2))
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	for i := 0; i < 40; i++ {
+		var d string
+		for j := 0; j < 6; j++ {
+			d += words[rng.Intn(len(words))] + " "
+		}
+		docs = append(docs, d)
+	}
+	v := NewVectorizer(docs)
+	dend := Agglomerate(v.TransformAll(docs))
+	prev := -1
+	for _, th := range []float64{0.05, 0.1, 0.2, 0.5, 1.01} {
+		k := dend.NumClusters(th)
+		if prev != -1 && k > prev {
+			t.Errorf("clusters increased from %d to %d as threshold grew to %v", prev, k, th)
+		}
+		prev = k
+	}
+	if got := dend.NumClusters(1.01); got != 1 {
+		t.Errorf("threshold above max distance yields %d clusters, want 1", got)
+	}
+	if got := dend.NumClusters(0); got != 40 && got != len(uniqueDocs(docs)) {
+		// identical docs merge at distance ~0; allow either exact n or
+		// the distinct-document count.
+		t.Logf("threshold 0 yields %d clusters (n=40, distinct=%d)", got, len(uniqueDocs(docs)))
+	}
+}
+
+func uniqueDocs(docs []string) map[string]bool {
+	m := map[string]bool{}
+	for _, d := range docs {
+		m[d] = true
+	}
+	return m
+}
+
+func TestAgglomerateSmallInputs(t *testing.T) {
+	if g := ClusterDocs(nil, 0.1); g != nil {
+		t.Errorf("nil docs clustered: %v", g)
+	}
+	g := ClusterDocs([]string{"only one"}, 0.1)
+	if len(g) != 1 || len(g[0]) != 1 {
+		t.Errorf("single doc groups = %v", g)
+	}
+	g = ClusterDocs([]string{"same text here", "same text here"}, 0.1)
+	if len(g) != 1 || len(g[0]) != 2 {
+		t.Errorf("duplicate docs groups = %v", g)
+	}
+}
+
+func TestCutPartitionInvariant(t *testing.T) {
+	// Cut must return a partition: every index exactly once.
+	var docs []string
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 60; i++ {
+		docs = append(docs, fmt.Sprintf("word%d word%d word%d", rng.Intn(10), rng.Intn(10), rng.Intn(10)))
+	}
+	v := NewVectorizer(docs)
+	dend := Agglomerate(v.TransformAll(docs))
+	for _, th := range []float64{0, 0.05, 0.1, 0.3, 0.7, 1.2} {
+		groups := dend.Cut(th)
+		var all []int
+		for _, g := range groups {
+			all = append(all, g...)
+		}
+		sort.Ints(all)
+		if len(all) != 60 {
+			t.Fatalf("threshold %v: %d items in partition, want 60", th, len(all))
+		}
+		for i, x := range all {
+			if x != i {
+				t.Fatalf("threshold %v: partition missing index %d", th, i)
+			}
+		}
+		if len(groups) != dend.NumClusters(th) {
+			t.Errorf("threshold %v: Cut gives %d groups, NumClusters gives %d",
+				th, len(groups), dend.NumClusters(th))
+		}
+	}
+}
+
+func TestMergeCount(t *testing.T) {
+	docs := []string{"a b", "a b", "c d", "c d", "e f"}
+	v := NewVectorizer(docs)
+	dend := Agglomerate(v.TransformAll(docs))
+	if len(dend.Merges) != len(docs)-1 {
+		t.Errorf("merges = %d, want n-1 = %d", len(dend.Merges), len(docs)-1)
+	}
+	for i := 1; i < len(dend.Merges); i++ {
+		if dend.Merges[i].Dist < dend.Merges[i-1].Dist {
+			t.Error("merges not sorted by distance")
+		}
+	}
+	if dend.Merges[len(dend.Merges)-1].Size != len(docs) {
+		// The largest merge joins everything.
+		var maxSize int
+		for _, m := range dend.Merges {
+			if m.Size > maxSize {
+				maxSize = m.Size
+			}
+		}
+		if maxSize != len(docs) {
+			t.Errorf("no merge covers all %d docs (max %d)", len(docs), maxSize)
+		}
+	}
+}
+
+// Property: cosine similarity of normalised vectors is symmetric and in
+// [0, 1] for non-negative weights.
+func TestQuickCosineBounds(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		da := docFromBytes(a)
+		db := docFromBytes(b)
+		v := NewVectorizer([]string{da, db})
+		va, vb := v.Transform(da), v.Transform(db)
+		s1, s2 := Cosine(va, vb), Cosine(vb, va)
+		return math.Abs(s1-s2) < 1e-12 && s1 >= 0 && s1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func docFromBytes(bs []uint8) string {
+	words := []string{"lorem", "ipsum", "dolor", "sit", "amet", "elit"}
+	out := ""
+	for _, b := range bs {
+		out += words[int(b)%len(words)] + " "
+	}
+	if out == "" {
+		out = "empty"
+	}
+	return out
+}
+
+func TestTopTermsStable(t *testing.T) {
+	v := NewVectorizer([]string{"zebra apple zebra", "apple"})
+	vec := v.Transform("zebra apple zebra")
+	terms := v.TopTerms(vec, 5)
+	if len(terms) != 2 || terms[0] != "zebra" {
+		t.Errorf("TopTerms = %v", terms)
+	}
+}

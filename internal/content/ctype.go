@@ -1,0 +1,105 @@
+// Package content implements the response-content analysis of paper §3.4:
+// responses are typed as JSON, HTML, Plaintext or Others; converted to
+// TF-IDF vectors; and grouped by agglomerative hierarchical clustering with
+// average linkage under cosine distance, cutting the dendrogram at 90%
+// similarity (cosine distance < 0.1).
+package content
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Type is the coarse content class of a response body.
+type Type int
+
+const (
+	JSON Type = iota
+	HTML
+	Plaintext
+	Other
+	numTypes
+)
+
+// NumTypes is the number of content classes.
+const NumTypes = int(numTypes)
+
+func (t Type) String() string {
+	switch t {
+	case JSON:
+		return "JSON"
+	case HTML:
+		return "HTML"
+	case Plaintext:
+		return "Plaintext"
+	case Other:
+		return "Others"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// DetectType classifies a response body, using the Content-Type header as a
+// hint and falling back to structural sniffing. JSON often indicates API
+// responses, HTML webpage generation, Plaintext logs or textual output;
+// Others covers JavaScript, XML, PHP and similar (paper §3.4).
+func DetectType(body []byte, contentType string) Type {
+	ct := strings.ToLower(contentType)
+	switch {
+	case strings.Contains(ct, "json"):
+		return JSON
+	case strings.Contains(ct, "html"):
+		return HTML
+	case strings.Contains(ct, "javascript"), strings.Contains(ct, "xml"),
+		strings.Contains(ct, "php"), strings.Contains(ct, "css"):
+		return Other
+	}
+	trimmed := strings.TrimSpace(string(body))
+	if trimmed == "" {
+		return Plaintext
+	}
+	if looksJSON(trimmed) {
+		return JSON
+	}
+	if looksHTML(trimmed) {
+		return HTML
+	}
+	if looksOther(trimmed) {
+		return Other
+	}
+	return Plaintext
+}
+
+func looksJSON(s string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	if c := s[0]; c != '{' && c != '[' && c != '"' {
+		return false
+	}
+	return json.Valid([]byte(s))
+}
+
+func looksHTML(s string) bool {
+	l := strings.ToLower(s)
+	for _, marker := range []string{"<!doctype html", "<html", "<head", "<body", "<div", "<meta ", "<title"} {
+		if strings.Contains(l, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func looksOther(s string) bool {
+	l := strings.ToLower(s)
+	switch {
+	case strings.HasPrefix(l, "<?xml"), strings.HasPrefix(l, "<?php"):
+		return true
+	case strings.Contains(l, "function(") && strings.Contains(l, "var "):
+		return true // bare JavaScript
+	case strings.HasPrefix(l, "<") && strings.Contains(l, "/>") && !looksHTML(s):
+		return true // generic XML fragment
+	}
+	return false
+}

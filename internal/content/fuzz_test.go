@@ -1,0 +1,20 @@
+package content
+
+import "testing"
+
+// FuzzDetectType checks the classifier never panics and always returns a
+// valid type for arbitrary bodies and content-type headers.
+func FuzzDetectType(f *testing.F) {
+	f.Add([]byte(`{"a":1}`), "application/json")
+	f.Add([]byte("<html><body>x</body></html>"), "")
+	f.Add([]byte("<?xml version=\"1.0\"?>"), "weird/ct")
+	f.Add([]byte{0xff, 0xfe, 0x00}, "")
+	f.Fuzz(func(t *testing.T, body []byte, ct string) {
+		got := DetectType(body, ct)
+		if got < JSON || got > Other {
+			t.Fatalf("DetectType returned invalid type %d", got)
+		}
+		// Tokenizer must be total as well.
+		_ = Tokenize(string(body))
+	})
+}

@@ -1,0 +1,174 @@
+package content
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// MinHash/LSH pre-bucketing for large response corpora. Exact average-
+// linkage clustering is O(n²) in time and memory; at the paper's corpus
+// size (12k documents) that is tractable, but a full-population sweep is
+// not. ClusterDocsLSH first buckets near-duplicate candidates with
+// locality-sensitive hashing over MinHash signatures, then runs the exact
+// agglomerative algorithm inside each bucket. Documents in different
+// buckets are never compared, trading a small amount of recall at the
+// cluster boundary for near-linear scaling (BenchmarkClusteringLSH is the
+// ablation against the exact path).
+
+// MinHasher computes fixed-length MinHash signatures over token sets.
+type MinHasher struct {
+	seeds []uint64
+}
+
+// NewMinHasher builds a hasher with k independent hash functions.
+func NewMinHasher(k int) *MinHasher {
+	seeds := make([]uint64, k)
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := range seeds {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		seeds[i] = s
+	}
+	return &MinHasher{seeds: seeds}
+}
+
+// Signature returns the MinHash signature of the document's token set.
+func (m *MinHasher) Signature(doc string) []uint64 {
+	sig := make([]uint64, len(m.seeds))
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+	for _, tok := range Tokenize(doc) {
+		h := fnv.New64a()
+		h.Write([]byte(tok))
+		base := h.Sum64()
+		for i, seed := range m.seeds {
+			// Mix the token hash with each seed (cheap universal-ish hash).
+			v := (base ^ seed) * 0xff51afd7ed558ccd
+			v ^= v >> 33
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+// JaccardEstimate estimates token-set similarity from two signatures.
+func JaccardEstimate(a, b []uint64) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(a))
+}
+
+// lshBuckets groups document indices whose signatures collide in any band.
+// bands*rows must equal the signature length.
+func lshBuckets(sigs [][]uint64, bands, rows int) [][]int {
+	type key struct {
+		band int
+		h    uint64
+	}
+	buckets := map[key][]int{}
+	for i, sig := range sigs {
+		for b := 0; b < bands; b++ {
+			h := fnv.New64a()
+			for r := 0; r < rows; r++ {
+				v := sig[b*rows+r]
+				var buf [8]byte
+				for j := 0; j < 8; j++ {
+					buf[j] = byte(v >> (8 * j))
+				}
+				h.Write(buf[:])
+			}
+			buckets[key{b, h.Sum64()}] = append(buckets[key{b, h.Sum64()}], i)
+		}
+	}
+	// Union band collisions into connected components.
+	parent := make([]int, len(sigs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, members := range buckets {
+		for i := 1; i < len(members); i++ {
+			a, b := find(members[0]), find(members[i])
+			if a != b {
+				parent[b] = a
+			}
+		}
+	}
+	comp := map[int][]int{}
+	for i := range sigs {
+		r := find(i)
+		comp[r] = append(comp[r], i)
+	}
+	out := make([][]int, 0, len(comp))
+	for _, c := range comp {
+		sort.Ints(c)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ClusterDocsLSH clusters docs at the cosine-distance threshold using LSH
+// candidate buckets followed by exact agglomerative clustering per bucket.
+// Output format matches ClusterDocs: groups of document indices, largest
+// first.
+func ClusterDocsLSH(docs []string, threshold float64) [][]int {
+	if len(docs) == 0 {
+		return nil
+	}
+	const (
+		sigLen = 64
+		bands  = 16 // rows = 4: collision prob ≈ s⁴ per band
+	)
+	mh := NewMinHasher(sigLen)
+	sigs := make([][]uint64, len(docs))
+	for i, d := range docs {
+		sigs[i] = mh.Signature(d)
+	}
+	v := NewVectorizer(docs)
+
+	var out [][]int
+	for _, bucket := range lshBuckets(sigs, bands, sigLen/bands) {
+		if len(bucket) == 1 {
+			out = append(out, bucket)
+			continue
+		}
+		sub := make([]Vector, len(bucket))
+		for i, idx := range bucket {
+			sub[i] = v.Transform(docs[idx])
+		}
+		for _, g := range Agglomerate(sub).Cut(threshold) {
+			mapped := make([]int, len(g))
+			for i, local := range g {
+				mapped[i] = bucket[local]
+			}
+			out = append(out, mapped)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}

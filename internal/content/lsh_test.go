@@ -1,0 +1,97 @@
+package content
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestMinHashSignatureShape(t *testing.T) {
+	mh := NewMinHasher(64)
+	sig := mh.Signature("alpha beta gamma delta")
+	if len(sig) != 64 {
+		t.Fatalf("signature length = %d", len(sig))
+	}
+	// Deterministic.
+	sig2 := mh.Signature("alpha beta gamma delta")
+	for i := range sig {
+		if sig[i] != sig2[i] {
+			t.Fatal("signature not deterministic")
+		}
+	}
+}
+
+func TestJaccardEstimate(t *testing.T) {
+	mh := NewMinHasher(256)
+	a := mh.Signature("alpha beta gamma delta epsilon zeta eta theta")
+	b := mh.Signature("alpha beta gamma delta epsilon zeta eta theta")
+	if got := JaccardEstimate(a, b); got != 1 {
+		t.Errorf("identical docs estimate = %v", got)
+	}
+	c := mh.Signature("omega psi chi phi upsilon tau sigma rho")
+	if got := JaccardEstimate(a, c); got > 0.1 {
+		t.Errorf("disjoint docs estimate = %v", got)
+	}
+	// Half-overlapping token sets estimate near their true Jaccard (1/3).
+	d := mh.Signature("alpha beta gamma delta omega psi chi phi")
+	got := JaccardEstimate(a, d)
+	if got < 0.15 || got > 0.55 {
+		t.Errorf("half-overlap estimate = %v, want ≈ 0.33", got)
+	}
+	if JaccardEstimate(nil, nil) != 0 || JaccardEstimate(a, a[:10]) != 0 {
+		t.Error("degenerate inputs should estimate 0")
+	}
+}
+
+func TestClusterDocsLSHMatchesExactOnSeparatedFamilies(t *testing.T) {
+	var docs []string
+	for i := 0; i < 10; i++ {
+		docs = append(docs, "gambling slot betting casino jackpot bonus win page")
+	}
+	for i := 0; i < 7; i++ {
+		docs = append(docs, "api response status ok result data json record")
+	}
+	exact := ClusterDocs(docs, 0.1)
+	lsh := ClusterDocsLSH(docs, 0.1)
+	if len(exact) != len(lsh) {
+		t.Fatalf("exact %d clusters, lsh %d", len(exact), len(lsh))
+	}
+	for i := range exact {
+		if len(exact[i]) != len(lsh[i]) {
+			t.Errorf("cluster %d sizes: exact %d, lsh %d", i, len(exact[i]), len(lsh[i]))
+		}
+	}
+}
+
+func TestClusterDocsLSHPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var docs []string
+	for i := 0; i < 120; i++ {
+		docs = append(docs, fmt.Sprintf("family%d word%d word%d filler", i%6, rng.Intn(5), rng.Intn(5)))
+	}
+	groups := ClusterDocsLSH(docs, 0.1)
+	var all []int
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	sort.Ints(all)
+	if len(all) != len(docs) {
+		t.Fatalf("partition covers %d of %d docs", len(all), len(docs))
+	}
+	for i, x := range all {
+		if x != i {
+			t.Fatalf("partition missing index %d", i)
+		}
+	}
+}
+
+func TestClusterDocsLSHEmpty(t *testing.T) {
+	if g := ClusterDocsLSH(nil, 0.1); g != nil {
+		t.Errorf("nil docs clustered: %v", g)
+	}
+	g := ClusterDocsLSH([]string{"solo document"}, 0.1)
+	if len(g) != 1 || len(g[0]) != 1 {
+		t.Errorf("single doc groups = %v", g)
+	}
+}

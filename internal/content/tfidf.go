@@ -1,0 +1,166 @@
+package content
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases the document and splits it into alphanumeric runs,
+// dropping one-character tokens. HTML tags and JSON punctuation dissolve
+// into their textual content, which is what the clustering should compare.
+func Tokenize(doc string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 1 {
+			tokens = append(tokens, b.String())
+		}
+		b.Reset()
+	}
+	for _, r := range doc {
+		switch {
+		case unicode.IsLetter(r), unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Vector is a sparse, L2-normalised TF-IDF vector: term index -> weight.
+type Vector map[int]float64
+
+// Cosine returns the cosine similarity of two normalised vectors, iterating
+// over the smaller one.
+func Cosine(a, b Vector) float64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var dot float64
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			dot += va * vb
+		}
+	}
+	return dot
+}
+
+// CosineDistance is 1 − cosine similarity, clamped to [0, 1].
+func CosineDistance(a, b Vector) float64 {
+	d := 1 - Cosine(a, b)
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// Vectorizer fits a vocabulary and inverse document frequencies on a corpus
+// and converts documents to TF-IDF vectors.
+type Vectorizer struct {
+	vocab map[string]int
+	idf   []float64
+}
+
+// NewVectorizer fits on the corpus: idf(t) = ln((1+N)/(1+df)) + 1, the
+// smoothed form that keeps unseen terms finite.
+func NewVectorizer(corpus []string) *Vectorizer {
+	v := &Vectorizer{vocab: make(map[string]int)}
+	df := []int{}
+	seen := make(map[int]bool)
+	for _, doc := range corpus {
+		clear(seen)
+		for _, tok := range Tokenize(doc) {
+			idx, ok := v.vocab[tok]
+			if !ok {
+				idx = len(v.vocab)
+				v.vocab[tok] = idx
+				df = append(df, 0)
+			}
+			if !seen[idx] {
+				seen[idx] = true
+				df[idx]++
+			}
+		}
+	}
+	n := float64(len(corpus))
+	v.idf = make([]float64, len(df))
+	for i, d := range df {
+		v.idf[i] = math.Log((1+n)/(1+float64(d))) + 1
+	}
+	return v
+}
+
+// VocabSize returns the number of fitted terms.
+func (v *Vectorizer) VocabSize() int { return len(v.vocab) }
+
+// Transform converts one document to its normalised TF-IDF vector. Terms
+// outside the fitted vocabulary are ignored.
+func (v *Vectorizer) Transform(doc string) Vector {
+	tf := make(map[int]float64)
+	for _, tok := range Tokenize(doc) {
+		if idx, ok := v.vocab[tok]; ok {
+			tf[idx]++
+		}
+	}
+	var norm float64
+	vec := make(Vector, len(tf))
+	for idx, f := range tf {
+		w := f * v.idf[idx]
+		vec[idx] = w
+		norm += w * w
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for idx := range vec {
+			vec[idx] /= norm
+		}
+	}
+	return vec
+}
+
+// TransformAll vectorises the whole corpus.
+func (v *Vectorizer) TransformAll(corpus []string) []Vector {
+	out := make([]Vector, len(corpus))
+	for i, doc := range corpus {
+		out[i] = v.Transform(doc)
+	}
+	return out
+}
+
+// TopTerms returns the k highest-weighted terms of a vector, for cluster
+// labelling during triage.
+func (v *Vectorizer) TopTerms(vec Vector, k int) []string {
+	type tw struct {
+		term string
+		w    float64
+	}
+	inv := make([]string, len(v.vocab))
+	for t, i := range v.vocab {
+		inv[i] = t
+	}
+	var all []tw
+	for idx, w := range vec {
+		all = append(all, tw{inv[idx], w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].term < all[j].term
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].term
+	}
+	return out
+}

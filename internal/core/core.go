@@ -1,0 +1,413 @@
+// Package core orchestrates the paper's end-to-end measurement pipeline:
+//
+//	identify (PDNS regex filter + aggregation, §3.2)
+//	→ probe (HTTPS-first parameter-free GETs, §3.3)
+//	→ sanitise (sensitive-data scan + salted-MD5 anonymisation, §3.4/App. A)
+//	→ cluster (TF-IDF + average-linkage agglomerative clustering, §3.4)
+//	→ classify (four abuse scenarios / eight cases, §5; C2 via fingerprints)
+//	→ assess (threat-intelligence coverage, §5.5)
+//
+// Because the study's inputs are gated, the pipeline runs against the
+// synthetic substrates of internal/workload, internal/dnssim, and
+// internal/faas — but every stage consumes only the interfaces a production
+// deployment would (PDNS records, HTTP endpoints, TCP sockets), so the
+// pipeline code itself is substrate-agnostic.
+package core
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/abuse"
+	"repro/internal/analysis"
+	"repro/internal/c2"
+	"repro/internal/content"
+	"repro/internal/disclosure"
+	"repro/internal/dnssim"
+	"repro/internal/faas"
+	"repro/internal/pdns"
+	"repro/internal/probe"
+	"repro/internal/providers"
+	"repro/internal/secrets"
+	"repro/internal/ti"
+	"repro/internal/workload"
+)
+
+// Config parameterises one pipeline run.
+type Config struct {
+	// Seed and Scale configure the synthetic substrate (see workload).
+	Seed  int64
+	Scale float64
+	// CacheModel routes invocation counts through the resolver-cache model.
+	CacheModel bool
+
+	// ClusterThreshold is the dendrogram cut distance (paper: 0.1).
+	ClusterThreshold float64
+	// MaxClusterDocs caps the number of documents clustered per content
+	// type (clustering is O(n²) in memory); 0 means no cap.
+	MaxClusterDocs int
+
+	// ProbeConcurrency bounds in-flight probes; ProbeTimeout bounds each
+	// request (the simulation shortens the paper's 60s).
+	ProbeConcurrency int
+	ProbeTimeout     time.Duration
+
+	// C2Concurrency bounds concurrent fingerprint scans; C2Timeout bounds
+	// each probe connection (stalling unreachable hosts dominate sweep
+	// time, so this defaults shorter than ProbeTimeout).
+	C2Concurrency int
+	C2Timeout     time.Duration
+	// C2ScanAll also sweeps hosts whose HTTP probe already failed with a
+	// timeout or DNS error. The paper probed every domain; the default
+	// skips known-unreachable hosts because re-timing-out on 52 probes per
+	// host only burns wall clock.
+	C2ScanAll bool
+	// SkipC2Scan skips the fingerprint sweep entirely.
+	SkipC2Scan bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.01
+	}
+	if c.ClusterThreshold <= 0 {
+		c.ClusterThreshold = 0.1
+	}
+	if c.ProbeConcurrency <= 0 {
+		c.ProbeConcurrency = 32
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.C2Concurrency <= 0 {
+		c.C2Concurrency = 32
+	}
+	if c.C2Timeout <= 0 {
+		c.C2Timeout = c.ProbeTimeout / 2
+		if c.C2Timeout > time.Second {
+			c.C2Timeout = time.Second
+		}
+	}
+	if c.MaxClusterDocs == 0 {
+		c.MaxClusterDocs = 4000
+	}
+	return c
+}
+
+// Results carries every artifact of a pipeline run; the report renderers
+// and benchmarks read from here.
+type Results struct {
+	Config     Config
+	Population *workload.Population
+
+	// Identification & usage analysis.
+	Aggregate *pdns.Aggregate
+	Frequency analysis.FrequencyStats
+	Lifespan  analysis.LifespanStats
+
+	// Active probing.
+	ProbeResults []probe.Result
+	ProbeStats   probe.Stats
+
+	// Content analysis.
+	SecretsCensus  secrets.Census
+	TypeCounts     map[content.Type]int
+	ClustersByType map[content.Type]int
+	TotalClusters  int
+	ContentRich    int
+
+	// Abuse.
+	AbuseReport  *abuse.Report
+	Verdicts     map[string][]abuse.Verdict
+	ResaleGroups []abuse.Group
+	C2Detections []c2.Detection
+
+	// Defence gap.
+	TICoverage ti.Coverage
+
+	// Responsible disclosure packages, per affected provider (§5.5).
+	Disclosures []*disclosure.Report
+
+	Elapsed time.Duration
+}
+
+// Run executes the full pipeline.
+func Run(cfg Config) (*Results, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	res := &Results{Config: cfg}
+
+	// ---- Substrate: population, DNS, platform, edge servers. ----
+	pop := workload.Generate(workload.Config{Seed: cfg.Seed, Scale: cfg.Scale, CacheModel: cfg.CacheModel})
+	res.Population = pop
+	resolver := dnssim.NewResolver()
+
+	db := c2.DefaultDB()
+	platform := faas.NewPlatform()
+	workload.Deploy(pop, platform, db)
+	gw := faas.NewGateway(platform)
+	gw.Clock = workload.DeployWindowClock()
+	gw.UnreachableDelay = 10 * cfg.ProbeTimeout
+	servers, err := startServers(gw)
+	if err != nil {
+		return nil, err
+	}
+	defer servers.Close()
+
+	// ---- Stage 1: PDNS identification & aggregation (§3.2, §4). ----
+	w := workload.Window()
+	agg := pdns.NewAggregator(nil, w.Start, w.End)
+	if err := workload.EmitPDNS(pop, resolver, func(r *pdns.Record) error {
+		agg.Add(r)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("core: pdns: %w", err)
+	}
+	res.Aggregate = agg.Finish()
+	// Deletions take effect only now: the PDNS history above was recorded
+	// while the functions were alive, but the probing phase sees deleted
+	// Tencent functions as NXDOMAIN (§4.4).
+	workload.MarkDeleted(pop, resolver)
+	perFn := res.Aggregate.PerFunctionStats()
+	res.Frequency = analysis.Frequency(perFn)
+	res.Lifespan = analysis.Lifespan(perFn, w)
+
+	// ---- Stage 2: active probing (§3.3). ----
+	httpOnly := map[string]bool{}
+	for _, f := range pop.Functions {
+		if f.HTTPOnly {
+			httpOnly[f.FQDN] = true
+		}
+	}
+	prober := probe.New(probe.Config{
+		Timeout:     cfg.ProbeTimeout,
+		Concurrency: cfg.ProbeConcurrency,
+		Resolve: func(fqdn string) error {
+			rng := rand.New(rand.NewSource(int64(hashFQDN(fqdn))))
+			_, err := resolver.Resolve(fqdn, rng)
+			return err
+		},
+		DialContext: simDialer(servers, httpOnly),
+	})
+	targets := pop.ProbeTargets()
+	res.ProbeResults = prober.ProbeAll(context.Background(), targets)
+	res.ProbeStats = prober.Stats()
+
+	// ---- Stage 3: sanitisation (§3.4, Appendix A). ----
+	anonRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5a17))
+	anon := secrets.NewAnonymizer(anonRng)
+	docs := make([]abuse.Document, 0, len(res.ProbeResults))
+	res.TypeCounts = map[content.Type]int{}
+	byFQDN := fqdnIndex(pop)
+	var contentDocs []string
+	var contentTypes []content.Type
+	for i := range res.ProbeResults {
+		r := &res.ProbeResults[i]
+		if !r.Reachable {
+			continue
+		}
+		body := string(r.Body)
+		if r.Status == 200 && len(body) > 0 {
+			clean, findings := anon.Sanitize(body)
+			res.SecretsCensus.Add(findings)
+			body = clean
+			res.ContentRich++
+			ct := content.DetectType([]byte(body), r.ContentType)
+			res.TypeCounts[ct]++
+			contentDocs = append(contentDocs, body)
+			contentTypes = append(contentTypes, ct)
+		}
+		f := byFQDN[r.FQDN]
+		doc := abuse.Document{
+			FQDN:        r.FQDN,
+			Status:      r.Status,
+			ContentType: r.ContentType,
+			Body:        body,
+			Location:    r.Location,
+		}
+		if f != nil {
+			doc.Provider = f.Provider.String()
+			doc.Region = f.Region
+			doc.ChinaRegion = providers.ChinaRegion(f.Region)
+		}
+		docs = append(docs, doc)
+	}
+
+	// ---- Stage 4: clustering (§3.4). ----
+	res.ClustersByType = clusterByType(contentDocs, contentTypes, cfg)
+	for _, n := range res.ClustersByType {
+		res.TotalClusters += n
+	}
+
+	// ---- Stage 5: abuse classification (§5). ----
+	res.Verdicts = map[string][]abuse.Verdict{}
+	for i := range docs {
+		if vs := abuse.Classify(&docs[i]); len(vs) > 0 {
+			res.Verdicts[docs[i].FQDN] = vs
+		}
+	}
+	if !cfg.SkipC2Scan {
+		c2Targets := targets
+		if !cfg.C2ScanAll {
+			c2Targets = c2Targets[:0:0]
+			for i := range res.ProbeResults {
+				r := &res.ProbeResults[i]
+				if r.Reachable || r.Failure == probe.FailConn {
+					c2Targets = append(c2Targets, r.FQDN)
+				}
+			}
+		}
+		res.C2Detections = scanC2(cfg, servers, db, c2Targets)
+		for _, d := range res.C2Detections {
+			if !hasCase(res.Verdicts[d.Host], abuse.CaseC2) {
+				res.Verdicts[d.Host] = append(res.Verdicts[d.Host],
+					abuse.Verdict{FQDN: d.Host, Case: abuse.CaseC2, Evidence: []string{d.Fingerprint}})
+			}
+		}
+	}
+	requests := map[string]int64{}
+	for fqdn, fs := range res.Aggregate.ByFQDN {
+		requests[fqdn] = fs.TotalRequest
+	}
+	res.AbuseReport = abuse.NewReport(res.Verdicts, requests, res.ContentRich)
+	var allVerdicts []abuse.Verdict
+	for _, vs := range res.Verdicts {
+		allVerdicts = append(allVerdicts, vs...)
+	}
+	res.ResaleGroups = abuse.GroupByContact(allVerdicts)
+
+	// ---- Stage 6: threat-intelligence coverage (§5.5). ----
+	oracle := ti.NewOracle()
+	seedTI(oracle, res.C2Detections)
+	abused := make([]string, 0, len(res.AbuseReport.Assigned))
+	for fqdn := range res.AbuseReport.Assigned {
+		abused = append(abused, fqdn)
+	}
+	res.TICoverage = oracle.Assess(abused)
+
+	// ---- Stage 7: responsible disclosure (§5.5, Appendix A). ----
+	res.Disclosures = disclosure.Build(res.AbuseReport, res.Verdicts, requests)
+	disclosure.SimulateVendorResponses(res.Disclosures, workload.DeployWindowClock()())
+
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// seedTI mirrors Finding 10: threat intelligence knows about (at most) four
+// of the C2 relays and nothing else.
+func seedTI(oracle *ti.Oracle, ds []c2.Detection) {
+	seen := map[string]struct{}{}
+	var hosts []string
+	for _, d := range ds {
+		if _, ok := seen[d.Host]; ok {
+			continue
+		}
+		seen[d.Host] = struct{}{}
+		hosts = append(hosts, d.Host)
+		if len(hosts) == 4 {
+			break
+		}
+	}
+	oracle.Seed(hosts, 2)
+}
+
+func hasCase(vs []abuse.Verdict, c abuse.Case) bool {
+	for _, v := range vs {
+		if v.Case == c {
+			return true
+		}
+	}
+	return false
+}
+
+func fqdnIndex(pop *workload.Population) map[string]*workload.Function {
+	out := make(map[string]*workload.Function, len(pop.Functions))
+	for _, f := range pop.Functions {
+		out[f.FQDN] = f
+	}
+	return out
+}
+
+// clusterByType clusters sanitised documents within each content type,
+// returning per-type cluster counts (paper: 4,512 clusters total).
+func clusterByType(docs []string, types []content.Type, cfg Config) map[content.Type]int {
+	grouped := map[content.Type][]string{}
+	for i, d := range docs {
+		grouped[types[i]] = append(grouped[types[i]], d)
+	}
+	out := map[content.Type]int{}
+	for t, ds := range grouped {
+		if cfg.MaxClusterDocs > 0 && len(ds) > cfg.MaxClusterDocs {
+			ds = ds[:cfg.MaxClusterDocs]
+		}
+		out[t] = len(content.ClusterDocs(ds, cfg.ClusterThreshold))
+	}
+	return out
+}
+
+// scanC2 sweeps every target with the fingerprint scanner through the plain
+// edge listener, bounded by cfg.C2Concurrency.
+func scanC2(cfg Config, servers *gatewayServers, db *c2.DB, targets []string) []c2.Detection {
+	scanner := c2.NewScanner(db)
+	scanner.Timeout = cfg.C2Timeout
+	scanner.Dial = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, network, servers.plainAddr)
+	}
+	var (
+		mu  sync.Mutex
+		out []c2.Detection
+		wg  sync.WaitGroup
+	)
+	sem := make(chan struct{}, cfg.C2Concurrency)
+	for _, host := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(host string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ds := scanner.ScanHost(context.Background(), host)
+			if len(ds) > 0 {
+				mu.Lock()
+				out = append(out, ds...)
+				mu.Unlock()
+			}
+		}(host)
+	}
+	wg.Wait()
+	return out
+}
+
+// simDialer routes the prober at the simulated edge: port 443 to the TLS
+// listener, everything else to the plain listener. HTTP-only functions
+// refuse TLS, and unknown ports refuse outright.
+func simDialer(servers *gatewayServers, httpOnly map[string]bool) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		host, port, err := net.SplitHostPort(addr)
+		if err != nil {
+			return nil, err
+		}
+		var d net.Dialer
+		switch port {
+		case "443":
+			if httpOnly[strings.ToLower(host)] {
+				return nil, fmt.Errorf("connection refused (no TLS listener for %s)", host)
+			}
+			return d.DialContext(ctx, network, servers.tlsAddr)
+		default:
+			return d.DialContext(ctx, network, servers.plainAddr)
+		}
+	}
+}
+
+func hashFQDN(fqdn string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(strings.ToLower(fqdn)))
+	return h.Sum64()
+}

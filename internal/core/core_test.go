@@ -1,0 +1,331 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/abuse"
+	"repro/internal/content"
+)
+
+// runOnce executes the pipeline once per test binary at a small scale and
+// shares the results across integration assertions.
+var shared *Results
+
+func sharedRun(t *testing.T) *Results {
+	t.Helper()
+	if shared != nil {
+		return shared
+	}
+	res, err := Run(Config{
+		Seed:         1,
+		Scale:        0.004,
+		ProbeTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	shared = res
+	return res
+}
+
+func TestPipelineIdentification(t *testing.T) {
+	r := sharedRun(t)
+	if r.Aggregate.TotalDomains() != len(r.Population.Functions) {
+		t.Errorf("identified %d domains, population %d", r.Aggregate.TotalDomains(), len(r.Population.Functions))
+	}
+	if r.Aggregate.TotalRequests() == 0 {
+		t.Error("no requests aggregated")
+	}
+}
+
+func TestPipelineProbing(t *testing.T) {
+	r := sharedRun(t)
+	if r.ProbeStats.Probed != len(r.Population.ProbeTargets()) {
+		t.Errorf("probed %d, targets %d", r.ProbeStats.Probed, len(r.Population.ProbeTargets()))
+	}
+	if r.ProbeStats.Reachable == 0 {
+		t.Fatal("nothing reachable")
+	}
+	unreachFrac := float64(r.ProbeStats.Unreachable) / float64(r.ProbeStats.Probed)
+	if unreachFrac < 0.001 || unreachFrac > 0.08 {
+		t.Errorf("unreachable fraction = %.4f, want ≈ 2%%", unreachFrac)
+	}
+	if r.ProbeStats.DNSFailures == 0 {
+		t.Error("no DNS failures; deleted Tencent functions should fail resolution")
+	}
+	// 404 dominates and 200s are rare (Fig. 6).
+	var notFound, ok200, reachable int
+	for i := range r.ProbeResults {
+		pr := &r.ProbeResults[i]
+		if !pr.Reachable {
+			continue
+		}
+		reachable++
+		switch pr.Status {
+		case 404:
+			notFound++
+		case 200:
+			ok200++
+		}
+	}
+	nfFrac := float64(notFound) / float64(reachable)
+	if nfFrac < 0.75 || nfFrac > 0.95 {
+		t.Errorf("404 fraction = %.3f, want ≈ 0.89", nfFrac)
+	}
+	okFrac := float64(ok200) / float64(reachable)
+	if okFrac < 0.02 || okFrac > 0.12 {
+		t.Errorf("200 fraction = %.3f, want small (≈0.03 plus abuse cohort)", okFrac)
+	}
+}
+
+func TestPipelineContentAnalysis(t *testing.T) {
+	r := sharedRun(t)
+	if r.ContentRich == 0 {
+		t.Fatal("no content-rich responses")
+	}
+	if r.TotalClusters == 0 || r.TotalClusters > r.ContentRich {
+		t.Errorf("clusters = %d over %d docs", r.TotalClusters, r.ContentRich)
+	}
+	// All four content classes observed.
+	for _, ct := range []content.Type{content.JSON, content.HTML, content.Plaintext} {
+		if r.TypeCounts[ct] == 0 {
+			t.Errorf("no %v responses", ct)
+		}
+	}
+	if r.SecretsCensus.Total() == 0 {
+		t.Error("no sensitive findings; census should be non-empty")
+	}
+}
+
+func TestPipelineAbuseDetection(t *testing.T) {
+	r := sharedRun(t)
+	rep := r.AbuseReport
+	if rep.TotalFunctions() == 0 {
+		t.Fatal("no abuse detected")
+	}
+	// Every case detected at this scale except possibly the single-digit
+	// cohorts; require the big four.
+	for _, c := range []abuse.Case{abuse.CaseGambling, abuse.CaseOpenAIResale, abuse.CaseGeoProxy, abuse.CaseC2} {
+		if rep.ByCase[c].Functions == 0 {
+			t.Errorf("case %v not detected", c)
+		}
+	}
+	// Recall/precision against ground truth.
+	truth := map[string]abuse.Case{}
+	for _, f := range r.Population.Functions {
+		if c, ok := f.Profile.AbuseCase(); ok {
+			truth[f.FQDN] = c
+		}
+	}
+	var tp, fp int
+	for fqdn := range rep.Assigned {
+		if _, ok := truth[fqdn]; ok {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	if fp > tp/10 {
+		t.Errorf("false positives %d vs true positives %d", fp, tp)
+	}
+	recall := float64(tp) / float64(len(truth))
+	if recall < 0.85 {
+		t.Errorf("recall = %.3f (tp %d of %d)", recall, tp, len(truth))
+	}
+}
+
+func TestPipelineC2AndTI(t *testing.T) {
+	r := sharedRun(t)
+	if len(r.C2Detections) == 0 {
+		t.Fatal("no C2 detections")
+	}
+	truthC2 := map[string]bool{}
+	for _, f := range r.Population.Functions {
+		if f.C2Family != "" {
+			truthC2[f.FQDN] = true
+		}
+	}
+	for _, d := range r.C2Detections {
+		if !truthC2[d.Host] {
+			t.Errorf("false C2 detection on %s (%s)", d.Host, d.Family)
+		}
+	}
+	// Finding 10: TI coverage is tiny and only C2 hosts are flagged.
+	if r.TICoverage.Flagged > 4 {
+		t.Errorf("TI flagged %d functions, want <= 4", r.TICoverage.Flagged)
+	}
+	if r.TICoverage.Total != r.AbuseReport.TotalFunctions() {
+		t.Errorf("TI assessed %d, abused %d", r.TICoverage.Total, r.AbuseReport.TotalFunctions())
+	}
+	if r.TICoverage.Flagged == 0 {
+		t.Error("TI flagged nothing; expected the seeded C2 subset")
+	}
+}
+
+func TestPipelineResaleGroups(t *testing.T) {
+	r := sharedRun(t)
+	if len(r.ResaleGroups) == 0 {
+		t.Fatal("no resale groups recovered")
+	}
+	if r.ResaleGroups[0].Contact != "wechat:gptkey_major" {
+		t.Errorf("largest group = %q, want the dominant WeChat handle", r.ResaleGroups[0].Contact)
+	}
+}
+
+func TestPipelineLifespanShape(t *testing.T) {
+	r := sharedRun(t)
+	if r.Lifespan.FracSingleDay < 0.7 || r.Lifespan.FracSingleDay > 0.9 {
+		t.Errorf("single-day fraction = %.3f, want ≈ 0.81", r.Lifespan.FracSingleDay)
+	}
+	if r.Frequency.FracUnder5 < 0.7 || r.Frequency.FracUnder5 > 0.86 {
+		t.Errorf("under-5 fraction = %.3f, want ≈ 0.78", r.Frequency.FracUnder5)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	r := sharedRun(t)
+	for name, out := range map[string]string{
+		"table1":  RenderTable1(),
+		"table2":  r.RenderTable2(),
+		"table3":  r.RenderTable3(),
+		"fig3":    r.RenderFigure3(),
+		"fig4":    r.RenderFigure4(),
+		"fig5":    r.RenderFigure5(),
+		"fig6":    r.RenderFigure6(),
+		"fig7":    r.RenderFigure7(),
+		"summary": r.RenderSummary(),
+	} {
+		if len(out) < 50 {
+			t.Errorf("%s output suspiciously short:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(RenderTable1(), "scf.tencentcs.com") {
+		t.Error("table1 missing provider rows")
+	}
+	if !strings.Contains(r.RenderTable3(), "Gambling") {
+		t.Error("table3 missing case rows")
+	}
+	if !strings.Contains(r.RenderFigure3(), "2022-04") {
+		t.Error("figure3 missing month labels")
+	}
+}
+
+func TestRenderExperiments(t *testing.T) {
+	r := sharedRun(t)
+	out := r.RenderExperiments()
+	for _, want := range []string{
+		"Table 2", "Table 3", "Figure 5", "Figure 7",
+		"single-day lifespan", "81.30%", "rtype mix", "shape holds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiments output missing %q", want)
+		}
+	}
+	// The run must not fail the headline shape checks. Count the hard
+	// failures; a couple of small-sample misses are tolerable at tiny
+	// scale, wholesale failure is not.
+	fails := strings.Count(out, "**NO**")
+	rows := strings.Count(out, "| yes |") + fails
+	if rows == 0 {
+		t.Fatal("no comparison rows rendered")
+	}
+	if fails > rows/4 {
+		t.Errorf("%d of %d comparisons failed at small scale:\n%s", fails, rows, out)
+	}
+}
+
+func TestPipelineDisclosures(t *testing.T) {
+	r := sharedRun(t)
+	if len(r.Disclosures) == 0 {
+		t.Fatal("no disclosure packages built")
+	}
+	total := 0
+	for _, d := range r.Disclosures {
+		total += len(d.Items)
+	}
+	if total != r.AbuseReport.TotalFunctions() {
+		t.Errorf("disclosed %d functions, abused %d", total, r.AbuseReport.TotalFunctions())
+	}
+	out := r.RenderDisclosures()
+	if !strings.Contains(out, "reported") && !strings.Contains(out, "acknowledged") {
+		t.Errorf("disclosure summary lacks statuses:\n%s", out)
+	}
+}
+
+// TestPipelineCacheModel checks that routing PDNS counts through the
+// resolver-cache model yields strictly conservative totals.
+func TestPipelineCacheModel(t *testing.T) {
+	base, err := Run(Config{
+		Seed: 5, Scale: 0.001, SkipC2Scan: true,
+		ProbeTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Run(Config{
+		Seed: 5, Scale: 0.001, SkipC2Scan: true, CacheModel: true,
+		ProbeTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Aggregate.TotalRequests() >= base.Aggregate.TotalRequests() {
+		t.Errorf("cache model did not reduce observed requests: %d >= %d",
+			cached.Aggregate.TotalRequests(), base.Aggregate.TotalRequests())
+	}
+	if cached.Aggregate.TotalDomains() != base.Aggregate.TotalDomains() {
+		t.Errorf("cache model changed domain counts: %d vs %d",
+			cached.Aggregate.TotalDomains(), base.Aggregate.TotalDomains())
+	}
+}
+
+// TestPipelineClusterThreshold checks the threshold knob: a looser cut can
+// only produce fewer clusters.
+func TestPipelineClusterThreshold(t *testing.T) {
+	tight, err := Run(Config{
+		Seed: 6, Scale: 0.001, SkipC2Scan: true,
+		ProbeTimeout: 300 * time.Millisecond, ClusterThreshold: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Run(Config{
+		Seed: 6, Scale: 0.001, SkipC2Scan: true,
+		ProbeTimeout: 300 * time.Millisecond, ClusterThreshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.TotalClusters > tight.TotalClusters {
+		t.Errorf("looser threshold produced more clusters: %d > %d",
+			loose.TotalClusters, tight.TotalClusters)
+	}
+	if tight.ContentRich != loose.ContentRich {
+		t.Errorf("threshold changed the corpus: %d vs %d", tight.ContentRich, loose.ContentRich)
+	}
+}
+
+// TestPipelineDeterminism checks that two runs with the same seed agree on
+// every headline number.
+func TestPipelineDeterminism(t *testing.T) {
+	run := func() *Results {
+		r, err := Run(Config{
+			Seed: 9, Scale: 0.001, SkipC2Scan: true,
+			ProbeTimeout: 300 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Aggregate.TotalDomains() != b.Aggregate.TotalDomains() ||
+		a.Aggregate.TotalRequests() != b.Aggregate.TotalRequests() ||
+		a.AbuseReport.TotalFunctions() != b.AbuseReport.TotalFunctions() ||
+		a.SecretsCensus.Total() != b.SecretsCensus.Total() ||
+		a.TotalClusters != b.TotalClusters {
+		t.Errorf("runs diverged:\n%s\n%s", a.RenderSummary(), b.RenderSummary())
+	}
+}

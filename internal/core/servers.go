@@ -1,0 +1,93 @@
+package core
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// gatewayServers exposes the simulated cloud edge over real sockets: one
+// plain-HTTP listener (port-80 semantics) and one TLS listener (port-443
+// semantics), both serving the faas gateway. The active prober and the C2
+// scanner dial these exactly as they would dial provider ingress.
+type gatewayServers struct {
+	plainAddr string
+	tlsAddr   string
+
+	plainLn net.Listener
+	tlsLn   net.Listener
+	srv     *http.Server
+	wg      sync.WaitGroup
+}
+
+// startServers launches both listeners on loopback.
+func startServers(handler http.Handler) (*gatewayServers, error) {
+	plainLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: plain listener: %w", err)
+	}
+	rawTLS, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		plainLn.Close()
+		return nil, fmt.Errorf("core: tls listener: %w", err)
+	}
+	cert, err := selfSignedCert()
+	if err != nil {
+		plainLn.Close()
+		rawTLS.Close()
+		return nil, err
+	}
+	tlsLn := tls.NewListener(rawTLS, &tls.Config{Certificates: []tls.Certificate{cert}})
+
+	g := &gatewayServers{
+		plainAddr: plainLn.Addr().String(),
+		tlsAddr:   rawTLS.Addr().String(),
+		plainLn:   plainLn,
+		tlsLn:     tlsLn,
+		srv:       &http.Server{Handler: handler},
+	}
+	g.wg.Add(2)
+	go func() { defer g.wg.Done(); g.srv.Serve(plainLn) }()
+	go func() { defer g.wg.Done(); g.srv.Serve(tlsLn) }()
+	return g, nil
+}
+
+// Close shuts both listeners down.
+func (g *gatewayServers) Close() {
+	g.srv.Close()
+	g.wg.Wait()
+}
+
+// selfSignedCert mints an ephemeral ECDSA certificate for the simulated
+// edge. Probers connect with verification disabled, as they would against
+// mis-deployed endpoints in a measurement campaign.
+func selfSignedCert() (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("core: key: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "simulated-cloud-edge"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		DNSNames:     []string{"*"},
+		IsCA:         true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("core: cert: %w", err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}, nil
+}

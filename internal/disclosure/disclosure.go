@@ -1,0 +1,155 @@
+// Package disclosure assembles the responsible-disclosure packages of paper
+// §5.5 / Appendix A: every confirmed abuse case is reported to the affected
+// provider with the evidence an abuse desk needs, and the vendor's response
+// is tracked. The paper reported all identified abuses and received
+// supportive responses from Tencent and AWS.
+package disclosure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/abuse"
+	"repro/internal/providers"
+)
+
+// Item is one abused function reported to its provider.
+type Item struct {
+	FQDN     string
+	Case     abuse.Case
+	Evidence []string
+	Requests int64
+}
+
+// Status tracks a provider's handling of a report.
+type Status int
+
+const (
+	Draft Status = iota
+	Reported
+	Acknowledged
+	Remediated
+)
+
+func (s Status) String() string {
+	switch s {
+	case Draft:
+		return "draft"
+	case Reported:
+		return "reported"
+	case Acknowledged:
+		return "acknowledged"
+	case Remediated:
+		return "remediated"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Report is the disclosure package for one provider.
+type Report struct {
+	Provider providers.ID
+	Items    []Item
+	Status   Status
+	// History records status transitions with timestamps and notes.
+	History []Transition
+}
+
+// Transition is one status change.
+type Transition struct {
+	At     time.Time
+	Status Status
+	Note   string
+}
+
+// Advance moves the report forward; regressions are rejected.
+func (r *Report) Advance(to Status, at time.Time, note string) error {
+	if to <= r.Status {
+		return fmt.Errorf("disclosure: cannot move %s report back to %s", r.Status, to)
+	}
+	r.Status = to
+	r.History = append(r.History, Transition{At: at, Status: to, Note: note})
+	return nil
+}
+
+// Build groups an abuse report into per-provider disclosure packages.
+// verdicts supplies evidence; requests supplies per-function PDNS volume.
+func Build(rep *abuse.Report, verdicts map[string][]abuse.Verdict, requests map[string]int64) []*Report {
+	m := providers.NewMatcher(nil)
+	byProvider := map[providers.ID]*Report{}
+	fqdns := make([]string, 0, len(rep.Assigned))
+	for f := range rep.Assigned {
+		fqdns = append(fqdns, f)
+	}
+	sort.Strings(fqdns)
+	for _, fqdn := range fqdns {
+		in, ok := m.Identify(fqdn)
+		if !ok {
+			continue
+		}
+		r := byProvider[in.ID]
+		if r == nil {
+			r = &Report{Provider: in.ID}
+			byProvider[in.ID] = r
+		}
+		item := Item{FQDN: fqdn, Case: rep.Assigned[fqdn], Requests: requests[fqdn]}
+		if v, ok := abuse.Primary(verdicts[fqdn]); ok {
+			item.Evidence = v.Evidence
+		}
+		r.Items = append(r.Items, item)
+	}
+	out := make([]*Report, 0, len(byProvider))
+	for _, r := range byProvider {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return len(out[i].Items) > len(out[j].Items) })
+	return out
+}
+
+// Render formats a report as the text sent to the provider's abuse desk.
+func Render(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "To: %s abuse desk\n", r.Provider)
+	fmt.Fprintf(&b, "Subject: %d serverless functions violating the terms of service\n\n", len(r.Items))
+	b.WriteString("During an academic measurement study of serverless cloud functions we\n")
+	b.WriteString("identified functions on your platform supporting malicious, illegal, or\n")
+	b.WriteString("policy-violating activity. Details follow; we are happy to assist with\n")
+	b.WriteString("review and remediation.\n\n")
+	byCase := map[abuse.Case][]Item{}
+	for _, it := range r.Items {
+		byCase[it.Case] = append(byCase[it.Case], it)
+	}
+	for c := abuse.Case(0); int(c) < abuse.NumCases; c++ {
+		items := byCase[c]
+		if len(items) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s (%d functions):\n", c, len(items))
+		for _, it := range items {
+			fmt.Fprintf(&b, "  %s  (%d observed invocations", it.FQDN, it.Requests)
+			if len(it.Evidence) > 0 {
+				fmt.Fprintf(&b, "; indicators: %s", strings.Join(it.Evidence, ", "))
+			}
+			b.WriteString(")\n")
+		}
+	}
+	fmt.Fprintf(&b, "\nStatus: %s\n", r.Status)
+	return b.String()
+}
+
+// SimulateVendorResponses applies the outcomes the paper reports: Tencent
+// and AWS acknowledged (AWS noting the content is user-managed but offering
+// to assist); other providers did not respond within the study.
+func SimulateVendorResponses(reports []*Report, at time.Time) {
+	for _, r := range reports {
+		r.Advance(Reported, at, "initial disclosure sent")
+		switch r.Provider {
+		case providers.Tencent:
+			r.Advance(Acknowledged, at.Add(72*time.Hour), "supportive response; functions under review")
+		case providers.AWS:
+			r.Advance(Acknowledged, at.Add(96*time.Hour), "content is user-managed; willing to assist in review and remediation")
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package disclosure
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/abuse"
+	"repro/internal/providers"
+)
+
+var t0 = time.Date(2024, time.May, 1, 9, 0, 0, 0, time.UTC)
+
+func buildFixture(t *testing.T) []*Report {
+	t.Helper()
+	verdicts := map[string][]abuse.Verdict{
+		"slots-x7gk29slq1-uc.a.run.app": {{
+			FQDN: "slots-x7gk29slq1-uc.a.run.app", Case: abuse.CaseGambling,
+			Evidence: []string{"slot", "betting", "google-site-verification"},
+		}},
+		"keys-shop-abcdefghij.cn-shanghai.fcapp.run": {{
+			FQDN: "keys-shop-abcdefghij.cn-shanghai.fcapp.run", Case: abuse.CaseOpenAIResale,
+			Contacts: []string{"wechat:x"}, Evidence: []string{"resale-mention"},
+		}},
+		"1234567890-abcdefghij-ap-guangzhou.scf.tencentcs.com": {{
+			FQDN: "1234567890-abcdefghij-ap-guangzhou.scf.tencentcs.com", Case: abuse.CaseC2,
+			Evidence: []string{"cs-like-1"},
+		}},
+	}
+	requests := map[string]int64{
+		"slots-x7gk29slq1-uc.a.run.app":                        129,
+		"keys-shop-abcdefghij.cn-shanghai.fcapp.run":           437,
+		"1234567890-abcdefghij-ap-guangzhou.scf.tencentcs.com": 17081,
+	}
+	rep := abuse.NewReport(verdicts, requests, 1000)
+	return Build(rep, verdicts, requests)
+}
+
+func TestBuildGroupsByProvider(t *testing.T) {
+	reports := buildFixture(t)
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d, want 3 providers", len(reports))
+	}
+	seen := map[providers.ID]int{}
+	for _, r := range reports {
+		seen[r.Provider] = len(r.Items)
+		if r.Status != Draft {
+			t.Errorf("%v: fresh report status = %v", r.Provider, r.Status)
+		}
+	}
+	if seen[providers.Tencent] != 1 || seen[providers.Aliyun] != 1 || seen[providers.Google2] != 1 {
+		t.Errorf("grouping = %v", seen)
+	}
+}
+
+func TestRenderReport(t *testing.T) {
+	reports := buildFixture(t)
+	var tencent *Report
+	for _, r := range reports {
+		if r.Provider == providers.Tencent {
+			tencent = r
+		}
+	}
+	out := Render(tencent)
+	for _, want := range []string{
+		"Tencent abuse desk", "Hide C2 server", "17081 observed invocations",
+		"cs-like-1", "Status: draft",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatusTransitions(t *testing.T) {
+	r := &Report{Provider: providers.AWS}
+	if err := r.Advance(Reported, t0, "sent"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Advance(Acknowledged, t0.Add(time.Hour), "ack"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Advance(Reported, t0.Add(2*time.Hour), "regress"); err == nil {
+		t.Error("status regression accepted")
+	}
+	if len(r.History) != 2 {
+		t.Errorf("history = %v", r.History)
+	}
+	if r.History[1].Status != Acknowledged {
+		t.Errorf("history order wrong: %v", r.History)
+	}
+}
+
+func TestSimulateVendorResponses(t *testing.T) {
+	reports := buildFixture(t)
+	SimulateVendorResponses(reports, t0)
+	statuses := map[providers.ID]Status{}
+	for _, r := range reports {
+		statuses[r.Provider] = r.Status
+	}
+	if statuses[providers.Tencent] != Acknowledged {
+		t.Errorf("Tencent status = %v, want acknowledged (§5.5)", statuses[providers.Tencent])
+	}
+	if statuses[providers.Google2] != Reported {
+		t.Errorf("Google2 status = %v, want reported (no response)", statuses[providers.Google2])
+	}
+}

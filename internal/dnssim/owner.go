@@ -1,0 +1,42 @@
+package dnssim
+
+import (
+	"strings"
+)
+
+// ClassifyRData attributes a resolution result to its operator, the reverse
+// of the synthesis in this package: provider-owned addresses and aliases
+// map to OwnerProvider, telecom-operator VIPs and Cloudflare fronts to
+// their third parties. The usage analysis applies this to measure the
+// third-party dependence of Finding 3 from PDNS data alone.
+func ClassifyRData(rdata string) Owner {
+	r := strings.ToLower(strings.TrimSuffix(rdata, "."))
+	// CNAME targets carry the dependency in their suffix.
+	switch {
+	case strings.HasSuffix(r, ".cloudflare.net"):
+		return OwnerCloudflare
+	case strings.HasSuffix(r, ".bcelb.com"):
+		// Baidu load-balancer aliases embed the operator label.
+		switch {
+		case strings.Contains(r, ".ct."):
+			return OwnerChinaTelecom
+		case strings.Contains(r, ".cu."):
+			return OwnerChinaUnicom
+		case strings.Contains(r, ".cm."):
+			return OwnerChinaMobile
+		}
+		return OwnerChinaTelecom
+	}
+	// IPv4 prefixes of the synthetic operator ranges.
+	switch {
+	case strings.HasPrefix(r, "101.33."):
+		return OwnerChinaTelecom
+	case strings.HasPrefix(r, "112.65."):
+		return OwnerChinaUnicom
+	case strings.HasPrefix(r, "120.197."):
+		return OwnerChinaMobile
+	case strings.HasPrefix(r, "104.16."), strings.HasPrefix(r, "2606:4700:"):
+		return OwnerCloudflare
+	}
+	return OwnerProvider
+}

@@ -1,0 +1,317 @@
+// Package events simulates the non-HTTP invocation paths of paper §2.2:
+// cloud-storage events, message queues (the paper cites AWS SQS and Google
+// Pub/Sub), and scheduled tasks. Event-triggered functions expose no HTTP
+// endpoint and therefore cannot be observed by the paper's methodology —
+// this package exists so the substrate is complete and so that boundary is
+// encoded in tests rather than assumed.
+//
+// All components run on an explicit simulated clock, like the faas platform.
+package events
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/faas"
+)
+
+// Event is the payload delivered to a triggered function.
+type Event struct {
+	Source string          `json:"source"` // "storage", "queue", "schedule"
+	Type   string          `json:"type"`   // e.g. "ObjectCreated"
+	Time   time.Time       `json:"time"`
+	Detail json.RawMessage `json:"detail"`
+}
+
+// Target names a function bound to a trigger. Event-triggered functions are
+// addressed by an internal name, not a function URL.
+type Target struct {
+	Platform *faas.Platform
+	Name     string // platform key, e.g. "internal://img-resize"
+}
+
+// invoke delivers one event to the target as a POST with a JSON body, the
+// provider-normalised shape functions receive.
+func (t Target) invoke(ev Event) (faas.Response, error) {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return faas.Response{}, err
+	}
+	resp, _, err := t.Platform.Invoke(t.Name, faas.Request{
+		Method:  "POST",
+		Path:    "/_event",
+		Headers: map[string]string{"Content-Type": "application/json"},
+		Body:    body,
+		Time:    ev.Time,
+	})
+	return resp, err
+}
+
+// ---- Cloud storage trigger ----
+
+// Storage is an object store whose mutations trigger bound functions
+// (paper: "file uploads to cloud storage").
+type Storage struct {
+	mu       sync.Mutex
+	objects  map[string][]byte
+	onCreate []Target
+	onDelete []Target
+	// Deliveries counts trigger invocations, successful or not.
+	deliveries int64
+}
+
+// NewStorage returns an empty bucket.
+func NewStorage() *Storage {
+	return &Storage{objects: make(map[string][]byte)}
+}
+
+// OnObjectCreated binds a function to object-creation events.
+func (s *Storage) OnObjectCreated(t Target) {
+	s.mu.Lock()
+	s.onCreate = append(s.onCreate, t)
+	s.mu.Unlock()
+}
+
+// OnObjectDeleted binds a function to object-deletion events.
+func (s *Storage) OnObjectDeleted(t Target) {
+	s.mu.Lock()
+	s.onDelete = append(s.onDelete, t)
+	s.mu.Unlock()
+}
+
+// Put stores an object at the simulated time and fires creation triggers.
+func (s *Storage) Put(key string, data []byte, now time.Time) error {
+	s.mu.Lock()
+	s.objects[key] = append([]byte(nil), data...)
+	targets := append([]Target(nil), s.onCreate...)
+	s.mu.Unlock()
+	return s.fire(targets, "ObjectCreated", key, len(data), now)
+}
+
+// Delete removes an object and fires deletion triggers. Deleting a missing
+// key is a no-op that fires nothing, matching real stores.
+func (s *Storage) Delete(key string, now time.Time) error {
+	s.mu.Lock()
+	_, existed := s.objects[key]
+	delete(s.objects, key)
+	targets := append([]Target(nil), s.onDelete...)
+	s.mu.Unlock()
+	if !existed {
+		return nil
+	}
+	return s.fire(targets, "ObjectDeleted", key, 0, now)
+}
+
+// Get fetches an object.
+func (s *Storage) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.objects[key]
+	return b, ok
+}
+
+// Deliveries reports how many trigger invocations fired.
+func (s *Storage) Deliveries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deliveries
+}
+
+func (s *Storage) fire(targets []Target, typ, key string, size int, now time.Time) error {
+	detail, _ := json.Marshal(map[string]interface{}{"key": key, "size": size})
+	var firstErr error
+	for _, t := range targets {
+		s.mu.Lock()
+		s.deliveries++
+		s.mu.Unlock()
+		ev := Event{Source: "storage", Type: typ, Time: now, Detail: detail}
+		if _, err := t.invoke(ev); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("events: storage trigger %s: %w", t.Name, err)
+		}
+	}
+	return firstErr
+}
+
+// ---- Message queue trigger ----
+
+// Queue is a message queue with at-least-once delivery to one bound
+// function, retries, and a dead-letter queue — the SQS/Pub-Sub shape.
+type Queue struct {
+	// MaxReceive bounds delivery attempts before a message moves to the
+	// dead-letter queue; default 3.
+	MaxReceive int
+
+	mu       sync.Mutex
+	pending  []message
+	dead     []message
+	consumer *Target
+	stats    QueueStats
+}
+
+type message struct {
+	body     []byte
+	attempts int
+}
+
+// QueueStats counts queue activity.
+type QueueStats struct {
+	Sent       int64
+	Delivered  int64
+	Retried    int64
+	DeadLetter int64
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{MaxReceive: 3} }
+
+// Subscribe binds the consuming function; only one consumer is supported,
+// like a Lambda event-source mapping.
+func (q *Queue) Subscribe(t Target) {
+	q.mu.Lock()
+	q.consumer = &t
+	q.mu.Unlock()
+}
+
+// Send enqueues a message.
+func (q *Queue) Send(body []byte) {
+	q.mu.Lock()
+	q.pending = append(q.pending, message{body: append([]byte(nil), body...)})
+	q.stats.Sent++
+	q.mu.Unlock()
+}
+
+// Poll delivers up to batch pending messages at the simulated time. A
+// message whose invocation fails or returns 5xx is retried on the next
+// Poll, up to MaxReceive attempts, then dead-lettered. It returns the
+// number of successful deliveries.
+func (q *Queue) Poll(batch int, now time.Time) int {
+	q.mu.Lock()
+	consumer := q.consumer
+	n := batch
+	if n > len(q.pending) {
+		n = len(q.pending)
+	}
+	msgs := q.pending[:n]
+	q.pending = q.pending[n:]
+	q.mu.Unlock()
+	if consumer == nil || n == 0 {
+		// Without a consumer the messages stay pending.
+		if consumer == nil && n > 0 {
+			q.mu.Lock()
+			q.pending = append(msgs, q.pending...)
+			q.mu.Unlock()
+		}
+		return 0
+	}
+
+	delivered := 0
+	for _, m := range msgs {
+		m.attempts++
+		ev := Event{Source: "queue", Type: "Message", Time: now, Detail: json.RawMessage(mustJSON(string(m.body)))}
+		resp, err := consumer.invoke(ev)
+		q.mu.Lock()
+		switch {
+		case err == nil && resp.Status < 500:
+			q.stats.Delivered++
+			delivered++
+		case m.attempts >= q.MaxReceive:
+			q.stats.DeadLetter++
+			q.dead = append(q.dead, m)
+		default:
+			q.stats.Retried++
+			q.pending = append(q.pending, m)
+		}
+		q.mu.Unlock()
+	}
+	return delivered
+}
+
+// Stats returns a snapshot.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// DeadLetters returns the bodies of dead-lettered messages.
+func (q *Queue) DeadLetters() [][]byte {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([][]byte, len(q.dead))
+	for i, m := range q.dead {
+		out[i] = m.body
+	}
+	return out
+}
+
+// Pending returns the number of undelivered messages.
+func (q *Queue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+func mustJSON(s string) []byte {
+	b, _ := json.Marshal(s)
+	return b
+}
+
+// ---- Scheduled tasks ----
+
+// Scheduler fires bound functions on fixed intervals of simulated time
+// (paper: "scheduled tasks").
+type Scheduler struct {
+	mu    sync.Mutex
+	tasks []*task
+}
+
+type task struct {
+	target   Target
+	interval time.Duration
+	next     time.Time
+	fired    int64
+}
+
+// NewScheduler returns an empty scheduler.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Every schedules target at the interval, first firing at start+interval.
+func (s *Scheduler) Every(interval time.Duration, start time.Time, target Target) error {
+	if interval <= 0 {
+		return fmt.Errorf("events: non-positive interval %v", interval)
+	}
+	s.mu.Lock()
+	s.tasks = append(s.tasks, &task{target: target, interval: interval, next: start.Add(interval)})
+	s.mu.Unlock()
+	return nil
+}
+
+// AdvanceTo fires every due task up to and including now, in chronological
+// order, and returns the number of invocations made.
+func (s *Scheduler) AdvanceTo(now time.Time) int {
+	fired := 0
+	for {
+		s.mu.Lock()
+		var due *task
+		for _, t := range s.tasks {
+			if !t.next.After(now) && (due == nil || t.next.Before(due.next)) {
+				due = t
+			}
+		}
+		if due == nil {
+			s.mu.Unlock()
+			return fired
+		}
+		at := due.next
+		due.next = due.next.Add(due.interval)
+		due.fired++
+		target := due.target
+		s.mu.Unlock()
+
+		detail, _ := json.Marshal(map[string]string{"scheduled": at.UTC().Format(time.RFC3339)})
+		target.invoke(Event{Source: "schedule", Type: "Tick", Time: at, Detail: detail})
+		fired++
+	}
+}

@@ -1,0 +1,231 @@
+package events
+
+import (
+	"encoding/json"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/providers"
+)
+
+var t0 = time.Date(2023, time.March, 10, 9, 0, 0, 0, time.UTC)
+
+// deployCounter deploys a function that records the events it receives.
+func deployCounter(name string, fail *int32) (*faas.Platform, Target, *[]Event) {
+	p := faas.NewPlatform()
+	var seen []Event
+	p.Deploy(name, providers.AWS, "us-east-1", faas.Config{}, func(ctx *faas.InvokeContext) faas.Response {
+		if fail != nil && atomic.LoadInt32(fail) > 0 {
+			atomic.AddInt32(fail, -1)
+			return faas.Response{Status: 502, Body: []byte("boom")}
+		}
+		var ev Event
+		json.Unmarshal(ctx.Request.Body, &ev)
+		seen = append(seen, ev)
+		return faas.Response{Status: 200, Body: []byte("ok")}
+	}, t0)
+	return p, Target{Platform: p, Name: name}, &seen
+}
+
+func TestStorageTriggers(t *testing.T) {
+	_, target, seen := deployCounter("internal://thumbnailer", nil)
+	s := NewStorage()
+	s.OnObjectCreated(target)
+	s.OnObjectDeleted(target)
+
+	if err := s.Put("photos/cat.jpg", []byte("JPEGDATA"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := s.Get("photos/cat.jpg"); !ok || string(b) != "JPEGDATA" {
+		t.Fatal("object not stored")
+	}
+	if err := s.Delete("photos/cat.jpg", t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting a missing key fires nothing.
+	s.Delete("photos/none.jpg", t0.Add(2*time.Minute))
+
+	if len(*seen) != 2 {
+		t.Fatalf("events = %d, want 2 (create + delete)", len(*seen))
+	}
+	if (*seen)[0].Type != "ObjectCreated" || (*seen)[1].Type != "ObjectDeleted" {
+		t.Errorf("event types = %s, %s", (*seen)[0].Type, (*seen)[1].Type)
+	}
+	var detail struct {
+		Key  string `json:"key"`
+		Size int    `json:"size"`
+	}
+	json.Unmarshal((*seen)[0].Detail, &detail)
+	if detail.Key != "photos/cat.jpg" || detail.Size != 8 {
+		t.Errorf("detail = %+v", detail)
+	}
+	if s.Deliveries() != 2 {
+		t.Errorf("deliveries = %d", s.Deliveries())
+	}
+}
+
+func TestStorageTriggerTargetGone(t *testing.T) {
+	p := faas.NewPlatform() // nothing deployed
+	s := NewStorage()
+	s.OnObjectCreated(Target{Platform: p, Name: "internal://ghost"})
+	if err := s.Put("k", []byte("v"), t0); err == nil {
+		t.Error("missing target error swallowed")
+	}
+}
+
+func TestQueueDelivery(t *testing.T) {
+	_, target, seen := deployCounter("internal://worker", nil)
+	q := NewQueue()
+	q.Subscribe(target)
+	for i := 0; i < 5; i++ {
+		q.Send([]byte("job"))
+	}
+	if got := q.Poll(3, t0); got != 3 {
+		t.Errorf("first poll delivered %d, want 3", got)
+	}
+	if got := q.Poll(10, t0.Add(time.Second)); got != 2 {
+		t.Errorf("second poll delivered %d, want 2", got)
+	}
+	if q.Pending() != 0 || len(*seen) != 5 {
+		t.Errorf("pending=%d seen=%d", q.Pending(), len(*seen))
+	}
+	st := q.Stats()
+	if st.Sent != 5 || st.Delivered != 5 || st.Retried != 0 || st.DeadLetter != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestQueueRetryAndDeadLetter(t *testing.T) {
+	fails := int32(10) // fail more times than MaxReceive allows
+	_, target, _ := deployCounter("internal://flaky", &fails)
+	q := NewQueue()
+	q.MaxReceive = 3
+	q.Subscribe(target)
+	q.Send([]byte("poison"))
+	for i := 0; i < 5; i++ {
+		q.Poll(1, t0.Add(time.Duration(i)*time.Second))
+	}
+	st := q.Stats()
+	if st.DeadLetter != 1 {
+		t.Fatalf("stats = %+v, want 1 dead letter", st)
+	}
+	if st.Retried != 2 { // attempts 1 and 2 requeued, attempt 3 dead-letters
+		t.Errorf("retried = %d, want 2", st.Retried)
+	}
+	dls := q.DeadLetters()
+	if len(dls) != 1 || string(dls[0]) != "poison" {
+		t.Errorf("dead letters = %q", dls)
+	}
+}
+
+func TestQueueTransientFailureRecovers(t *testing.T) {
+	fails := int32(1)
+	_, target, seen := deployCounter("internal://once-flaky", &fails)
+	q := NewQueue()
+	q.Subscribe(target)
+	q.Send([]byte("job"))
+	q.Poll(1, t0)                  // fails, requeued
+	q.Poll(1, t0.Add(time.Second)) // succeeds
+	if len(*seen) != 1 {
+		t.Errorf("delivered %d times, want 1", len(*seen))
+	}
+	if st := q.Stats(); st.Delivered != 1 || st.Retried != 1 || st.DeadLetter != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestQueueWithoutConsumer(t *testing.T) {
+	q := NewQueue()
+	q.Send([]byte("orphan"))
+	if got := q.Poll(5, t0); got != 0 {
+		t.Errorf("consumerless poll delivered %d", got)
+	}
+	if q.Pending() != 1 {
+		t.Errorf("message lost without consumer: pending=%d", q.Pending())
+	}
+}
+
+func TestSchedulerFiresInOrder(t *testing.T) {
+	_, target, seen := deployCounter("internal://cron", nil)
+	s := NewScheduler()
+	if err := s.Every(time.Hour, t0, target); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Every(0, t0, target); err == nil {
+		t.Error("zero interval accepted")
+	}
+	fired := s.AdvanceTo(t0.Add(3*time.Hour + time.Minute))
+	if fired != 3 {
+		t.Fatalf("fired %d, want 3", fired)
+	}
+	// Ticks are chronological and hourly.
+	for i, ev := range *seen {
+		want := t0.Add(time.Duration(i+1) * time.Hour)
+		if !ev.Time.Equal(want) {
+			t.Errorf("tick %d at %v, want %v", i, ev.Time, want)
+		}
+	}
+	// Advancing to the same instant fires nothing new.
+	if again := s.AdvanceTo(t0.Add(3*time.Hour + time.Minute)); again != 0 {
+		t.Errorf("re-advance fired %d", again)
+	}
+}
+
+func TestSchedulerMultipleTasks(t *testing.T) {
+	_, target, seen := deployCounter("internal://multi", nil)
+	s := NewScheduler()
+	s.Every(30*time.Minute, t0, target)
+	s.Every(time.Hour, t0, target)
+	s.AdvanceTo(t0.Add(time.Hour))
+	// 30m task fires at :30 and :60; 1h task at :60.
+	if len(*seen) != 3 {
+		t.Fatalf("fired %d, want 3", len(*seen))
+	}
+	for i := 1; i < len(*seen); i++ {
+		if (*seen)[i].Time.Before((*seen)[i-1].Time) {
+			t.Error("ticks out of order")
+		}
+	}
+}
+
+// TestEventFunctionsInvisibleToMeasurement encodes the §2.2 boundary: an
+// event-triggered function has no function URL, so its name matches no
+// provider pattern and the study cannot observe it.
+func TestEventFunctionsInvisibleToMeasurement(t *testing.T) {
+	m := providers.NewMatcher(nil)
+	for _, name := range []string{"internal://worker", "arn:aws:lambda:us-east-1:123:function:etl"} {
+		if in, ok := m.Identify(name); ok {
+			t.Errorf("event function %q identified as %s", name, in.Name)
+		}
+	}
+}
+
+// TestEventPayloadShape checks the normalised event envelope.
+func TestEventPayloadShape(t *testing.T) {
+	p := faas.NewPlatform()
+	var raw []byte
+	p.Deploy("internal://echo", providers.AWS, "us-east-1", faas.Config{}, func(ctx *faas.InvokeContext) faas.Response {
+		raw = ctx.Request.Body
+		if ctx.Request.Method != "POST" {
+			t.Errorf("event delivered as %s", ctx.Request.Method)
+		}
+		return faas.Response{Status: 200}
+	}, t0)
+	q := NewQueue()
+	q.Subscribe(Target{Platform: p, Name: "internal://echo"})
+	q.Send([]byte("payload-text"))
+	q.Poll(1, t0)
+	var ev Event
+	if err := json.Unmarshal(raw, &ev); err != nil {
+		t.Fatalf("event not JSON: %v (%s)", err, raw)
+	}
+	if ev.Source != "queue" || ev.Type != "Message" {
+		t.Errorf("envelope = %+v", ev)
+	}
+	if !strings.Contains(string(ev.Detail), "payload-text") {
+		t.Errorf("detail = %s", ev.Detail)
+	}
+}

@@ -1,0 +1,79 @@
+package faas
+
+import (
+	"time"
+
+	"repro/internal/providers"
+)
+
+// PriceModel is the pay-per-use schedule of paper §2.3: a per-request price
+// plus a compute price in GB-seconds, each with a monthly free allowance.
+type PriceModel struct {
+	// FreeRequests and FreeGBSeconds reset monthly.
+	FreeRequests  int64
+	FreeGBSeconds float64
+	// USDPerMillionRequests and USDPerGBSecond apply beyond the free tier.
+	USDPerMillionRequests float64
+	USDPerGBSecond        float64
+}
+
+// PriceFor returns the provider's published price model. Values mirror the
+// AWS numbers quoted in the paper; other providers are set to comparable
+// schedules so cost comparisons stay meaningful.
+func PriceFor(id providers.ID) PriceModel {
+	switch id {
+	case providers.AWS:
+		// Free tier: 1M requests + 400k GB-s/month; then $0.20/M requests
+		// and $0.0000166667/GB-s (paper §2.3).
+		return PriceModel{
+			FreeRequests: 1_000_000, FreeGBSeconds: 400_000,
+			USDPerMillionRequests: 0.20, USDPerGBSecond: 0.0000166667,
+		}
+	case providers.Tencent:
+		// Free three-month trial for new users; modelled as a generous
+		// monthly allowance.
+		return PriceModel{
+			FreeRequests: 1_000_000, FreeGBSeconds: 400_000,
+			USDPerMillionRequests: 0.02, USDPerGBSecond: 0.0000167,
+		}
+	default:
+		return PriceModel{
+			FreeRequests: 1_000_000, FreeGBSeconds: 400_000,
+			USDPerMillionRequests: 0.20, USDPerGBSecond: 0.0000167,
+		}
+	}
+}
+
+// Meter accumulates a function's billable usage.
+type Meter struct {
+	Invocations int64
+	ColdStarts  int64
+	GBSeconds   float64
+	Errors      int64 // 5xx outcomes
+}
+
+// add records one execution of duration d under memoryMB of RAM.
+func (m *Meter) add(memoryMB int, d time.Duration, cold bool, status int) {
+	m.Invocations++
+	if cold {
+		m.ColdStarts++
+	}
+	m.GBSeconds += float64(memoryMB) / 1024 * d.Seconds()
+	if status >= 500 {
+		m.Errors++
+	}
+}
+
+// Cost prices the accumulated usage under the model, assuming it all fell in
+// a single billing month.
+func (m Meter) Cost(p PriceModel) float64 {
+	reqs := m.Invocations - p.FreeRequests
+	if reqs < 0 {
+		reqs = 0
+	}
+	gbs := m.GBSeconds - p.FreeGBSeconds
+	if gbs < 0 {
+		gbs = 0
+	}
+	return float64(reqs)/1e6*p.USDPerMillionRequests + gbs*p.USDPerGBSecond
+}

@@ -1,0 +1,65 @@
+package faas
+
+import (
+	"fmt"
+	"time"
+)
+
+// Denial-of-Wallet analysis (paper §5, Finding 5): a publicly accessible
+// function lets any HTTP client drive up the owner's bill, because billing
+// is per-invocation plus GB-seconds. DoWEstimate quantifies the exposure of
+// one unprotected function under a sustained request flood.
+
+// DoWParams describes an attack against one public function.
+type DoWParams struct {
+	// RequestsPerSecond of attacker traffic.
+	RequestsPerSecond float64
+	// Duration of the flood.
+	Duration time.Duration
+	// MemoryMB and ExecDuration are the victim function's configuration;
+	// heavier functions burn GB-seconds faster.
+	MemoryMB     int
+	ExecDuration time.Duration
+}
+
+// DoWEstimate is the projected outcome.
+type DoWEstimate struct {
+	Invocations int64
+	GBSeconds   float64
+	// CostUSD is the victim's bill beyond the free tier.
+	CostUSD float64
+	// FreeTierExhaustedAfter is how long until the monthly free allowance
+	// is gone (zero if it never is at this rate).
+	FreeTierExhaustedAfter time.Duration
+}
+
+// EstimateDoW projects the cost of the attack under the price model.
+func EstimateDoW(pm PriceModel, p DoWParams) (DoWEstimate, error) {
+	if p.RequestsPerSecond <= 0 || p.Duration <= 0 {
+		return DoWEstimate{}, fmt.Errorf("faas: DoW parameters must be positive, got %+v", p)
+	}
+	cfg := (&Config{MemoryMB: p.MemoryMB, Timeout: p.ExecDuration}).withDefaults()
+	exec := p.ExecDuration
+	if exec <= 0 {
+		exec = 100 * time.Millisecond
+	}
+	var est DoWEstimate
+	est.Invocations = int64(p.RequestsPerSecond * p.Duration.Seconds())
+	gbPerInvocation := float64(cfg.MemoryMB) / 1024 * exec.Seconds()
+	est.GBSeconds = float64(est.Invocations) * gbPerInvocation
+
+	m := Meter{Invocations: est.Invocations, GBSeconds: est.GBSeconds}
+	est.CostUSD = m.Cost(pm)
+
+	// Time to exhaust the free tier on either axis, whichever first.
+	reqSecs := float64(pm.FreeRequests) / p.RequestsPerSecond
+	gbSecs := pm.FreeGBSeconds / (p.RequestsPerSecond * gbPerInvocation)
+	first := reqSecs
+	if gbSecs < first {
+		first = gbSecs
+	}
+	if first < p.Duration.Seconds() {
+		est.FreeTierExhaustedAfter = time.Duration(first * float64(time.Second))
+	}
+	return est, nil
+}

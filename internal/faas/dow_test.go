@@ -1,0 +1,74 @@
+package faas
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/providers"
+)
+
+func TestEstimateDoWBasics(t *testing.T) {
+	pm := PriceFor(providers.AWS)
+	// 1000 rps for 24h against a 512MB/200ms function.
+	est, err := EstimateDoW(pm, DoWParams{
+		RequestsPerSecond: 1000,
+		Duration:          24 * time.Hour,
+		MemoryMB:          512,
+		ExecDuration:      200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Invocations != 86_400_000 {
+		t.Errorf("invocations = %d", est.Invocations)
+	}
+	wantGBs := 86_400_000 * 0.5 * 0.2 // 8.64M GB-s
+	if est.GBSeconds < wantGBs*0.999 || est.GBSeconds > wantGBs*1.001 {
+		t.Errorf("GB-s = %v, want %v", est.GBSeconds, wantGBs)
+	}
+	// Cost: (86.4M-1M)/1M*0.2 + (8.64M-400k)*0.0000166667 ≈ 17.08 + 137.3.
+	if est.CostUSD < 150 || est.CostUSD > 160 {
+		t.Errorf("cost = %v USD, want ≈154", est.CostUSD)
+	}
+	if est.FreeTierExhaustedAfter <= 0 || est.FreeTierExhaustedAfter > time.Hour {
+		t.Errorf("free tier exhausted after %v, want minutes", est.FreeTierExhaustedAfter)
+	}
+}
+
+func TestEstimateDoWStaysInFreeTier(t *testing.T) {
+	pm := PriceFor(providers.AWS)
+	est, err := EstimateDoW(pm, DoWParams{
+		RequestsPerSecond: 1,
+		Duration:          time.Hour,
+		MemoryMB:          128,
+		ExecDuration:      50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CostUSD != 0 {
+		t.Errorf("cost = %v, want 0 inside free tier", est.CostUSD)
+	}
+	if est.FreeTierExhaustedAfter != 0 {
+		t.Errorf("free tier flagged exhausted at 1 rps over an hour")
+	}
+}
+
+func TestEstimateDoWValidation(t *testing.T) {
+	pm := PriceFor(providers.AWS)
+	if _, err := EstimateDoW(pm, DoWParams{}); err == nil {
+		t.Error("zero parameters accepted")
+	}
+	if _, err := EstimateDoW(pm, DoWParams{RequestsPerSecond: -5, Duration: time.Hour}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestEstimateDoWMemoryScaling(t *testing.T) {
+	pm := PriceFor(providers.AWS)
+	small, _ := EstimateDoW(pm, DoWParams{RequestsPerSecond: 500, Duration: 24 * time.Hour, MemoryMB: 128, ExecDuration: 100 * time.Millisecond})
+	big, _ := EstimateDoW(pm, DoWParams{RequestsPerSecond: 500, Duration: 24 * time.Hour, MemoryMB: 1024, ExecDuration: 100 * time.Millisecond})
+	if big.CostUSD <= small.CostUSD {
+		t.Errorf("heavier function should cost more: %v vs %v", big.CostUSD, small.CostUSD)
+	}
+}

@@ -1,0 +1,38 @@
+package faas
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/providers"
+)
+
+// EgressPoolSize is the number of outbound addresses a provider rotates
+// through per region. Because providers allocate egress IPs dynamically per
+// execution environment, a function that scales out sends traffic from many
+// addresses — the property abused to build IP proxies (paper §5.4).
+const EgressPoolSize = 256
+
+// EgressIP returns the outbound IPv4 address used by execution environment
+// `instance` of a function in (provider, region). Distinct instances map to
+// (mostly) distinct addresses in the regional pool.
+func EgressIP(id providers.ID, region string, instance int64) string {
+	slot := uint32(instance) % EgressPoolSize
+	h := fnv.New32a()
+	fmt.Fprintf(h, "egress|%d|%s|%d", int(id), region, slot)
+	v := h.Sum32()
+	// Egress ranges are distinct from ingress ranges: 100.64/10-style pool
+	// shifted per provider, so analyses can tell the two apart.
+	return fmt.Sprintf("%d.%d.%d.%d", 100+int(id), byte(64+v%64), byte(v>>8), byte(v))
+}
+
+// EgressRotation reports how many distinct egress addresses a burst of n
+// fresh instances would observe — the effective anonymity set an abuser
+// gains from scale-out.
+func EgressRotation(id providers.ID, region string, n int) int {
+	seen := make(map[string]struct{}, n)
+	for i := int64(1); i <= int64(n); i++ {
+		seen[EgressIP(id, region, i)] = struct{}{}
+	}
+	return len(seen)
+}

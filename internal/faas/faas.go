@@ -1,0 +1,127 @@
+// Package faas simulates the serverless cloud function platforms that the
+// paper measures from the outside. It implements the full lifecycle of
+// paper §2 — deployment, invocation, and execution — including function
+// URLs, cold/warm starts, per-invocation billing in GB-seconds with free
+// tiers, access control, deletion semantics, and egress IP allocation.
+//
+// The platform is driven by an explicit simulated clock (invocations carry
+// timestamps), which keeps instance reuse, cold-start accounting and billing
+// deterministic and testable. A net/http gateway (see gateway.go) exposes
+// deployed functions over real sockets so the active prober exercises the
+// same code paths it would against production clouds.
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Request is the provider-normalised HTTP event passed to a function, the
+// shape sketched in the paper's Algorithm 1 (event['path'], event['headers'],
+// event['queryString'], event['body'], event['httpMethod']).
+type Request struct {
+	Method  string
+	Path    string
+	Query   string
+	Headers map[string]string
+	Body    []byte
+
+	// Time is the simulated invocation instant.
+	Time time.Time
+}
+
+// Response is what a function hands back to the platform.
+type Response struct {
+	Status  int
+	Headers map[string]string
+	Body    []byte
+}
+
+// Handler is the deployed function code.
+type Handler func(ctx *InvokeContext) Response
+
+// InvokeContext gives function code access to its execution environment.
+type InvokeContext struct {
+	Request  Request
+	Function *Function
+	// EgressIP is the source address outbound connections would use for
+	// this instance (paper §5.4: dynamically allocated per instance).
+	EgressIP string
+	// Instance is the execution-environment ID serving this invocation.
+	Instance int64
+	// Cold reports whether this invocation paid a cold start.
+	Cold bool
+	// Env holds the function's environment variables.
+	Env map[string]string
+}
+
+// AccessControl is the function-URL authentication mode (paper §6 discusses
+// IAM defaults; §5 measures 0.13% of functions returning 401).
+type AccessControl int
+
+const (
+	// Public functions answer any HTTP client.
+	Public AccessControl = iota
+	// IAMAuth functions reject unsigned requests with 401.
+	IAMAuth
+	// InternalOnly functions are reachable only inside the VPC; external
+	// probes time out (part of the paper's 2.03% unreachable set).
+	InternalOnly
+)
+
+func (a AccessControl) String() string {
+	switch a {
+	case Public:
+		return "public"
+	case IAMAuth:
+		return "iam"
+	case InternalOnly:
+		return "internal-only"
+	default:
+		return fmt.Sprintf("AccessControl(%d)", int(a))
+	}
+}
+
+// Config is the deployment-time configuration of a function (paper §2.1:
+// environment variables, memory allocation, execution timeout, concurrency).
+type Config struct {
+	MemoryMB    int           // allocated memory; billing multiplies by duration
+	Timeout     time.Duration // execution cap; default 60s like most providers
+	Concurrency int           // max simultaneous instances; 0 = provider default
+	Access      AccessControl
+	Env         map[string]string
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MemoryMB <= 0 {
+		out.MemoryMB = 128
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = 60 * time.Second
+	}
+	if out.Concurrency <= 0 {
+		out.Concurrency = 1000
+	}
+	return out
+}
+
+// Errors returned by the platform.
+var (
+	ErrNotFound        = errors.New("faas: function not found")
+	ErrDeleted         = errors.New("faas: function deleted")
+	ErrTooManyRequests = errors.New("faas: concurrency limit exceeded")
+	ErrTimeout         = errors.New("faas: execution timed out")
+)
+
+// Latencies of the execution model. Cold starts pay initialisation —
+// resource allocation, code load, runtime launch (paper §2.3) — warm starts
+// reuse a live environment.
+const (
+	ColdStartLatency = 450 * time.Millisecond
+	WarmStartLatency = 8 * time.Millisecond
+	// InstanceIdleTTL is how long an idle execution environment survives
+	// before the provider reclaims it.
+	InstanceIdleTTL = 10 * time.Minute
+)

@@ -1,0 +1,446 @@
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/providers"
+)
+
+var t0 = time.Date(2023, time.June, 1, 12, 0, 0, 0, time.UTC)
+
+func okHandler(body string) Handler {
+	return func(ctx *InvokeContext) Response {
+		return Response{
+			Status:  200,
+			Headers: map[string]string{"Content-Type": "text/plain"},
+			Body:    []byte(body),
+		}
+	}
+}
+
+func deployOne(p *Platform, cfg Config, h Handler) *Function {
+	return p.Deploy("x.lambda-url.us-east-1.on.aws", providers.AWS, "us-east-1", cfg, h, t0)
+}
+
+func TestInvokeBasic(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{}, okHandler("hello"))
+	resp, info, err := p.Invoke(f.FQDN, Request{Method: "GET", Path: "/", Time: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "hello" {
+		t.Errorf("resp = %d %q", resp.Status, resp.Body)
+	}
+	if !info.Cold {
+		t.Error("first invocation should be a cold start")
+	}
+	if info.Latency < ColdStartLatency {
+		t.Errorf("cold latency = %v", info.Latency)
+	}
+	if info.EgressIP == "" {
+		t.Error("no egress IP allocated")
+	}
+}
+
+func TestColdWarmLifecycle(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{}, okHandler("ok"))
+
+	_, i1, _ := p.Invoke(f.FQDN, Request{Time: t0})
+	// Second call shortly after reuses the warm environment.
+	_, i2, _ := p.Invoke(f.FQDN, Request{Time: t0.Add(time.Second)})
+	if i2.Cold {
+		t.Error("second invocation should be warm")
+	}
+	if i1.Instance != i2.Instance {
+		t.Errorf("warm start switched instances: %d -> %d", i1.Instance, i2.Instance)
+	}
+	if i2.Latency >= ColdStartLatency {
+		t.Errorf("warm latency = %v", i2.Latency)
+	}
+	// After the idle TTL the environment is reclaimed: cold again.
+	_, i3, _ := p.Invoke(f.FQDN, Request{Time: t0.Add(time.Second + InstanceIdleTTL + time.Minute)})
+	if !i3.Cold {
+		t.Error("invocation after idle TTL should be cold")
+	}
+	m := f.Meter()
+	if m.Invocations != 3 || m.ColdStarts != 2 {
+		t.Errorf("meter = %+v", m)
+	}
+}
+
+func TestWarmPoolCounting(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{}, okHandler("ok"))
+	p.Invoke(f.FQDN, Request{Time: t0})
+	if n := f.WarmInstances(t0.Add(time.Second)); n != 1 {
+		t.Errorf("warm instances = %d, want 1", n)
+	}
+	if n := f.WarmInstances(t0.Add(time.Hour)); n != 0 {
+		t.Errorf("warm instances after TTL = %d, want 0", n)
+	}
+}
+
+func TestIAMAuth(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{Access: IAMAuth}, okHandler("secret"))
+	resp, _, err := p.Invoke(f.FQDN, Request{Time: t0})
+	if err != nil || resp.Status != 401 {
+		t.Errorf("unsigned request: %d, %v", resp.Status, err)
+	}
+	resp, _, err = p.Invoke(f.FQDN, Request{Time: t0, Headers: map[string]string{"Authorization": "AWS4-HMAC-SHA256 x"}})
+	if err != nil || resp.Status != 200 {
+		t.Errorf("signed request: %d, %v", resp.Status, err)
+	}
+}
+
+func TestInternalOnly(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{Access: InternalOnly}, okHandler("vpc"))
+	_, _, err := p.Invoke(f.FQDN, Request{Time: t0})
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("internal-only invoke err = %v", err)
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{}, okHandler("ok"))
+	if err := p.Delete(f.FQDN, t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Before the deletion instant the function still runs.
+	if _, _, err := p.Invoke(f.FQDN, Request{Time: t0}); err != nil {
+		t.Errorf("pre-deletion invoke failed: %v", err)
+	}
+	_, _, err := p.Invoke(f.FQDN, Request{Time: t0.Add(2 * time.Hour)})
+	if !errors.Is(err, ErrDeleted) {
+		t.Errorf("post-deletion invoke err = %v", err)
+	}
+	if err := p.Delete("nosuch.example", t0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Delete(nosuch) = %v", err)
+	}
+}
+
+func TestPanicBecomes502(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{}, func(ctx *InvokeContext) Response {
+		panic("unhandled exception in user code")
+	})
+	resp, _, err := p.Invoke(f.FQDN, Request{Time: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 502 {
+		t.Errorf("crash status = %d, want 502", resp.Status)
+	}
+	if f.Meter().Errors != 1 {
+		t.Errorf("meter.Errors = %d", f.Meter().Errors)
+	}
+}
+
+func TestExecutionTimeout(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{Timeout: 100 * time.Millisecond}, func(ctx *InvokeContext) Response {
+		return Response{
+			Status:  200,
+			Headers: map[string]string{DurationHeader: "5s"},
+			Body:    []byte("slow"),
+		}
+	})
+	resp, info, err := p.Invoke(f.FQDN, Request{Time: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 504 {
+		t.Errorf("timeout status = %d, want 504", resp.Status)
+	}
+	if info.Duration != 100*time.Millisecond {
+		t.Errorf("billed duration = %v, want capped at timeout", info.Duration)
+	}
+}
+
+func TestDurationHeaderStripped(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{}, func(ctx *InvokeContext) Response {
+		return Response{Status: 200, Headers: map[string]string{DurationHeader: "5ms"}, Body: []byte("x")}
+	})
+	resp, info, err := p.Invoke(f.FQDN, Request{Time: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.Headers[DurationHeader]; ok {
+		t.Error("simulation header leaked to client")
+	}
+	if info.Duration != 5*time.Millisecond {
+		t.Errorf("duration = %v", info.Duration)
+	}
+}
+
+func TestBilling(t *testing.T) {
+	pm := PriceFor(providers.AWS)
+	// Inside the free tier: zero cost.
+	m := Meter{Invocations: 500_000, GBSeconds: 100_000}
+	if c := m.Cost(pm); c != 0 {
+		t.Errorf("free-tier cost = %v", c)
+	}
+	// 2M requests over, 100k GB-s over.
+	m = Meter{Invocations: 3_000_000, GBSeconds: 500_000}
+	want := 2.0*0.20 + 100_000*0.0000166667
+	if c := m.Cost(pm); !almost(c, want) {
+		t.Errorf("cost = %v, want %v", c, want)
+	}
+}
+
+func almost(a, b float64) bool { d := a - b; return d < 1e-6 && d > -1e-6 }
+
+func TestMeterAccumulation(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{MemoryMB: 512}, func(ctx *InvokeContext) Response {
+		return Response{Status: 200, Headers: map[string]string{DurationHeader: "2s"}, Body: []byte("x")}
+	})
+	for i := 0; i < 3; i++ {
+		p.Invoke(f.FQDN, Request{Time: t0.Add(time.Duration(i) * time.Minute)})
+	}
+	m := f.Meter()
+	if m.Invocations != 3 {
+		t.Errorf("invocations = %d", m.Invocations)
+	}
+	want := 3 * (512.0 / 1024) * 2 // 3 GB-s
+	if !almost(m.GBSeconds, want) {
+		t.Errorf("GBSeconds = %v, want %v", m.GBSeconds, want)
+	}
+}
+
+func TestEgressRotation(t *testing.T) {
+	n := EgressRotation(providers.Tencent, "ap-guangzhou", 1000)
+	if n != EgressPoolSize {
+		t.Errorf("rotation over 1000 instances = %d, want %d", n, EgressPoolSize)
+	}
+	// Different regions draw from different pools.
+	a := EgressIP(providers.Tencent, "ap-guangzhou", 1)
+	b := EgressIP(providers.Tencent, "ap-beijing", 1)
+	if a == b {
+		t.Errorf("egress pools collide across regions: %s", a)
+	}
+	// Stable mapping.
+	if a != EgressIP(providers.Tencent, "ap-guangzhou", 1) {
+		t.Error("egress IP not deterministic")
+	}
+}
+
+func TestConcurrentInvokes(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{}, okHandler("ok"))
+	done := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		go func(i int) {
+			_, _, err := p.Invoke(f.FQDN, Request{Time: t0.Add(time.Duration(i) * time.Millisecond)})
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.Meter().Invocations; got != 50 {
+		t.Errorf("invocations = %d", got)
+	}
+}
+
+func TestGatewayRouting(t *testing.T) {
+	p := NewPlatform()
+	aws := deployOne(p, Config{}, okHandler("from-lambda"))
+	tfq := "1234567890-abcdefghij-ap-guangzhou.scf.tencentcs.com"
+	p.Deploy(tfq, providers.Tencent, "ap-guangzhou", Config{}, okHandler("from-scf"), t0)
+
+	g := NewGateway(p)
+	g.Clock = func() time.Time { return t0 }
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+
+	get := func(host string) (int, string) {
+		req, _ := http.NewRequest("GET", srv.URL+"/", nil)
+		req.Host = host
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get(aws.FQDN); code != 200 || body != "from-lambda" {
+		t.Errorf("aws: %d %q", code, body)
+	}
+	if code, body := get(tfq); code != 200 || body != "from-scf" {
+		t.Errorf("tencent: %d %q", code, body)
+	}
+	// Unknown AWS-shaped host: 403 Forbidden; unknown Tencent host: 404.
+	if code, _ := get("zzzz.lambda-url.eu-west-1.on.aws"); code != 403 {
+		t.Errorf("unknown aws host status = %d, want 403", code)
+	}
+	if code, _ := get("9999999999-zzzzzzzzzz-ap-beijing.scf.tencentcs.com"); code != 404 {
+		t.Errorf("unknown tencent host status = %d, want 404", code)
+	}
+}
+
+func TestGatewayDeletedAWSForbidden(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{}, okHandler("x"))
+	p.Delete(f.FQDN, t0.Add(-time.Hour))
+	g := NewGateway(p)
+	g.Clock = func() time.Time { return t0 }
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+	req, _ := http.NewRequest("GET", srv.URL+"/", nil)
+	req.Host = f.FQDN
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 403 {
+		t.Errorf("deleted AWS function status = %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestGatewayInternalOnlyTimesOut(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{Access: InternalOnly}, okHandler("x"))
+	g := NewGateway(p)
+	g.Clock = func() time.Time { return t0 }
+	g.UnreachableDelay = 5 * time.Second
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+	client := &http.Client{Timeout: 150 * time.Millisecond}
+	req, _ := http.NewRequest("GET", srv.URL+"/", nil)
+	req.Host = f.FQDN
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("internal-only function answered an external probe")
+	}
+	if !strings.Contains(err.Error(), "Client.Timeout") && !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("client did not time out promptly")
+	}
+}
+
+func TestGatewayTLS(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{}, okHandler("secure"))
+	g := NewGateway(p)
+	g.Clock = func() time.Time { return t0 }
+	srv := httptest.NewTLSServer(g)
+	defer srv.Close()
+	client := srv.Client()
+	req, _ := http.NewRequest("GET", srv.URL+"/", nil)
+	req.Host = f.FQDN
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("TLS status = %d", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != "secure" {
+		t.Errorf("TLS body = %q", b)
+	}
+}
+
+func TestPlatformRangeAndLen(t *testing.T) {
+	p := NewPlatform()
+	for i := 0; i < 5; i++ {
+		p.Deploy(fmt.Sprintf("f%d.lambda-url.us-east-1.on.aws", i), providers.AWS, "us-east-1", Config{}, okHandler("x"), t0)
+	}
+	if p.Len() != 5 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	n := 0
+	p.Range(func(f *Function) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("Range visited %d, want early stop at 3", n)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := (&Config{}).withDefaults()
+	if c.MemoryMB != 128 || c.Timeout != 60*time.Second || c.Concurrency != 1000 {
+		t.Errorf("defaults = %+v", c)
+	}
+	c = (&Config{MemoryMB: 256, Timeout: time.Second, Concurrency: 5}).withDefaults()
+	if c.MemoryMB != 256 || c.Timeout != time.Second || c.Concurrency != 5 {
+		t.Errorf("explicit config clobbered: %+v", c)
+	}
+}
+
+func TestConcurrencyLimit(t *testing.T) {
+	p := NewPlatform()
+	// Capacity 2, each execution takes 1s of simulated time.
+	f := deployOne(p, Config{Concurrency: 2}, func(ctx *InvokeContext) Response {
+		return Response{Status: 200, Headers: map[string]string{DurationHeader: "1s"}, Body: []byte("ok")}
+	})
+	// Three invocations at the same instant: the third is throttled.
+	var throttled int
+	for i := 0; i < 3; i++ {
+		_, _, err := p.Invoke(f.FQDN, Request{Time: t0})
+		if errors.Is(err, ErrTooManyRequests) {
+			throttled++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if throttled != 1 {
+		t.Errorf("throttled %d of 3 at concurrency 2", throttled)
+	}
+	// Once the in-flight executions complete, capacity frees up.
+	if _, _, err := p.Invoke(f.FQDN, Request{Time: t0.Add(3 * time.Second)}); err != nil {
+		t.Errorf("invoke after drain failed: %v", err)
+	}
+	m := f.Meter()
+	if m.Invocations != 3 {
+		t.Errorf("billed invocations = %d, want 3 (throttled calls are not billed)", m.Invocations)
+	}
+}
+
+func TestGatewayThrottledIs429(t *testing.T) {
+	p := NewPlatform()
+	f := deployOne(p, Config{Concurrency: 1}, func(ctx *InvokeContext) Response {
+		return Response{Status: 200, Headers: map[string]string{DurationHeader: "10s"}, Body: []byte("slow")}
+	})
+	g := NewGateway(p)
+	g.Clock = func() time.Time { return t0 }
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+	get := func() int {
+		req, _ := http.NewRequest("GET", srv.URL+"/", nil)
+		req.Host = f.FQDN
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(); code != 200 {
+		t.Fatalf("first call = %d", code)
+	}
+	if code := get(); code != 429 {
+		t.Errorf("second concurrent call = %d, want 429", code)
+	}
+}

@@ -1,0 +1,110 @@
+package faas
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/providers"
+)
+
+// Function is one deployed serverless function.
+type Function struct {
+	FQDN     string
+	Provider providers.ID
+	Region   string
+	Config   Config
+	Handler  Handler
+
+	// CreatedAt / DeletedAt bound the function's deployed lifetime on the
+	// simulated clock. DeletedAt.IsZero() means still deployed.
+	CreatedAt time.Time
+
+	mu        sync.Mutex
+	deletedAt time.Time
+
+	// Execution-environment pool. Instances are identified by a
+	// monotonically increasing ID; each remembers when it last finished.
+	nextInstance int64
+	warm         []instance
+	// busy tracks in-flight executions by their completion time on the
+	// simulated clock, enforcing the configured concurrency limit.
+	busy []time.Time
+
+	meter Meter
+}
+
+type instance struct {
+	id       int64
+	idleFrom time.Time
+}
+
+// Deleted reports whether the function was deleted at or before t.
+func (f *Function) Deleted(t time.Time) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.deletedAt.IsZero() && !t.Before(f.deletedAt)
+}
+
+// Meter returns a snapshot of the function's usage counters.
+func (f *Function) Meter() Meter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.meter
+}
+
+// acquire obtains an execution environment at time t, reporting its ID and
+// whether a cold start was needed. Expired warm instances are reclaimed,
+// and the concurrency limit is enforced against executions still in flight
+// at t (ok=false means throttled).
+func (f *Function) acquire(t time.Time) (id int64, cold, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Retire completed executions and drop environments idle past the TTL.
+	inflight := f.busy[:0]
+	for _, done := range f.busy {
+		if done.After(t) {
+			inflight = append(inflight, done)
+		}
+	}
+	f.busy = inflight
+	if len(f.busy) >= f.Config.Concurrency {
+		return 0, false, false
+	}
+	live := f.warm[:0]
+	for _, in := range f.warm {
+		if t.Sub(in.idleFrom) < InstanceIdleTTL {
+			live = append(live, in)
+		}
+	}
+	f.warm = live
+	if n := len(f.warm); n > 0 {
+		in := f.warm[n-1]
+		f.warm = f.warm[:n-1]
+		return in.id, false, true
+	}
+	f.nextInstance++
+	return f.nextInstance, true, true
+}
+
+// release returns an environment to the warm pool at time t, the instant
+// its current execution completes.
+func (f *Function) release(id int64, t time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.warm = append(f.warm, instance{id: id, idleFrom: t})
+	f.busy = append(f.busy, t)
+}
+
+// WarmInstances reports the current number of idle warm environments as of
+// time t.
+func (f *Function) WarmInstances(t time.Time) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, in := range f.warm {
+		if t.Sub(in.idleFrom) < InstanceIdleTTL {
+			n++
+		}
+	}
+	return n
+}

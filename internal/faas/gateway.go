@@ -1,0 +1,117 @@
+package faas
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/providers"
+)
+
+// Gateway exposes a Platform over real HTTP. Requests are routed by Host
+// header to the function deployed under that FQDN, so a prober pointed at
+// the gateway behaves exactly as it would against the provider's ingress.
+//
+// Provider-specific edge semantics are reproduced here:
+//   - unknown or deleted functions: 404 Not Found, except AWS, whose edge
+//     answers 403 Forbidden (paper §4.4);
+//   - internal-only functions: the gateway stalls until UnreachableDelay so
+//     clients observe a timeout;
+//   - IAM-protected functions: 401 from the platform.
+type Gateway struct {
+	Platform *Platform
+	// Clock supplies the simulated invocation time; defaults to time.Now.
+	Clock func() time.Time
+	// UnreachableDelay is how long internal-only functions stall before the
+	// gateway gives up the connection. Tests shrink this.
+	UnreachableDelay time.Duration
+
+	matcher *providers.Matcher
+}
+
+// NewGateway wraps a platform.
+func NewGateway(p *Platform) *Gateway {
+	return &Gateway{
+		Platform:         p,
+		Clock:            time.Now,
+		UnreachableDelay: 61 * time.Second,
+		matcher:          providers.NewMatcher(providers.All()),
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	host := r.Host
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	req := Request{
+		Method:  r.Method,
+		Path:    r.URL.Path,
+		Query:   r.URL.RawQuery,
+		Headers: flattenHeader(r.Header),
+		Time:    g.now(),
+	}
+	if r.Body != nil {
+		req.Body, _ = io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	}
+
+	resp, _, err := g.Platform.Invoke(host, req)
+	switch {
+	case err == nil:
+		for k, v := range resp.Headers {
+			w.Header().Set(k, v)
+		}
+		w.WriteHeader(resp.Status)
+		w.Write(resp.Body)
+	case errors.Is(err, ErrTimeout):
+		// Internal-only: hold the connection so the client times out.
+		select {
+		case <-r.Context().Done():
+		case <-time.After(g.UnreachableDelay):
+		}
+		// If the client is somehow still here, drop with a gateway error.
+		w.WriteHeader(http.StatusGatewayTimeout)
+	case errors.Is(err, ErrTooManyRequests):
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"message":"Too Many Requests"}`))
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrDeleted):
+		g.writeMissing(w, host)
+	default:
+		w.WriteHeader(http.StatusInternalServerError)
+	}
+}
+
+// writeMissing emulates each provider's response for unknown or deleted
+// functions.
+func (g *Gateway) writeMissing(w http.ResponseWriter, host string) {
+	if in, ok := g.matcher.Identify(host); ok && in.ID == providers.AWS {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusForbidden)
+		w.Write([]byte(`{"Message":"Forbidden"}`))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	w.WriteHeader(http.StatusNotFound)
+	w.Write([]byte("Not Found"))
+}
+
+func (g *Gateway) now() time.Time {
+	if g.Clock != nil {
+		return g.Clock()
+	}
+	return time.Now()
+}
+
+func flattenHeader(h http.Header) map[string]string {
+	out := make(map[string]string, len(h))
+	for k, vs := range h {
+		if len(vs) > 0 {
+			out[k] = vs[0]
+		}
+	}
+	return out
+}

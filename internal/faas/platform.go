@@ -1,0 +1,201 @@
+package faas
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/providers"
+)
+
+// Platform hosts deployed functions for every simulated provider and
+// executes invocations against them. It is safe for concurrent use.
+type Platform struct {
+	mu    sync.RWMutex
+	funcs map[string]*Function // keyed by lowercase FQDN
+}
+
+// NewPlatform returns an empty platform.
+func NewPlatform() *Platform {
+	return &Platform{funcs: make(map[string]*Function)}
+}
+
+// Deploy registers a function under its FQDN (paper §2.1). Deploying an
+// existing FQDN replaces the previous code, as providers allow.
+func (p *Platform) Deploy(fqdn string, prov providers.ID, region string, cfg Config, h Handler, at time.Time) *Function {
+	f := &Function{
+		FQDN:      strings.ToLower(fqdn),
+		Provider:  prov,
+		Region:    region,
+		Config:    cfg.withDefaults(),
+		Handler:   h,
+		CreatedAt: at,
+	}
+	p.mu.Lock()
+	p.funcs[f.FQDN] = f
+	p.mu.Unlock()
+	return f
+}
+
+// Delete marks the function deleted as of time at. The FQDN remains known to
+// the platform so the gateway can emulate provider-specific deleted-function
+// responses (404 for most providers, 403 for AWS; paper §4.4).
+func (p *Platform) Delete(fqdn string, at time.Time) error {
+	p.mu.RLock()
+	f := p.funcs[strings.ToLower(fqdn)]
+	p.mu.RUnlock()
+	if f == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, fqdn)
+	}
+	f.mu.Lock()
+	f.deletedAt = at
+	f.mu.Unlock()
+	return nil
+}
+
+// Lookup returns the function deployed under fqdn.
+func (p *Platform) Lookup(fqdn string) (*Function, bool) {
+	p.mu.RLock()
+	f, ok := p.funcs[strings.ToLower(fqdn)]
+	p.mu.RUnlock()
+	return f, ok
+}
+
+// Len reports the number of registered functions, deleted ones included.
+func (p *Platform) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.funcs)
+}
+
+// Range calls fn for every registered function until fn returns false.
+func (p *Platform) Range(fn func(*Function) bool) {
+	p.mu.RLock()
+	snapshot := make([]*Function, 0, len(p.funcs))
+	for _, f := range p.funcs {
+		snapshot = append(snapshot, f)
+	}
+	p.mu.RUnlock()
+	for _, f := range snapshot {
+		if !fn(f) {
+			return
+		}
+	}
+}
+
+// InvokeInfo describes how an invocation executed.
+type InvokeInfo struct {
+	Cold     bool
+	Latency  time.Duration // start latency + execution time
+	Duration time.Duration // billed execution time
+	Instance int64
+	EgressIP string
+}
+
+// Invoke executes one HTTP invocation of fqdn at the simulated instant
+// req.Time (paper §2.2–2.3). Platform-level failures are expressed through
+// the returned error; function-level outcomes (401/404/5xx bodies) come back
+// as the Response.
+func (p *Platform) Invoke(fqdn string, req Request) (Response, InvokeInfo, error) {
+	f, ok := p.Lookup(fqdn)
+	if !ok {
+		return Response{}, InvokeInfo{}, fmt.Errorf("%w: %s", ErrNotFound, fqdn)
+	}
+	if f.Deleted(req.Time) {
+		return Response{}, InvokeInfo{}, fmt.Errorf("%w: %s", ErrDeleted, fqdn)
+	}
+	switch f.Config.Access {
+	case IAMAuth:
+		if req.Headers["Authorization"] == "" {
+			return Response{
+				Status:  401,
+				Headers: map[string]string{"Content-Type": "application/json"},
+				Body:    []byte(`{"message":"Unauthorized"}`),
+			}, InvokeInfo{}, nil
+		}
+	case InternalOnly:
+		return Response{}, InvokeInfo{}, fmt.Errorf("%w: %s is internal-only", ErrTimeout, fqdn)
+	}
+
+	id, cold, ok := f.acquire(req.Time)
+	if !ok {
+		return Response{}, InvokeInfo{}, fmt.Errorf("%w: %s at %d concurrent executions",
+			ErrTooManyRequests, fqdn, f.Config.Concurrency)
+	}
+	startLatency := WarmStartLatency
+	if cold {
+		startLatency = ColdStartLatency
+	}
+	info := InvokeInfo{
+		Cold:     cold,
+		Instance: id,
+		EgressIP: EgressIP(f.Provider, f.Region, id),
+	}
+
+	resp, dur := p.run(f, req, &info)
+	info.Duration = dur
+	info.Latency = startLatency + dur
+
+	done := req.Time.Add(info.Latency)
+	f.release(id, done)
+	f.mu.Lock()
+	f.meter.add(f.Config.MemoryMB, dur, cold, resp.Status)
+	f.mu.Unlock()
+	return resp, info, nil
+}
+
+// run executes the handler, converting panics into the 502 Bad Gateway
+// responses that unhandled programming exceptions produce in production
+// (paper §4.4), and enforcing the configured execution timeout as 504.
+func (p *Platform) run(f *Function, req Request, info *InvokeInfo) (resp Response, dur time.Duration) {
+	const defaultDuration = 40 * time.Millisecond
+	dur = defaultDuration
+	defer func() {
+		if r := recover(); r != nil {
+			resp = Response{
+				Status:  502,
+				Headers: map[string]string{"Content-Type": "text/html"},
+				Body:    []byte("<html><body>502 Bad Gateway</body></html>"),
+			}
+		}
+	}()
+	ctx := &InvokeContext{
+		Request:  req,
+		Function: f,
+		EgressIP: info.EgressIP,
+		Instance: info.Instance,
+		Cold:     info.Cold,
+		Env:      f.Config.Env,
+	}
+	resp = f.Handler(ctx)
+	if d, ok := responseDuration(resp); ok {
+		dur = d
+		delete(resp.Headers, DurationHeader)
+	}
+	if dur > f.Config.Timeout {
+		dur = f.Config.Timeout
+		resp = Response{
+			Status:  504,
+			Headers: map[string]string{"Content-Type": "text/plain"},
+			Body:    []byte("Endpoint request timed out"),
+		}
+	}
+	return resp, dur
+}
+
+// DurationHeader lets a handler declare its simulated execution time; it is
+// consumed by the platform and never reaches clients.
+const DurationHeader = "X-Sim-Duration"
+
+func responseDuration(r Response) (time.Duration, bool) {
+	v, ok := r.Headers[DurationHeader]
+	if !ok {
+		return 0, false
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		return 0, false
+	}
+	return d, true
+}

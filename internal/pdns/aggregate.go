@@ -1,0 +1,288 @@
+package pdns
+
+import (
+	"sort"
+
+	"repro/internal/providers"
+)
+
+// FQDNStats carries the per-function metrics defined in paper §3.2: the
+// first and last observed dates across the whole window, the number of
+// distinct days with invocations, and the cumulative request count.
+type FQDNStats struct {
+	FQDN     string
+	Provider providers.ID
+	Region   string
+
+	FirstSeenAll Date
+	LastSeenAll  Date
+	DaysCount    int
+	TotalRequest int64
+
+	seenDays bitset
+}
+
+// Lifespan returns the active duration in days, inclusive of both endpoints,
+// i.e. last_seen_all - first_seen_all + 1. A function observed on a single
+// day has lifespan 1.
+func (s *FQDNStats) Lifespan() int { return s.LastSeenAll.Sub(s.FirstSeenAll) + 1 }
+
+// ActivityDensity is the proportion of days with recorded invocations within
+// the lifespan: p = days_count / (last_seen_all - first_seen_all + 1).
+// Steady daily invocation yields p = 1 (paper §4.3).
+func (s *FQDNStats) ActivityDensity() float64 {
+	return float64(s.DaysCount) / float64(s.Lifespan())
+}
+
+// RTypeStats accumulates, for one provider and record type, the request
+// volume and the per-rdata request distribution (Table 2).
+type RTypeStats struct {
+	Requests int64
+	ByRData  map[string]int64
+}
+
+// RDataCnt is the number of distinct rdata values observed for the type.
+func (rs *RTypeStats) RDataCnt() int { return len(rs.ByRData) }
+
+// Top10Share is the fraction of the type's requests contributed by its ten
+// most frequent rdata values (Table 2, "Top10").
+func (rs *RTypeStats) Top10Share() float64 {
+	if rs.Requests == 0 {
+		return 0
+	}
+	if len(rs.ByRData) <= 10 {
+		return 1
+	}
+	counts := make([]int64, 0, len(rs.ByRData))
+	for _, c := range rs.ByRData {
+		counts = append(counts, c)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	var top int64
+	for _, c := range counts[:10] {
+		top += c
+	}
+	return float64(top) / float64(rs.Requests)
+}
+
+// ProviderStats is the per-provider rollup backing Table 2.
+type ProviderStats struct {
+	Provider providers.ID
+	Domains  int
+	Requests int64
+	Regions  map[string]struct{}
+	ByRType  map[RType]*RTypeStats
+}
+
+// RTypeShare returns the fraction of the provider's requests answered with
+// the given record type.
+func (ps *ProviderStats) RTypeShare(t RType) float64 {
+	if ps.Requests == 0 {
+		return 0
+	}
+	rs, ok := ps.ByRType[t]
+	if !ok {
+		return 0
+	}
+	return float64(rs.Requests) / float64(ps.Requests)
+}
+
+// Aggregator performs the single-pass aggregation of paper §3.2: PDNS
+// records whose FQDN matches a provider pattern are folded into per-FQDN and
+// per-provider statistics plus the daily/monthly series used by the trend
+// figures. Records are accepted in any order.
+type Aggregator struct {
+	matcher *providers.Matcher
+	window  struct{ start, end Date }
+
+	byFQDN     map[string]*FQDNStats
+	byProvider map[providers.ID]*ProviderStats
+
+	newPerDay  map[Date]int                    // Figure 3: first-seen diffs
+	monthlyReq map[providers.ID]map[Date]int64 // Figure 4: invocation trend
+	matched    int64                           // records kept
+	scanned    int64                           // records examined
+	dropped    int64                           // records failing Validate
+}
+
+// NewAggregator builds an aggregator over the [start, end] day window. The
+// matcher decides which FQDNs belong to the study; nil selects all collected
+// providers.
+func NewAggregator(matcher *providers.Matcher, start, end Date) *Aggregator {
+	if matcher == nil {
+		matcher = providers.NewMatcher(nil)
+	}
+	a := &Aggregator{
+		matcher:    matcher,
+		byFQDN:     make(map[string]*FQDNStats),
+		byProvider: make(map[providers.ID]*ProviderStats),
+		newPerDay:  make(map[Date]int),
+		monthlyReq: make(map[providers.ID]map[Date]int64),
+	}
+	a.window.start, a.window.end = start, end
+	return a
+}
+
+// Add folds one record into the aggregate. Records outside the window or not
+// matching any provider are counted but otherwise ignored. Invalid records
+// are dropped, mirroring a production feed consumer.
+func (a *Aggregator) Add(r *Record) {
+	a.scanned++
+	if err := r.Validate(); err != nil {
+		a.dropped++
+		return
+	}
+	if r.PDate < a.window.start || r.PDate > a.window.end {
+		return
+	}
+	info, ok := a.matcher.Identify(r.FQDN)
+	if !ok {
+		return
+	}
+	a.matched++
+
+	fs := a.byFQDN[r.FQDN]
+	if fs == nil {
+		region := ""
+		if p, ok := info.Parse(r.FQDN); ok {
+			region = p.Region
+		}
+		fs = &FQDNStats{
+			FQDN:         r.FQDN,
+			Provider:     info.ID,
+			Region:       region,
+			FirstSeenAll: r.PDate,
+			LastSeenAll:  r.PDate,
+			seenDays:     newBitset(a.window.end.Sub(a.window.start) + 1),
+		}
+		a.byFQDN[r.FQDN] = fs
+		a.newPerDay[r.PDate]++
+	}
+	if r.PDate < fs.FirstSeenAll {
+		fs.FirstSeenAll = r.PDate
+	}
+	if r.PDate > fs.LastSeenAll {
+		fs.LastSeenAll = r.PDate
+	}
+	if day := r.PDate.Sub(a.window.start); fs.seenDays.setIfUnset(day) {
+		fs.DaysCount++
+	}
+	fs.TotalRequest += r.RequestCnt
+
+	ps := a.byProvider[info.ID]
+	if ps == nil {
+		ps = &ProviderStats{
+			Provider: info.ID,
+			Regions:  make(map[string]struct{}),
+			ByRType:  make(map[RType]*RTypeStats),
+		}
+		a.byProvider[info.ID] = ps
+	}
+	if fs.Region != "" {
+		ps.Regions[fs.Region] = struct{}{}
+	}
+	ps.Requests += r.RequestCnt
+	rs := ps.ByRType[r.RType]
+	if rs == nil {
+		rs = &RTypeStats{ByRData: make(map[string]int64)}
+		ps.ByRType[r.RType] = rs
+	}
+	rs.Requests += r.RequestCnt
+	rs.ByRData[r.RData] += r.RequestCnt
+
+	mr := a.monthlyReq[info.ID]
+	if mr == nil {
+		mr = make(map[Date]int64)
+		a.monthlyReq[info.ID] = mr
+	}
+	mr[r.PDate.Month()] += r.RequestCnt
+}
+
+// Finish fixes per-provider domain counts and returns the aggregate.
+func (a *Aggregator) Finish() *Aggregate {
+	for _, ps := range a.byProvider {
+		ps.Domains = 0
+	}
+	for _, fs := range a.byFQDN {
+		a.byProvider[fs.Provider].Domains++
+		fs.seenDays = bitset{} // release the bitsets; DaysCount is final
+	}
+	return &Aggregate{
+		Window:     Window{Start: a.window.start, End: a.window.end},
+		ByFQDN:     a.byFQDN,
+		ByProvider: a.byProvider,
+		NewPerDay:  a.newPerDay,
+		MonthlyReq: a.monthlyReq,
+		Scanned:    a.scanned,
+		Matched:    a.matched,
+		Dropped:    a.dropped,
+	}
+}
+
+// Window is an inclusive day range.
+type Window struct{ Start, End Date }
+
+// Days returns the window length in days.
+func (w Window) Days() int { return w.End.Sub(w.Start) + 1 }
+
+// Aggregate is the finished output of an Aggregator pass.
+type Aggregate struct {
+	Window     Window
+	ByFQDN     map[string]*FQDNStats
+	ByProvider map[providers.ID]*ProviderStats
+	NewPerDay  map[Date]int
+	MonthlyReq map[providers.ID]map[Date]int64
+	Scanned    int64
+	Matched    int64
+	Dropped    int64
+}
+
+// TotalDomains returns the number of distinct function FQDNs observed.
+func (ag *Aggregate) TotalDomains() int { return len(ag.ByFQDN) }
+
+// TotalRequests returns the cumulative request count across all functions.
+func (ag *Aggregate) TotalRequests() int64 {
+	var n int64
+	for _, ps := range ag.ByProvider {
+		n += ps.Requests
+	}
+	return n
+}
+
+// PerFunctionStats returns the stats of FQDNs that uniquely identify one
+// cloud function, sorted by FQDN for determinism. Google, IBM and Oracle are
+// excluded, as in paper §4.3.
+func (ag *Aggregate) PerFunctionStats() []*FQDNStats {
+	var out []*FQDNStats
+	for _, fs := range ag.ByFQDN {
+		if providers.Get(fs.Provider).UniqueFunctionDomain {
+			out = append(out, fs)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FQDN < out[j].FQDN })
+	return out
+}
+
+// bitset is a fixed-size set of small non-negative integers, used to count
+// distinct active days per FQDN without a per-day map allocation.
+type bitset struct {
+	words []uint64
+	n     int
+}
+
+func newBitset(n int) bitset { return bitset{words: make([]uint64, (n+63)/64), n: n} }
+
+// setIfUnset sets bit i and reports whether it was previously clear.
+// Out-of-range indices report false.
+func (b bitset) setIfUnset(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	w := i >> 6
+	mask := uint64(1) << (uint(i) & 63)
+	if b.words[w]&mask != 0 {
+		return false
+	}
+	b.words[w] |= mask
+	return true
+}

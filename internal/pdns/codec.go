@@ -1,0 +1,186 @@
+package pdns
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Format selects the on-disk encoding of a PDNS dataset.
+type Format int
+
+const (
+	// JSONL encodes one JSON object per line (self-describing, slower).
+	JSONL Format = iota
+	// TSV encodes tab-separated columns in schema order (compact, fast):
+	// fqdn, rtype, rdata, first_seen(unix), last_seen(unix), request_cnt, pdate.
+	TSV
+)
+
+// Writer streams records to an io.Writer in the chosen format.
+type Writer struct {
+	bw     *bufio.Writer
+	format Format
+	n      int64
+}
+
+// NewWriter wraps w. Call Flush when done.
+func NewWriter(w io.Writer, format Format) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), format: format}
+}
+
+// Write appends one record.
+func (w *Writer) Write(r *Record) error {
+	w.n++
+	switch w.format {
+	case JSONL:
+		b, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("pdns: encode: %w", err)
+		}
+		if _, err := w.bw.Write(b); err != nil {
+			return err
+		}
+		return w.bw.WriteByte('\n')
+	case TSV:
+		var sb strings.Builder
+		sb.Grow(len(r.FQDN) + len(r.RData) + 48)
+		sb.WriteString(r.FQDN)
+		sb.WriteByte('\t')
+		sb.WriteString(strconv.Itoa(int(r.RType)))
+		sb.WriteByte('\t')
+		sb.WriteString(r.RData)
+		sb.WriteByte('\t')
+		sb.WriteString(strconv.FormatInt(r.FirstSeen.Unix(), 10))
+		sb.WriteByte('\t')
+		sb.WriteString(strconv.FormatInt(r.LastSeen.Unix(), 10))
+		sb.WriteByte('\t')
+		sb.WriteString(strconv.FormatInt(r.RequestCnt, 10))
+		sb.WriteByte('\t')
+		sb.WriteString(strconv.Itoa(int(r.PDate)))
+		sb.WriteByte('\n')
+		_, err := w.bw.WriteString(sb.String())
+		return err
+	default:
+		return fmt.Errorf("pdns: unknown format %d", w.format)
+	}
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush drains buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams records from an io.Reader.
+type Reader struct {
+	sc     *bufio.Scanner
+	format Format
+	line   int
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader, format Format) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Reader{sc: sc, format: format}
+}
+
+// Read returns the next record, or io.EOF at end of stream.
+func (r *Reader) Read(rec *Record) error {
+	for {
+		if !r.sc.Scan() {
+			if err := r.sc.Err(); err != nil {
+				return err
+			}
+			return io.EOF
+		}
+		r.line++
+		line := r.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		switch r.format {
+		case JSONL:
+			if err := json.Unmarshal(line, rec); err != nil {
+				return fmt.Errorf("pdns: line %d: %w", r.line, err)
+			}
+		case TSV:
+			if err := parseTSV(string(line), rec); err != nil {
+				return fmt.Errorf("pdns: line %d: %w", r.line, err)
+			}
+		default:
+			return fmt.Errorf("pdns: unknown format %d", r.format)
+		}
+		return nil
+	}
+}
+
+var errColumns = errors.New("wrong column count")
+
+func parseTSV(line string, rec *Record) error {
+	// Manual split avoids the allocation of strings.Split for the hot path.
+	var cols [7]string
+	n := 0
+	for n < 6 {
+		i := strings.IndexByte(line, '\t')
+		if i < 0 {
+			return errColumns
+		}
+		cols[n], line = line[:i], line[i+1:]
+		n++
+	}
+	cols[6] = line
+	rec.FQDN = cols[0]
+	rt, err := strconv.Atoi(cols[1])
+	if err != nil {
+		return fmt.Errorf("rtype: %w", err)
+	}
+	rec.RType = RType(rt)
+	rec.RData = cols[2]
+	fs, err := strconv.ParseInt(cols[3], 10, 64)
+	if err != nil {
+		return fmt.Errorf("first_seen: %w", err)
+	}
+	ls, err := strconv.ParseInt(cols[4], 10, 64)
+	if err != nil {
+		return fmt.Errorf("last_seen: %w", err)
+	}
+	rec.FirstSeen = time.Unix(fs, 0).UTC()
+	rec.LastSeen = time.Unix(ls, 0).UTC()
+	rec.RequestCnt, err = strconv.ParseInt(cols[5], 10, 64)
+	if err != nil {
+		return fmt.Errorf("request_cnt: %w", err)
+	}
+	pd, err := strconv.Atoi(cols[6])
+	if err != nil {
+		return fmt.Errorf("pdate: %w", err)
+	}
+	rec.PDate = Date(pd)
+	return nil
+}
+
+// CopyAll streams every record from r into fn, stopping on the first error.
+// It returns the number of records processed.
+func CopyAll(r *Reader, fn func(*Record) error) (int64, error) {
+	var rec Record
+	var n int64
+	for {
+		err := r.Read(&rec)
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+		if err := fn(&rec); err != nil {
+			return n, err
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package pdns
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// OpenFile opens a PDNS dataset file for reading, transparently decoding
+// gzip (by ".gz" suffix) and selecting the format from the extension:
+// ".tsv"/".tsv.gz" → TSV, ".jsonl"/".jsonl.gz" → JSONL.
+func OpenFile(path string) (*Reader, io.Closer, error) {
+	format, gzipped, err := sniffPath(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var r io.Reader = f
+	closer := multiCloser{f}
+	if gzipped {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("pdns: %s: %w", path, err)
+		}
+		r = gz
+		closer = multiCloser{gz, f}
+	}
+	return NewReader(r, format), closer, nil
+}
+
+// CreateFile creates a PDNS dataset file for writing, with format and
+// compression chosen from the path as in OpenFile. Close the returned
+// closer to flush everything.
+func CreateFile(path string) (*Writer, io.Closer, error) {
+	format, gzipped, err := sniffPath(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var w io.Writer = f
+	closer := multiCloser{f}
+	var gz *gzip.Writer
+	if gzipped {
+		gz = gzip.NewWriter(f)
+		w = gz
+		closer = multiCloser{gz, f}
+	}
+	pw := NewWriter(w, format)
+	return pw, flushCloser{pw, closer}, nil
+}
+
+func sniffPath(path string) (format Format, gzipped bool, err error) {
+	p := strings.ToLower(path)
+	if strings.HasSuffix(p, ".gz") {
+		gzipped = true
+		p = strings.TrimSuffix(p, ".gz")
+	}
+	switch {
+	case strings.HasSuffix(p, ".tsv"):
+		return TSV, gzipped, nil
+	case strings.HasSuffix(p, ".jsonl"):
+		return JSONL, gzipped, nil
+	default:
+		return 0, false, fmt.Errorf("pdns: cannot infer format from %q (want .tsv[.gz] or .jsonl[.gz])", path)
+	}
+}
+
+type multiCloser []io.Closer
+
+func (m multiCloser) Close() error {
+	var first error
+	for _, c := range m {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+type flushCloser struct {
+	w *Writer
+	c io.Closer
+}
+
+func (f flushCloser) Close() error {
+	if err := f.w.Flush(); err != nil {
+		f.c.Close()
+		return err
+	}
+	return f.c.Close()
+}

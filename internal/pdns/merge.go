@@ -1,0 +1,155 @@
+package pdns
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/providers"
+)
+
+// Merge folds other into ag, combining per-FQDN and per-provider statistics
+// as if both aggregates had been produced by a single pass. The windows
+// must match. Merging enables sharded aggregation: split the feed, run one
+// Aggregator per shard, merge the results (see ParallelAggregate).
+//
+// DaysCount merges conservatively: when the same FQDN appears in both
+// shards, duplicate active days cannot be detected post-hoc, so callers
+// that need exact day counts must shard by FQDN (ShardByFQDN does this).
+func (ag *Aggregate) Merge(other *Aggregate) error {
+	if ag.Window != other.Window {
+		return fmt.Errorf("pdns: merging aggregates with different windows %v and %v", ag.Window, other.Window)
+	}
+	for fqdn, fs := range other.ByFQDN {
+		cur, ok := ag.ByFQDN[fqdn]
+		if !ok {
+			ag.ByFQDN[fqdn] = fs
+			continue
+		}
+		if fs.FirstSeenAll < cur.FirstSeenAll {
+			cur.FirstSeenAll = fs.FirstSeenAll
+		}
+		if fs.LastSeenAll > cur.LastSeenAll {
+			cur.LastSeenAll = fs.LastSeenAll
+		}
+		cur.TotalRequest += fs.TotalRequest
+		cur.DaysCount += fs.DaysCount
+	}
+	for id, ps := range other.ByProvider {
+		cur, ok := ag.ByProvider[id]
+		if !ok {
+			ag.ByProvider[id] = ps
+			continue
+		}
+		cur.Requests += ps.Requests
+		for r := range ps.Regions {
+			cur.Regions[r] = struct{}{}
+		}
+		for t, rs := range ps.ByRType {
+			crs, ok := cur.ByRType[t]
+			if !ok {
+				cur.ByRType[t] = rs
+				continue
+			}
+			crs.Requests += rs.Requests
+			for rd, c := range rs.ByRData {
+				crs.ByRData[rd] += c
+			}
+		}
+	}
+	for d, n := range other.NewPerDay {
+		ag.NewPerDay[d] += n
+	}
+	for id, m := range other.MonthlyReq {
+		cur, ok := ag.MonthlyReq[id]
+		if !ok {
+			ag.MonthlyReq[id] = m
+			continue
+		}
+		for month, v := range m {
+			cur[month] += v
+		}
+	}
+	ag.Scanned += other.Scanned
+	ag.Matched += other.Matched
+	ag.Dropped += other.Dropped
+	// Recompute per-provider domain counts from the merged FQDN map.
+	for _, ps := range ag.ByProvider {
+		ps.Domains = 0
+	}
+	for _, fs := range ag.ByFQDN {
+		if ps, ok := ag.ByProvider[fs.Provider]; ok {
+			ps.Domains++
+		}
+	}
+	return nil
+}
+
+// ShardByFQDN returns a stable shard index for an FQDN, so that all records
+// of one function land in the same shard and day counts stay exact.
+func ShardByFQDN(fqdn string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	var h uint32 = 2166136261
+	for i := 0; i < len(fqdn); i++ {
+		h ^= uint32(fqdn[i])
+		h *= 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+// ParallelAggregate consumes records from next (which returns nil at end of
+// stream) using one Aggregator per worker, sharded by FQDN, and merges the
+// results. next is called from a single goroutine; records are fanned out
+// by shard so per-FQDN metrics are exact. workers <= 0 selects GOMAXPROCS.
+func ParallelAggregate(matcher *providers.Matcher, start, end Date, workers int, next func() (*Record, bool)) (*Aggregate, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		a := NewAggregator(matcher, start, end)
+		for {
+			r, ok := next()
+			if !ok {
+				break
+			}
+			a.Add(r)
+		}
+		return a.Finish(), nil
+	}
+
+	chans := make([]chan Record, workers)
+	aggs := make([]*Aggregator, workers)
+	var wg sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan Record, 1024)
+		aggs[i] = NewAggregator(matcher, start, end)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := range chans[i] {
+				aggs[i].Add(&r)
+			}
+		}(i)
+	}
+	for {
+		r, ok := next()
+		if !ok {
+			break
+		}
+		chans[ShardByFQDN(r.FQDN, workers)] <- *r
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+
+	out := aggs[0].Finish()
+	for _, a := range aggs[1:] {
+		if err := out.Merge(a.Finish()); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,182 @@
+// Package posture audits the management posture of serverless providers
+// against the three recommendations of paper §6: (1) strengthen supervision
+// of cloud-function abuse, (2) secure the serverless architecture, and
+// (3) enhance access-control requirements. The per-provider configuration
+// facts encoded here are the ones the paper reports from its empirical
+// provider study (default access modes, public-exposure warnings, wildcard
+// DNS, third-party ingress, embedded URL authentication, and content
+// inspections).
+package posture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dnssim"
+	"repro/internal/providers"
+)
+
+// Facts are the observable management properties of one provider.
+type Facts struct {
+	Provider providers.ID
+
+	// DefaultPublic reports whether a newly created function URL admits
+	// unauthenticated callers by default (§6: Baidu defaults to public;
+	// Aliyun, AWS and Google enforce IAM by default).
+	DefaultPublic bool
+	// WarnsOnPublic reports whether switching to public access shows a
+	// prominent warning (§6: AWS shows a red warning box).
+	WarnsOnPublic bool
+	// EmbeddedURLAuth reports whether default function URLs embed an
+	// authentication parameter (§6: Azure's ?code=Key).
+	EmbeddedURLAuth bool
+	// WildcardDNS reports whether deleted functions keep resolving
+	// (§4.4/§6: every provider but Tencent).
+	WildcardDNS bool
+	// ThirdPartyIngress reports reliance on external network infrastructure
+	// (§4.2: Baidu/Kingsoft on telecom operators, IBM on Cloudflare).
+	ThirdPartyIngress bool
+	// ContentInspections reports whether the provider performs (random)
+	// abuse inspections (§6: Aliyun and Tencent, as required in China).
+	ContentInspections bool
+}
+
+// FactsFor returns the audited facts of a provider.
+func FactsFor(id providers.ID) Facts {
+	f := Facts{
+		Provider:    id,
+		WildcardDNS: providers.Get(id).WildcardDNS,
+	}
+	if pol, ok := dnssim.PolicyFor(id); ok {
+		f.ThirdPartyIngress = len(pol.ThirdPartyOwner) > 0
+	}
+	switch id {
+	case providers.Aliyun:
+		f.ContentInspections = true
+	case providers.Tencent:
+		f.ContentInspections = true
+	case providers.AWS:
+		f.WarnsOnPublic = true
+	case providers.Google, providers.Google2:
+		// IAM by default, no public warning needed beyond the default.
+	case providers.Baidu:
+		f.DefaultPublic = true
+	case providers.Kingsoft:
+		f.DefaultPublic = true
+	case providers.Azure:
+		f.EmbeddedURLAuth = true
+	case providers.IBM, providers.Oracle:
+		// Automatic URLs with platform auth; no extra posture facts.
+	}
+	return f
+}
+
+// Severity ranks a finding.
+type Severity int
+
+const (
+	Info Severity = iota
+	Warn
+	High
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case High:
+		return "high"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Finding is one audit outcome tied to a §6 recommendation.
+type Finding struct {
+	Provider       providers.ID
+	Severity       Severity
+	Recommendation int // 1 = supervision, 2 = architecture, 3 = access control
+	Message        string
+}
+
+// Audit evaluates one provider's facts against the recommendations.
+func Audit(f Facts) []Finding {
+	var out []Finding
+	add := func(sev Severity, rec int, msg string) {
+		out = append(out, Finding{Provider: f.Provider, Severity: sev, Recommendation: rec, Message: msg})
+	}
+	// Recommendation 1: supervision of abuse.
+	if !f.ContentInspections {
+		add(Warn, 1, "no abuse inspections at function creation or runtime")
+	}
+	// Recommendation 2: secure the architecture.
+	if f.WildcardDNS {
+		add(Warn, 2, "wildcard DNS keeps deleted functions resolvable; disable and purge records on deletion")
+	}
+	if f.ThirdPartyIngress {
+		add(Warn, 2, "ingress depends on third-party network infrastructure; secure the dependency")
+	}
+	// Recommendation 3: access control.
+	switch {
+	case f.DefaultPublic && !f.WarnsOnPublic:
+		add(High, 3, "functions default to public access with no warning")
+	case f.DefaultPublic:
+		add(Warn, 3, "functions default to public access")
+	case !f.WarnsOnPublic && !f.EmbeddedURLAuth:
+		add(Info, 3, "IAM default present but switching to public shows no prominent warning")
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Severity > out[j].Severity })
+	return out
+}
+
+// AuditAll audits every registered provider and returns findings grouped in
+// Table 1 order.
+func AuditAll() []Finding {
+	var out []Finding
+	for _, in := range providers.All() {
+		out = append(out, Audit(FactsFor(in.ID))...)
+	}
+	return out
+}
+
+// Scorecard summarises a provider's audit as a compliance score in [0, 1]:
+// 1 means no findings, with High findings weighted 3x Warn and Info 1/3.
+func Scorecard(fs []Finding) float64 {
+	var weight float64
+	for _, f := range fs {
+		switch f.Severity {
+		case High:
+			weight += 3
+		case Warn:
+			weight += 1
+		default:
+			weight += 1.0 / 3
+		}
+	}
+	return 1 / (1 + weight)
+}
+
+// Render prints an audit as text.
+func Render(findings []Finding) string {
+	var b strings.Builder
+	b.WriteString("Provider posture audit (paper §6 recommendations)\n")
+	byProvider := map[providers.ID][]Finding{}
+	var order []providers.ID
+	for _, f := range findings {
+		if _, ok := byProvider[f.Provider]; !ok {
+			order = append(order, f.Provider)
+		}
+		byProvider[f.Provider] = append(byProvider[f.Provider], f)
+	}
+	for _, id := range order {
+		fs := byProvider[id]
+		fmt.Fprintf(&b, "%s (score %.2f):\n", id, Scorecard(fs))
+		for _, f := range fs {
+			fmt.Fprintf(&b, "  [%-4s] R%d %s\n", f.Severity, f.Recommendation, f.Message)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package posture
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/providers"
+)
+
+func findingsFor(t *testing.T, id providers.ID) []Finding {
+	t.Helper()
+	return Audit(FactsFor(id))
+}
+
+func hasFinding(fs []Finding, rec int, sev Severity) bool {
+	for _, f := range fs {
+		if f.Recommendation == rec && f.Severity == sev {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBaiduHighAccessFinding(t *testing.T) {
+	// §6: Baidu defaults to public with no warning — the worst posture.
+	fs := findingsFor(t, providers.Baidu)
+	if !hasFinding(fs, 3, High) {
+		t.Errorf("Baidu findings = %v, want high-severity access-control finding", fs)
+	}
+}
+
+func TestAWSWarnsOnPublic(t *testing.T) {
+	fs := findingsFor(t, providers.AWS)
+	if hasFinding(fs, 3, High) {
+		t.Errorf("AWS should not have a high access finding (red warning box): %v", fs)
+	}
+}
+
+func TestTencentWildcardPosture(t *testing.T) {
+	// Tencent is the only provider already compliant with the wildcard
+	// recommendation.
+	fs := findingsFor(t, providers.Tencent)
+	for _, f := range fs {
+		if f.Recommendation == 2 && strings.Contains(f.Message, "wildcard") {
+			t.Errorf("Tencent flagged for wildcard DNS despite having none: %v", f)
+		}
+	}
+	// Everyone else is flagged.
+	fs = findingsFor(t, providers.AWS)
+	found := false
+	for _, f := range fs {
+		if f.Recommendation == 2 && strings.Contains(f.Message, "wildcard") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("AWS not flagged for wildcard DNS")
+	}
+}
+
+func TestThirdPartyIngressFindings(t *testing.T) {
+	for _, id := range []providers.ID{providers.Baidu, providers.Kingsoft, providers.IBM} {
+		found := false
+		for _, f := range findingsFor(t, id) {
+			if strings.Contains(f.Message, "third-party") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v not flagged for third-party ingress", id)
+		}
+	}
+	for _, f := range findingsFor(t, providers.AWS) {
+		if strings.Contains(f.Message, "third-party") {
+			t.Errorf("AWS wrongly flagged for third-party ingress")
+		}
+	}
+}
+
+func TestInspectionFindings(t *testing.T) {
+	// Aliyun and Tencent run inspections; others get the supervision
+	// finding.
+	for _, f := range findingsFor(t, providers.Aliyun) {
+		if f.Recommendation == 1 {
+			t.Errorf("Aliyun flagged for missing inspections: %v", f)
+		}
+	}
+	found := false
+	for _, f := range findingsFor(t, providers.Google2) {
+		if f.Recommendation == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Google2 not flagged for missing inspections")
+	}
+}
+
+func TestAzureEmbeddedAuth(t *testing.T) {
+	fs := findingsFor(t, providers.Azure)
+	for _, f := range fs {
+		if f.Recommendation == 3 && f.Severity >= Warn {
+			t.Errorf("Azure embeds auth in URLs; access finding %v unexpected", f)
+		}
+	}
+}
+
+func TestScorecardOrdering(t *testing.T) {
+	baidu := Scorecard(findingsFor(t, providers.Baidu))
+	aws := Scorecard(findingsFor(t, providers.AWS))
+	if baidu >= aws {
+		t.Errorf("Baidu score %.2f should be below AWS %.2f", baidu, aws)
+	}
+	if s := Scorecard(nil); s != 1 {
+		t.Errorf("clean scorecard = %v", s)
+	}
+}
+
+func TestSeverityOrderingInAudit(t *testing.T) {
+	fs := findingsFor(t, providers.Baidu)
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Severity > fs[i-1].Severity {
+			t.Error("findings not ordered most-severe first")
+		}
+	}
+}
+
+func TestAuditAllAndRender(t *testing.T) {
+	all := AuditAll()
+	if len(all) < 10 {
+		t.Fatalf("AuditAll = %d findings", len(all))
+	}
+	out := Render(all)
+	for _, want := range []string{"Baidu", "AWS", "wildcard", "score"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package probe
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// DisclosureServer implements the transparency measure of the paper's
+// Appendix A: the hosts that issue probe requests run a web service on port
+// 80 explaining the experiment, naming a contact, and offering function
+// owners an opt-out. Opt-outs submitted here immediately suppress further
+// contact by the attached Prober and are recorded so previously collected
+// data can be discarded.
+type DisclosureServer struct {
+	// Prober receives opt-outs; required.
+	Prober *Prober
+	// Study describes the experiment; Contact is the researcher address.
+	Study   string
+	Contact string
+
+	mu      sync.Mutex
+	optOuts []string
+}
+
+// NewDisclosureServer wires a disclosure page to a prober.
+func NewDisclosureServer(p *Prober, study, contact string) *DisclosureServer {
+	return &DisclosureServer{Prober: p, Study: study, Contact: contact}
+}
+
+// OptOuts returns the domains whose owners opted out, in arrival order.
+// Callers must discard any data already collected for them (Appendix A).
+func (d *DisclosureServer) OptOuts() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.optOuts...)
+}
+
+// ServeHTTP serves the explanation page on GET / and accepts opt-outs on
+// POST /opt-out with a form field "fqdn".
+func (d *DisclosureServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, `<!DOCTYPE html><html><head><title>Measurement study</title></head><body>
+<h1>Internet measurement study</h1>
+<p>%s</p>
+<p>Our probes send at most one parameter-free GET request per scheme to each
+function domain and never follow redirects. No function code is collected.</p>
+<p>Contact: %s</p>
+<form method="POST" action="/opt-out">
+  <label>Opt your function domain out of this study:
+  <input name="fqdn" placeholder="your-function-domain"/></label>
+  <button type="submit">Opt out</button>
+</form>
+</body></html>`, html.EscapeString(d.Study), html.EscapeString(d.Contact))
+	case r.Method == http.MethodPost && r.URL.Path == "/opt-out":
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, "bad form", http.StatusBadRequest)
+			return
+		}
+		fqdn := strings.TrimSpace(strings.ToLower(r.PostFormValue("fqdn")))
+		if fqdn == "" || strings.ContainsAny(fqdn, " /\\") {
+			http.Error(w, "invalid domain", http.StatusBadRequest)
+			return
+		}
+		d.Prober.OptOut(fqdn)
+		d.mu.Lock()
+		d.optOuts = append(d.optOuts, fqdn)
+		d.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "opted out: %s\nall collected data for this domain will be discarded\n", fqdn)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// Discard removes results for opted-out domains from a result set,
+// implementing the Appendix A promise to drop collected data.
+func (d *DisclosureServer) Discard(results []Result) []Result {
+	outs := map[string]struct{}{}
+	d.mu.Lock()
+	for _, o := range d.optOuts {
+		outs[o] = struct{}{}
+	}
+	d.mu.Unlock()
+	kept := results[:0]
+	for _, r := range results {
+		if _, ok := outs[strings.ToLower(r.FQDN)]; !ok {
+			kept = append(kept, r)
+		}
+	}
+	return kept
+}

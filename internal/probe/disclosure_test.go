@@ -1,0 +1,100 @@
+package probe
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newDisclosure(t *testing.T) (*Prober, *DisclosureServer, *httptest.Server) {
+	t.Helper()
+	p := New(Config{Timeout: time.Second})
+	d := NewDisclosureServer(p, "We measure serverless function usage.", "research@example.edu")
+	srv := httptest.NewServer(d)
+	t.Cleanup(srv.Close)
+	return p, d, srv
+}
+
+func TestDisclosurePage(t *testing.T) {
+	_, _, srv := newDisclosure(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{"measurement study", "research@example.edu", "opt-out", "parameter-free GET"} {
+		if !strings.Contains(strings.ToLower(body), strings.ToLower(want)) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
+func TestOptOutFlow(t *testing.T) {
+	p, d, srv := newDisclosure(t)
+	resp, err := http.PostForm(srv.URL+"/opt-out", url.Values{"fqdn": {"OWNER.lambda-url.us-east-1.on.aws"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("opt-out status = %d", resp.StatusCode)
+	}
+	// The prober must now refuse to contact the domain.
+	res := p.Probe(context.Background(), "owner.lambda-url.us-east-1.on.aws")
+	if res.Failure != FailOptOut || res.Attempts != 0 {
+		t.Errorf("opted-out domain probed: %+v", res)
+	}
+	if got := d.OptOuts(); len(got) != 1 || got[0] != "owner.lambda-url.us-east-1.on.aws" {
+		t.Errorf("opt-out record = %v", got)
+	}
+}
+
+func TestOptOutValidation(t *testing.T) {
+	_, _, srv := newDisclosure(t)
+	for _, bad := range []string{"", "has space.example", "path/injection"} {
+		resp, err := http.PostForm(srv.URL+"/opt-out", url.Values{"fqdn": {bad}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("invalid opt-out %q accepted: %d", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestDisclosureUnknownPath(t *testing.T) {
+	_, _, srv := newDisclosure(t)
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+}
+
+func TestDiscardCollectedData(t *testing.T) {
+	_, d, srv := newDisclosure(t)
+	results := []Result{
+		{FQDN: "keep.lambda-url.us-east-1.on.aws", Status: 200},
+		{FQDN: "GONE.lambda-url.us-east-1.on.aws", Status: 200},
+	}
+	resp, err := http.PostForm(srv.URL+"/opt-out", url.Values{"fqdn": {"gone.lambda-url.us-east-1.on.aws"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	kept := d.Discard(results)
+	if len(kept) != 1 || kept[0].FQDN != "keep.lambda-url.us-east-1.on.aws" {
+		t.Errorf("Discard kept %v", kept)
+	}
+}

@@ -1,0 +1,315 @@
+// Package probe implements the active information collection of paper §3.3:
+// each candidate function domain receives a parameter-free GET over HTTPS,
+// falling back to HTTP on failure; domains failing both are marked
+// unreachable. A uniform timeout (60 s, the default execution cap of most
+// providers) applies, redirects are recorded rather than followed (their
+// Location headers feed the abuse analysis), and the ethics controls of
+// Appendix A are enforced in code: a hard cap on requests per function, an
+// opt-out list, and a User-Agent identifying the measurement and a contact
+// point.
+package probe
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FailureReason classifies why a domain was unreachable.
+type FailureReason string
+
+const (
+	FailNone    FailureReason = ""
+	FailDNS     FailureReason = "dns"     // resolution failed (deleted Tencent functions)
+	FailTimeout FailureReason = "timeout" // both schemes timed out
+	FailConn    FailureReason = "conn"    // connection refused / reset
+	FailOptOut  FailureReason = "opt-out" // owner opted out; never contacted
+	FailBudget  FailureReason = "budget"  // per-function request cap exhausted
+)
+
+// Result is the recorded outcome of probing one function domain.
+type Result struct {
+	FQDN        string
+	Reachable   bool
+	Failure     FailureReason
+	HTTPS       bool // reached over HTTPS (vs HTTP fallback)
+	Status      int
+	ContentType string
+	Location    string // redirect target, if Status is 3xx
+	Body        []byte
+	Attempts    int
+	Elapsed     time.Duration
+}
+
+// Empty reports whether a 200 response carried no content; only non-empty
+// 200s feed the abuse analysis (96.01% of 200s in the paper).
+func (r *Result) Empty() bool { return r.Status == 200 && len(r.Body) == 0 }
+
+// Config tunes a Prober.
+type Config struct {
+	// Timeout per request; defaults to 60s like most providers' caps.
+	Timeout time.Duration
+	// MaxBody caps how many response bytes are retained.
+	MaxBody int64
+	// Concurrency bounds in-flight probes in ProbeAll.
+	Concurrency int
+	// MaxAttempts caps requests per function across both schemes
+	// (Appendix A limits probes to fewer than three per function).
+	MaxAttempts int
+	// UserAgent identifies the research probe; Appendix A additionally ran
+	// an explanation page with contact details on the probing host.
+	UserAgent string
+	// Resolve pre-checks DNS for the domain; a non-nil error marks the
+	// domain unreachable with FailDNS before any HTTP contact. Nil skips
+	// the check (the system resolver decides during dialing).
+	Resolve func(fqdn string) error
+	// DialContext overrides transport dialing; the simulation points this
+	// at the in-process gateway. TLS verification is relaxed only when a
+	// custom dialer is installed, because the simulated endpoints present
+	// a test certificate for a different name.
+	DialContext func(ctx context.Context, network, addr string) (net.Conn, error)
+	// RatePerSecond caps the campaign-wide request rate, a politeness
+	// control on top of the per-function caps; 0 disables.
+	RatePerSecond float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 16
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 2 // one HTTPS try + one HTTP fallback
+	}
+	if c.UserAgent == "" {
+		c.UserAgent = "serverless-measurement-research/1.0 (opt-out: see probe host port 80)"
+	}
+	return c
+}
+
+// Prober performs the collection.
+type Prober struct {
+	cfg     Config
+	client  *http.Client
+	limiter chan struct{}
+
+	mu     sync.Mutex
+	optOut map[string]struct{}
+	stats  Stats
+}
+
+// Stats aggregates a probing campaign.
+type Stats struct {
+	Probed      int
+	Reachable   int
+	Unreachable int
+	DNSFailures int
+	HTTPSOnly   int // reached via HTTPS
+	Fallbacks   int // needed the HTTP fallback
+	Requests    int // total HTTP requests issued
+}
+
+// New builds a Prober.
+func New(cfg Config) *Prober {
+	cfg = cfg.withDefaults()
+	tr := &http.Transport{
+		MaxIdleConns:        100,
+		MaxIdleConnsPerHost: 2,
+		DisableKeepAlives:   true,
+	}
+	if cfg.DialContext != nil {
+		tr.DialContext = cfg.DialContext
+		tr.TLSClientConfig = &tls.Config{InsecureSkipVerify: true}
+	}
+	var limiter chan struct{}
+	if cfg.RatePerSecond > 0 {
+		limiter = make(chan struct{}, 1)
+		interval := time.Duration(float64(time.Second) / cfg.RatePerSecond)
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for range tick.C {
+				select {
+				case limiter <- struct{}{}:
+				default:
+				}
+			}
+		}()
+	}
+	return &Prober{
+		cfg:     cfg,
+		limiter: limiter,
+		client: &http.Client{
+			Transport: tr,
+			Timeout:   cfg.Timeout,
+			// Record redirects, do not follow them: Location headers are
+			// evidence for the hidden-illicit-service analysis (§5.3).
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		},
+	}
+}
+
+// OptOut registers a function owner's opt-out; the domain is never
+// contacted again (Appendix A).
+func (p *Prober) OptOut(fqdn string) {
+	p.mu.Lock()
+	if p.optOut == nil {
+		p.optOut = make(map[string]struct{})
+	}
+	p.optOut[strings.ToLower(fqdn)] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Prober) optedOut(fqdn string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.optOut[strings.ToLower(fqdn)]
+	return ok
+}
+
+// Stats returns a snapshot of campaign counters.
+func (p *Prober) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Probe contacts one function domain: HTTPS first, HTTP on failure.
+func (p *Prober) Probe(ctx context.Context, fqdn string) Result {
+	start := time.Now()
+	res := Result{FQDN: fqdn}
+	defer func() {
+		res.Elapsed = time.Since(start)
+		p.mu.Lock()
+		p.stats.Probed++
+		p.stats.Requests += res.Attempts
+		if res.Reachable {
+			p.stats.Reachable++
+			if res.HTTPS {
+				p.stats.HTTPSOnly++
+			} else {
+				p.stats.Fallbacks++
+			}
+		} else {
+			p.stats.Unreachable++
+			if res.Failure == FailDNS {
+				p.stats.DNSFailures++
+			}
+		}
+		p.mu.Unlock()
+	}()
+
+	if p.optedOut(fqdn) {
+		res.Failure = FailOptOut
+		return res
+	}
+	if p.cfg.Resolve != nil {
+		if err := p.cfg.Resolve(fqdn); err != nil {
+			res.Failure = FailDNS
+			return res
+		}
+	}
+
+	var lastErr error
+	for _, scheme := range []string{"https", "http"} {
+		if res.Attempts >= p.cfg.MaxAttempts {
+			res.Failure = FailBudget
+			return res
+		}
+		res.Attempts++
+		ok, err := p.tryScheme(ctx, scheme, fqdn, &res)
+		if ok {
+			res.Reachable = true
+			res.HTTPS = scheme == "https"
+			res.Failure = FailNone
+			return res
+		}
+		lastErr = err
+	}
+	res.Failure = classifyError(lastErr)
+	return res
+}
+
+// tryScheme issues one parameter-free GET, honouring the campaign rate cap.
+func (p *Prober) tryScheme(ctx context.Context, scheme, fqdn string, res *Result) (bool, error) {
+	if p.limiter != nil {
+		select {
+		case <-p.limiter:
+		case <-ctx.Done():
+			return false, ctx.Err()
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, scheme+"://"+fqdn+"/", nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("User-Agent", p.cfg.UserAgent)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, p.cfg.MaxBody))
+	if err != nil && len(body) == 0 {
+		return false, err
+	}
+	res.Status = resp.StatusCode
+	res.ContentType = resp.Header.Get("Content-Type")
+	res.Location = resp.Header.Get("Location")
+	res.Body = body
+	return true, nil
+}
+
+func classifyError(err error) FailureReason {
+	if err == nil {
+		return FailConn
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return FailTimeout
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "Client.Timeout"), strings.Contains(msg, "deadline"):
+		return FailTimeout
+	case strings.Contains(msg, "no such host"):
+		return FailDNS
+	default:
+		return FailConn
+	}
+}
+
+// ProbeAll probes every domain with bounded concurrency, preserving input
+// order in the results.
+func (p *Prober) ProbeAll(ctx context.Context, fqdns []string) []Result {
+	results := make([]Result, len(fqdns))
+	sem := make(chan struct{}, p.cfg.Concurrency)
+	var wg sync.WaitGroup
+	for i, fqdn := range fqdns {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, fqdn string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = p.Probe(ctx, fqdn)
+		}(i, fqdn)
+	}
+	wg.Wait()
+	return results
+}

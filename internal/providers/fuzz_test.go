@@ -1,0 +1,36 @@
+package providers
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzIdentify checks the identification invariants on arbitrary input:
+// never panic, fast-path agrees with the regex-only path, and any match
+// round-trips through Parse.
+func FuzzIdentify(f *testing.F) {
+	f.Add("1234567890-abcdefghij-ap-guangzhou.scf.tencentcs.com")
+	f.Add("h2ag4fmzrlwqify7rz2jak4mhi3lmytz.lambda-url.us-east-1.on.aws")
+	f.Add("us-central1-myproject.cloudfunctions.net")
+	f.Add("www.example.com")
+	f.Add("")
+	f.Add("..")
+	f.Add(strings.Repeat("a.", 100))
+	f.Add("x.ON.AWS.")
+	m := NewMatcher(nil)
+	f.Fuzz(func(t *testing.T, fqdn string) {
+		fast, fok := m.Identify(fqdn)
+		slow, sok := m.IdentifySlow(fqdn)
+		if fok != sok {
+			t.Fatalf("Identify(%q) ok=%v but IdentifySlow ok=%v", fqdn, fok, sok)
+		}
+		if fok {
+			if fast.ID != slow.ID {
+				t.Fatalf("Identify(%q) = %v, IdentifySlow = %v", fqdn, fast.ID, slow.ID)
+			}
+			if _, ok := fast.Parse(fqdn); !ok {
+				t.Fatalf("matched %q does not parse", fqdn)
+			}
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package providers
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Spec carries the user-controlled components of a function URL. Fields that
+// a provider's format does not use are ignored when generating its domain.
+type Spec struct {
+	FunctionName string // [FName]
+	ProjectName  string // [PName]
+	UserID       string // [UserID] (Tencent: 10-digit account ID)
+	Region       string // [Region]; must be one of the provider's regions
+	Random       string // [Random]; generated when empty
+}
+
+const (
+	lowerAlnum = "abcdefghijklmnopqrstuvwxyz0123456789"
+	lowerAlpha = "abcdefghijklmnopqrstuvwxyz"
+	digits     = "0123456789"
+)
+
+// randString draws n characters from alphabet using rng.
+func randString(rng *rand.Rand, alphabet string, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// RandomToken returns a random component in the provider's native shape:
+// length and alphabet differ per provider (e.g. Aliyun uses 10 lowercase
+// letters, Baidu 13 lowercase alphanumerics, AWS a 32-char URL-safe ID).
+func (in *Info) RandomToken(rng *rand.Rand) string {
+	switch in.ID {
+	case Aliyun:
+		return randString(rng, lowerAlpha, 10)
+	case Baidu:
+		return randString(rng, lowerAlnum, 13)
+	case Tencent, Google2:
+		return randString(rng, lowerAlnum, 10)
+	case Kingsoft:
+		return randString(rng, lowerAlnum, 12)
+	case AWS:
+		return randString(rng, lowerAlnum, 32)
+	case Oracle:
+		return randString(rng, lowerAlnum, 11)
+	default:
+		return randString(rng, lowerAlnum, 10)
+	}
+}
+
+// Domain builds the function FQDN for the given spec. The result always
+// matches the provider's Table 1 regular expression; Generate-style callers
+// should fill Spec.Random via RandomToken for realistic values.
+func (in *Info) Domain(spec Spec) (string, error) {
+	if spec.Region == "" && in.usesRegion() {
+		return "", fmt.Errorf("providers: %s domain requires a region", in.Name)
+	}
+	switch in.ID {
+	case Aliyun:
+		if spec.FunctionName == "" || spec.ProjectName == "" {
+			return "", fmt.Errorf("providers: Aliyun domain requires FunctionName and ProjectName")
+		}
+		return fmt.Sprintf("%s-%s-%s.%s.fcapp.run",
+			sanitizeLabel(spec.FunctionName), sanitizeLabel(spec.ProjectName),
+			spec.Random, spec.Region), nil
+	case Baidu:
+		return fmt.Sprintf("%s.cfc-execute.%s.baidubce.com", spec.Random, spec.Region), nil
+	case Tencent:
+		if len(spec.UserID) != 10 || strings.Trim(spec.UserID, digits) != "" {
+			return "", fmt.Errorf("providers: Tencent domain requires a 10-digit UserID, got %q", spec.UserID)
+		}
+		return fmt.Sprintf("%s-%s-%s.scf.tencentcs.com", spec.UserID, spec.Random, spec.Region), nil
+	case Kingsoft:
+		return fmt.Sprintf("%s-%s.ksyuncf.com", spec.Random, spec.Region), nil
+	case AWS:
+		return fmt.Sprintf("%s.lambda-url.%s.on.aws", spec.Random, spec.Region), nil
+	case Google:
+		if spec.ProjectName == "" {
+			return "", fmt.Errorf("providers: Google domain requires ProjectName")
+		}
+		return fmt.Sprintf("%s-%s.cloudfunctions.net", spec.Region, sanitizeLabel(spec.ProjectName)), nil
+	case Google2:
+		if spec.FunctionName == "" {
+			return "", fmt.Errorf("providers: Google2 domain requires FunctionName")
+		}
+		// Gen-2 embeds a compact region token (e.g. "uc" for us-central1);
+		// we keep the full region id, which the Table 1 regex also accepts.
+		return fmt.Sprintf("%s-%s-%s.a.run.app",
+			sanitizeLabel(spec.FunctionName), spec.Random, compactGoogleRegion(spec.Region)), nil
+	case IBM:
+		return fmt.Sprintf("%s.functions.appdomain.cloud", spec.Region), nil
+	case Oracle:
+		return fmt.Sprintf("%s.%s.functions.oci.oraclecloud.com", spec.Random, spec.Region), nil
+	case Azure:
+		if spec.ProjectName == "" {
+			return "", fmt.Errorf("providers: Azure domain requires ProjectName")
+		}
+		return fmt.Sprintf("%s.azurewebsites.net", sanitizeLabel(spec.ProjectName)), nil
+	default:
+		return "", fmt.Errorf("providers: unknown provider %d", int(in.ID))
+	}
+}
+
+// URL builds the full invocation URL (scheme https, Table 1 path).
+func (in *Info) URL(spec Spec) (string, error) {
+	dom, err := in.Domain(spec)
+	if err != nil {
+		return "", err
+	}
+	switch in.ID {
+	case Google:
+		return "https://" + dom + "/" + sanitizeLabel(spec.FunctionName), nil
+	case IBM, Oracle:
+		return "https://" + dom + "/api/v1/web/ns/default/" + sanitizeLabel(spec.FunctionName), nil
+	case Azure:
+		return "https://" + dom + "/api/" + sanitizeLabel(spec.FunctionName) + "?code=" + spec.Random, nil
+	default:
+		return "https://" + dom + "/", nil
+	}
+}
+
+func (in *Info) usesRegion() bool { return in.ID != Azure }
+
+// sanitizeLabel lowercases s and squeezes characters that are not legal in a
+// DNS label into hyphens, trimming leading/trailing hyphens.
+func sanitizeLabel(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// compactGoogleRegion keeps the generated gen-2 domains shaped like real
+// a.run.app hosts, which use a short region token. The token must not contain
+// characters outside [a-z0-9-].
+func compactGoogleRegion(region string) string {
+	return strings.ReplaceAll(region, ".", "-")
+}
+
+// Generate mints a plausible random function domain for the provider. FName,
+// PName, and UserID components are synthesised from the rng; the region is
+// drawn uniformly from the provider's region list unless region is non-empty.
+func (in *Info) Generate(rng *rand.Rand, region string) string {
+	if region == "" {
+		region = in.Regions[rng.Intn(len(in.Regions))]
+	}
+	spec := Spec{
+		FunctionName: genWord(rng),
+		ProjectName:  genWord(rng),
+		UserID:       "1" + randString(rng, digits, 9),
+		Region:       region,
+		Random:       in.RandomToken(rng),
+	}
+	dom, err := in.Domain(spec)
+	if err != nil {
+		// All fields are populated, so errors indicate a registry bug.
+		panic(fmt.Sprintf("providers: Generate(%s): %v", in.Name, err))
+	}
+	return dom
+}
+
+// genWord synthesises a pronounceable identifier, the kind developers use
+// for function and project names. Numeric suffixes appear often and range
+// widely so that large generated populations rarely collide (callers that
+// need global uniqueness still deduplicate).
+func genWord(rng *rand.Rand) string {
+	syllables := []string{
+		"api", "app", "auth", "bot", "cdn", "chat", "data", "dev", "fn",
+		"gate", "hook", "img", "job", "log", "mail", "meta", "node", "pay",
+		"png", "prod", "proxy", "push", "svc", "task", "test", "web", "worker",
+	}
+	w := syllables[rng.Intn(len(syllables))]
+	if rng.Intn(2) == 0 {
+		w += "-" + syllables[rng.Intn(len(syllables))]
+	}
+	switch rng.Intn(3) {
+	case 0:
+		w += fmt.Sprintf("%d", rng.Intn(100))
+	case 1:
+		w += fmt.Sprintf("-%06d", rng.Intn(1_000_000))
+	}
+	return w
+}

@@ -1,0 +1,85 @@
+package providers
+
+// Region lists per provider. The list lengths match the "Regions" column of
+// the paper's Table 2 (the set of regions actually observed in the PDNS
+// data): Aliyun 21, Baidu 3, Tencent 22, Kingsoft 2, AWS 22, Google 37,
+// Google2 37, IBM 6, Oracle 5. Region identifiers follow each provider's real
+// naming scheme because they are embedded in function domains and parsed back
+// out during analysis (paper §4.2).
+
+var aliyunRegions = []string{
+	"cn-hangzhou", "cn-shanghai", "cn-qingdao", "cn-beijing", "cn-zhangjiakou",
+	"cn-huhehaote", "cn-shenzhen", "cn-chengdu", "cn-hongkong",
+	"ap-southeast-1", "ap-southeast-2", "ap-southeast-3", "ap-southeast-5",
+	"ap-southeast-7", "ap-northeast-1", "ap-northeast-2", "eu-central-1",
+	"eu-west-1", "us-west-1", "us-east-1", "ap-south-1",
+}
+
+// Baidu functions are concentrated in three Chinese cities (paper §4.2:
+// Beijing, Shenzhen, Suzhou), labelled bj, gz and su in function domains.
+var baiduRegions = []string{"bj", "gz", "su"}
+
+var tencentRegions = []string{
+	"ap-beijing", "ap-chengdu", "ap-chongqing", "ap-guangzhou", "ap-shanghai",
+	"ap-nanjing", "ap-hongkong", "ap-mumbai", "ap-seoul", "ap-singapore",
+	"ap-bangkok", "ap-tokyo", "ap-jakarta", "eu-frankfurt", "eu-moscow",
+	"na-ashburn", "na-siliconvalley", "na-toronto", "sa-saopaulo",
+	"ap-shenzhen-fsi", "ap-shanghai-fsi", "ap-beijing-fsi",
+}
+
+var kingsoftRegions = []string{"eu-east-1", "cn-beijing-6"}
+
+var awsRegions = []string{
+	"us-east-1", "us-east-2", "us-west-1", "us-west-2",
+	"af-south-1", "ap-east-1", "ap-south-1", "ap-northeast-1",
+	"ap-northeast-2", "ap-northeast-3", "ap-southeast-1", "ap-southeast-2",
+	"ap-southeast-3", "ca-central-1", "eu-central-1", "eu-west-1",
+	"eu-west-2", "eu-west-3", "eu-north-1", "eu-south-1",
+	"me-south-1", "sa-east-1",
+}
+
+// googleRegions is shared by both Google generations (37 regions). Gen-1
+// domains embed the region as the leading label ("us-central1-<project>"),
+// gen-2 domains embed a region token after the random string.
+var googleRegions = []string{
+	"asia-east1", "asia-east2", "asia-northeast1", "asia-northeast2",
+	"asia-northeast3", "asia-south1", "asia-south2", "asia-southeast1",
+	"asia-southeast2", "australia-southeast1", "australia-southeast2",
+	"europe-central2", "europe-north1", "europe-southwest1", "europe-west1",
+	"europe-west2", "europe-west3", "europe-west4", "europe-west6",
+	"europe-west8", "europe-west9", "europe-west10", "europe-west12",
+	"us-west4", "asia-southeast3", "northamerica-northeast1",
+	"northamerica-northeast2", "southamerica-east1", "southamerica-west1",
+	"us-central1", "us-east1", "us-east4", "us-east5", "us-south1",
+	"us-west1", "us-west2", "us-west3",
+}
+
+var ibmRegions = []string{"us-south", "us-east", "eu-gb", "eu-de", "jp-tok", "au-syd"}
+
+var oracleRegions = []string{
+	"ap-tokyo-1", "us-ashburn-1", "eu-frankfurt-1", "uk-london-1", "ap-seoul-1",
+}
+
+var azureRegions = []string{"eastus", "westeurope", "southeastasia", "chinanorth"}
+
+// ChinaRegion reports whether a region identifier denotes a mainland-China
+// region. Used by the geo-bypass proxy analysis (paper §5.4): abusive proxy
+// functions are deployed outside China so their egress IPs clear the GFW.
+func ChinaRegion(region string) bool {
+	switch {
+	case len(region) >= 3 && region[:3] == "cn-":
+		return true
+	case region == "bj" || region == "gz" || region == "su":
+		return true
+	case region == "chinanorth" || region == "chinaeast":
+		return true
+	}
+	// Tencent mainland regions are ap-<chinese city>.
+	switch region {
+	case "ap-beijing", "ap-chengdu", "ap-chongqing", "ap-guangzhou",
+		"ap-shanghai", "ap-nanjing", "ap-shenzhen-fsi", "ap-shanghai-fsi",
+		"ap-beijing-fsi":
+		return true
+	}
+	return false
+}

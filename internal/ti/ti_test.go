@@ -1,0 +1,49 @@
+package ti
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLookupAndSeed(t *testing.T) {
+	o := NewOracle()
+	if v, n := o.Lookup("clean.example"); v != Unknown || n != 0 {
+		t.Errorf("unseeded lookup = %v/%d", v, n)
+	}
+	o.Seed([]string{"BAD.example"}, 3)
+	if v, n := o.Lookup("bad.example"); v != Malicious || n != 3 {
+		t.Errorf("seeded lookup = %v/%d (case-insensitive expected)", v, n)
+	}
+	if o.Queries() != 2 {
+		t.Errorf("queries = %d", o.Queries())
+	}
+	if Malicious.String() != "malicious" || Unknown.String() != "unknown" {
+		t.Error("verdict strings wrong")
+	}
+}
+
+func TestAssessDefenseGap(t *testing.T) {
+	// Reproduce the Finding 10 shape: 594 abused domains, 4 flagged.
+	o := NewOracle()
+	var abused []string
+	for i := 0; i < 594; i++ {
+		abused = append(abused, fmt.Sprintf("fn%03d.example", i))
+	}
+	o.Seed(abused[:4], 2)
+	c := o.Assess(abused)
+	if c.Total != 594 || c.Flagged != 4 {
+		t.Fatalf("coverage = %+v", c)
+	}
+	if r := c.Rate(); r < 0.0067 || r > 0.0068 {
+		t.Errorf("rate = %v, want ~0.67%%", r)
+	}
+	if len(c.Domains) != 4 {
+		t.Errorf("flagged domains = %v", c.Domains)
+	}
+}
+
+func TestCoverageEmpty(t *testing.T) {
+	if r := (Coverage{}).Rate(); r != 0 {
+		t.Errorf("empty coverage rate = %v", r)
+	}
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/pdns"
+	"repro/internal/providers"
+)
+
+// Population serialization: one JSON object per function, one per line.
+// Exporting the generated fleet gives external tooling the ground truth a
+// real measurement never has — which functions are abusive, what their
+// temporal plans were — so detector precision/recall can be validated
+// outside this module.
+
+// functionSpec is the wire form of a Function.
+type functionSpec struct {
+	FQDN        string      `json:"fqdn"`
+	Provider    string      `json:"provider"`
+	Region      string      `json:"region"`
+	Profile     string      `json:"profile"`
+	ActiveDays  []pdns.Date `json:"active_days"`
+	Daily       []int64     `json:"daily_invocations"`
+	Total       int64       `json:"total"`
+	HTTPOnly    bool        `json:"http_only,omitempty"`
+	SecretKind  int         `json:"secret_kind,omitempty"`
+	Contact     string      `json:"contact,omitempty"`
+	AccountSale bool        `json:"account_sale,omitempty"`
+	C2Family    string      `json:"c2_family,omitempty"`
+	Campaign    string      `json:"campaign,omitempty"`
+	GeoKind     int         `json:"geo_kind,omitempty"`
+	BodySeed    int64       `json:"body_seed"`
+}
+
+// profileNames maps Profile values to stable wire names and back.
+var profileNames = map[Profile]string{}
+var profilesByName = map[string]Profile{}
+
+func init() {
+	for p := ProfileNotFound; p <= ProfileGeoProxy; p++ {
+		profileNames[p] = p.String()
+		profilesByName[p.String()] = p
+	}
+}
+
+// WritePopulation streams the fleet as JSONL.
+func WritePopulation(w io.Writer, pop *Population) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	header := struct {
+		Seed  int64   `json:"seed"`
+		Scale float64 `json:"scale"`
+		Count int     `json:"count"`
+	}{pop.Config.Seed, pop.Config.Scale, len(pop.Functions)}
+	if err := enc.Encode(header); err != nil {
+		return err
+	}
+	for _, f := range pop.Functions {
+		spec := functionSpec{
+			FQDN:        f.FQDN,
+			Provider:    f.Provider.String(),
+			Region:      f.Region,
+			Profile:     profileNames[f.Profile],
+			ActiveDays:  f.ActiveDays,
+			Daily:       f.DailyInvocations,
+			Total:       f.Total,
+			HTTPOnly:    f.HTTPOnly,
+			SecretKind:  int(f.SecretKind),
+			Contact:     f.Contact,
+			AccountSale: f.AccountSale,
+			C2Family:    f.C2Family,
+			Campaign:    f.Campaign,
+			GeoKind:     f.GeoKind,
+			BodySeed:    f.BodySeed,
+		}
+		if err := enc.Encode(&spec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPopulation parses a fleet written by WritePopulation.
+func ReadPopulation(r io.Reader) (*Population, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("workload: empty population stream")
+	}
+	var header struct {
+		Seed  int64   `json:"seed"`
+		Scale float64 `json:"scale"`
+		Count int     `json:"count"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+		return nil, fmt.Errorf("workload: bad header: %w", err)
+	}
+	pop := &Population{
+		Config: Config{Seed: header.Seed, Scale: header.Scale},
+		Window: Window(),
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		var spec functionSpec
+		if err := json.Unmarshal(sc.Bytes(), &spec); err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		in, ok := providers.ByName(spec.Provider)
+		if !ok {
+			return nil, fmt.Errorf("workload: line %d: unknown provider %q", line, spec.Provider)
+		}
+		profile, ok := profilesByName[spec.Profile]
+		if !ok {
+			return nil, fmt.Errorf("workload: line %d: unknown profile %q", line, spec.Profile)
+		}
+		if len(spec.ActiveDays) == 0 || len(spec.ActiveDays) != len(spec.Daily) {
+			return nil, fmt.Errorf("workload: line %d: inconsistent temporal plan", line)
+		}
+		pop.Functions = append(pop.Functions, &Function{
+			FQDN:             spec.FQDN,
+			Provider:         in.ID,
+			Region:           spec.Region,
+			Profile:          profile,
+			ActiveDays:       spec.ActiveDays,
+			DailyInvocations: spec.Daily,
+			Total:            spec.Total,
+			HTTPOnly:         spec.HTTPOnly,
+			SecretKind:       SecretKind(spec.SecretKind),
+			Contact:          spec.Contact,
+			AccountSale:      spec.AccountSale,
+			C2Family:         spec.C2Family,
+			Campaign:         spec.Campaign,
+			GeoKind:          spec.GeoKind,
+			BodySeed:         spec.BodySeed,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if header.Count != len(pop.Functions) {
+		return nil, fmt.Errorf("workload: header declares %d functions, stream has %d", header.Count, len(pop.Functions))
+	}
+	return pop, nil
+}

@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/abuse"
+)
+
+// Profile is the behavioural class of a generated function: what an
+// external parameter-free GET observes.
+type Profile int
+
+const (
+	// Benign outcome profiles.
+	ProfileNotFound  Profile = iota // 404 (missing path / default GET)
+	ProfileJSON                     // 200, JSON API response
+	ProfileHTML                     // 200, webpage
+	ProfileText                     // 200, logs or textual output
+	ProfileOther                    // 200, JS/XML/PHP
+	ProfileEmpty200                 // 200, empty body
+	ProfileServerErr                // 502/500/503 etc.
+	ProfileAuth                     // 401, IAM-protected
+	ProfileForbidden                // 403
+	ProfileOtherCode                // 405/429/...
+	ProfileInternal                 // unreachable: internal-only (timeout)
+	ProfileDeleted                  // unreachable: deleted (Tencent: DNS failure)
+
+	// Abuse profiles, one per Table 3 case.
+	ProfileC2Relay
+	ProfileGambling
+	ProfilePorn
+	ProfileCheat
+	ProfileRedirectStatic
+	ProfileRedirectDynamic
+	ProfileResale
+	ProfileIllegalProxy
+	ProfileGeoProxy
+)
+
+func (p Profile) String() string {
+	names := map[Profile]string{
+		ProfileNotFound: "not-found", ProfileJSON: "json", ProfileHTML: "html",
+		ProfileText: "text", ProfileOther: "other", ProfileEmpty200: "empty-200",
+		ProfileServerErr: "server-error", ProfileAuth: "auth", ProfileForbidden: "forbidden",
+		ProfileOtherCode: "other-code", ProfileInternal: "internal-only",
+		ProfileDeleted: "deleted", ProfileC2Relay: "c2-relay",
+		ProfileGambling: "gambling", ProfilePorn: "porn", ProfileCheat: "cheat",
+		ProfileRedirectStatic: "redirect-static", ProfileRedirectDynamic: "redirect-dynamic",
+		ProfileResale: "resale", ProfileIllegalProxy: "illegal-proxy",
+		ProfileGeoProxy: "geo-proxy",
+	}
+	if n, ok := names[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("Profile(%d)", int(p))
+}
+
+// Abusive reports whether the profile is one of the Table 3 cases.
+func (p Profile) Abusive() bool { return p >= ProfileC2Relay }
+
+// AbuseCase maps an abusive profile to its Table 3 case.
+func (p Profile) AbuseCase() (abuse.Case, bool) {
+	switch p {
+	case ProfileC2Relay:
+		return abuse.CaseC2, true
+	case ProfileGambling:
+		return abuse.CaseGambling, true
+	case ProfilePorn:
+		return abuse.CasePorn, true
+	case ProfileCheat:
+		return abuse.CaseCheating, true
+	case ProfileRedirectStatic, ProfileRedirectDynamic:
+		return abuse.CaseRedirect, true
+	case ProfileResale:
+		return abuse.CaseOpenAIResale, true
+	case ProfileIllegalProxy:
+		return abuse.CaseIllegalProxy, true
+	case ProfileGeoProxy:
+		return abuse.CaseGeoProxy, true
+	default:
+		return 0, false
+	}
+}
+
+// SecretKind enumerates the sensitive-data plant categories.
+type SecretKind int
+
+const (
+	SecretNone SecretKind = iota
+	SecretPhone
+	SecretNationalID
+	SecretAccessToken
+	SecretAPIKey
+	SecretPassword
+	SecretNetworkID
+)
+
+// plantSecret renders one sensitive value of the kind, synthetic but shaped
+// so the secrets scanner finds it.
+func plantSecret(kind SecretKind, rng *rand.Rand) string {
+	switch kind {
+	case SecretPhone:
+		return fmt.Sprintf("debug contact: 1%d%09d", 3+rng.Intn(6), rng.Intn(1_000_000_000))
+	case SecretNationalID:
+		return fmt.Sprintf("uid 11010519%02d%02d%02d%03d%d",
+			70+rng.Intn(29), 1+rng.Intn(9), 10+rng.Intn(18), rng.Intn(1000), rng.Intn(10))
+	case SecretAccessToken:
+		return fmt.Sprintf("access_token=%s", randToken(rng, 24))
+	case SecretAPIKey:
+		return fmt.Sprintf("api_key: %s", randToken(rng, 20))
+	case SecretPassword:
+		return fmt.Sprintf("password=%s", randToken(rng, 10))
+	case SecretNetworkID:
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("upstream 10.%d.%d.%d", rng.Intn(255), rng.Intn(255), 1+rng.Intn(254))
+		}
+		return fmt.Sprintf("hwaddr %02x:%02x:%02x:%02x:%02x:%02x",
+			rng.Intn(256), rng.Intn(256), rng.Intn(256), rng.Intn(256), rng.Intn(256), rng.Intn(256))
+	default:
+		return ""
+	}
+}
+
+func randToken(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// Body builders. Each returns (contentType, body) for a 200 response of the
+// profile, optionally embedding a planted secret.
+
+func jsonBody(rng *rand.Rand, secret string) (string, string) {
+	payload := fmt.Sprintf(`{"status":"ok","service":"%s","count":%d,"items":["%s","%s"]`,
+		randWord(rng), rng.Intn(500), randWord(rng), randWord(rng))
+	if secret != "" {
+		payload += fmt.Sprintf(`,"debug":"%s"`, strings.ReplaceAll(secret, `"`, ""))
+	}
+	payload += "}"
+	return "application/json", payload
+}
+
+func htmlBody(rng *rand.Rand, secret string) (string, string) {
+	extra := ""
+	if secret != "" {
+		extra = "<!-- " + secret + " -->"
+	}
+	return "text/html", fmt.Sprintf(
+		`<!DOCTYPE html><html><head><title>%s %s</title></head><body><h1>%s</h1><p>Welcome to our %s service page number %d.</p>%s</body></html>`,
+		randWord(rng), randWord(rng), randWord(rng), randWord(rng), rng.Intn(100), extra)
+}
+
+func textBody(rng *rand.Rand, secret string) (string, string) {
+	lines := []string{
+		fmt.Sprintf("task %s finished in %dms", randWord(rng), rng.Intn(900)),
+		fmt.Sprintf("processed %d records", rng.Intn(10000)),
+	}
+	if secret != "" {
+		lines = append(lines, secret)
+	}
+	return "text/plain", strings.Join(lines, "\n")
+}
+
+func otherBody(rng *rand.Rand, secret string) (string, string) {
+	if rng.Intn(2) == 0 {
+		body := fmt.Sprintf(`var cfg = {retries: %d}; function(){ return cfg; } %s`, rng.Intn(5), secret)
+		return "text/javascript", body
+	}
+	return "application/xml", fmt.Sprintf(`<?xml version="1.0"?><result code="%d"/><!-- %s -->`, rng.Intn(10), secret)
+}
+
+func randWord(rng *rand.Rand) string {
+	words := []string{
+		"inventory", "billing", "report", "image", "resize", "webhook",
+		"notify", "sync", "metrics", "session", "catalog", "export",
+	}
+	return words[rng.Intn(len(words))]
+}
+
+// Abuse bodies. Synthetic but carrying the indicators the paper's analysts
+// keyed on, so the classifiers in package abuse recover them.
+
+func gamblingBody(rng *rand.Rand, campaign string) (string, string) {
+	token := campaign
+	if token == "" {
+		token = randToken(rng, 16)
+	}
+	return "text/html", fmt.Sprintf(
+		`<!DOCTYPE html><html><head>
+<meta name="google-site-verification" content="gsv-%s-%s"/>
+<title>Online Slot Betting Casino — Jackpot %d</title>
+<meta name="keywords" content="slot,betting,casino,jackpot,baccarat,slot,betting,casino"/>
+</head><body><h1>Big Win Slot &amp; Betting Casino</h1>
+<p>Play slot machines, sports betting and live baccarat. Daily jackpot bonus %d%%.</p>
+</body></html>`, token, randToken(rng, 6), rng.Intn(99999), 5+rng.Intn(45))
+}
+
+func pornBody(rng *rand.Rand) (string, string) {
+	return "text/html", fmt.Sprintf(
+		`<!DOCTYPE html><html><head><title>Adult Video Directory %d</title></head>
+<body><p>adult video collection, sex chat rooms, av online streaming</p></body></html>`,
+		rng.Intn(1000))
+}
+
+func cheatBody(rng *rand.Rand) (string, string) {
+	return "text/html", fmt.Sprintf(
+		`<!DOCTYPE html><html><body><h2>Verification generator</h2>
+<p>Generate codes to bypass parental controls; supports age modification and
+change bound email for game accounts. Build %d.</p>
+<form><input name="account"/><button>Generate</button></form></body></html>`,
+		rng.Intn(100))
+}
+
+func redirectStaticBody(rng *rand.Rand) (string, string) {
+	host := fmt.Sprintf("http://%s.%s.top/%sList.html", randToken(rng, 4), randToken(rng, 8), randToken(rng, 5))
+	return "text/html", fmt.Sprintf(`<html><head><script>location.href = "%s"</script></head></html>`, host)
+}
+
+func redirectDynamicBody(rng *rand.Rand) (string, string) {
+	if rng.Intn(2) == 0 {
+		return "text/html", fmt.Sprintf(`<html><script>
+var Rand = Math.round(Math.random() * 999999)
+location.href="https://"+Rand+".%s.xyz"
+</script></html>`, randToken(rng, 8))
+	}
+	return "text/html", fmt.Sprintf(`<html><script>
+const urls =[
+  'https://%s.example-illicit.net/invite',
+  'https://www.bilibili.com/',
+]
+const url = urls[Math.floor(Math.random() * urls.length)]
+location.href = url
+</script></html>`, randToken(rng, 6))
+}
+
+func resaleBody(rng *rand.Rand, contact string, accountSale bool) (string, string) {
+	if accountSale {
+		return "text/plain", fmt.Sprintf(
+			"OpenAI account with $18 credit for 10 RMB trial. Contact via %s.", contactLine(contact))
+	}
+	return "text/plain", fmt.Sprintf(
+		"To purchase an API key (e.g., sk-%s...), contact via %s. 2 RMB earned per 10 RMB spent.",
+		randToken(rng, 8), contactLine(contact))
+}
+
+// contactLine renders a contact handle as it appears in promotions.
+func contactLine(contact string) string {
+	switch {
+	case strings.HasPrefix(contact, "wechat:"):
+		return "WeChat: " + strings.TrimPrefix(contact, "wechat:")
+	case strings.HasPrefix(contact, "qq:"):
+		return "QQ: " + strings.TrimPrefix(contact, "qq:")
+	case strings.HasPrefix(contact, "email:"):
+		return "email: " + strings.TrimPrefix(contact, "email:")
+	default:
+		return contact
+	}
+}
+
+func illegalProxyBody(rng *rand.Rand) (string, string) {
+	services := [][2]string{
+		{"Ticketmaster puppeteer service", "auto purchase tickets the moment sales open"},
+		{"TikTok download API", "watermark-free video download at scale"},
+		{"Music grabber", "free downloads from kuwo and qq music"},
+		{"Scraper API relay", "rotate cloud egress IPs per request"},
+	}
+	s := services[rng.Intn(len(services))]
+	return "text/plain", fmt.Sprintf("%s: %s. Each request exits from a different cloud IP.", s[0], s[1])
+}
+
+func geoProxyBody(rng *rand.Rand, kind int) (string, string) {
+	switch kind {
+	case 0: // OpenAI frontend
+		return "text/html", `<!DOCTYPE html><html><body>
+<h1>ChatGPT Frontend</h1>
+<p>This is a simple web application that interacts with OpenAI's chatbot API.
+Enter a message in the input box below.</p>
+<input id="msg"/><button>Send</button></body></html>`
+	case 1: // simple OpenAI relay
+		return "application/json", fmt.Sprintf(
+			`{"message":"OpenAI proxy initialized","usage":"POST /v1/chat/completions","forward":"api.openai.com","build":%d}`,
+			rng.Intn(100))
+	case 2: // GitHub proxy
+		return "text/plain", "github proxy: mirror of https://github.com/ releases for faster cloning; forward path verbatim"
+	default: // VPN-style relay
+		return "text/plain", "vpn relay endpoint (clash/v2ray compatible); proxy subscription served at /sub"
+	}
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dnssim"
+	"repro/internal/pdns"
+)
+
+// EmitPDNS streams the population's two-year PDNS history to sink in
+// deterministic order. Each function's daily invocations are resolved
+// through the provider's ingress policy (package dnssim) and folded into
+// daily-aggregated records, exactly the tuple shape of paper §3.2.
+//
+// With cfg.CacheModel set, invocation counts pass through the
+// recursive-resolver cache model first, making request_cnt the conservative
+// lower bound the paper describes.
+func EmitPDNS(pop *Population, resolver *dnssim.Resolver, sink func(*pdns.Record) error) error {
+	rng := rand.New(rand.NewSource(pop.Config.Seed ^ 0x5eed0d25))
+	for _, f := range pop.Functions {
+		if err := emitFunction(pop, f, resolver, rng, sink); err != nil {
+			return fmt.Errorf("workload: emit %s: %w", f.FQDN, err)
+		}
+	}
+	return nil
+}
+
+// emitFunction emits the records of one function. Each day's invocation
+// count is allocated across record types proportionally to the provider's
+// policy shares (so the Table 2 type mix holds exactly even though a few
+// heavy-tail functions carry most of the volume), and each type's share is
+// split over one or more ingress-node draws.
+func emitFunction(pop *Population, f *Function, resolver *dnssim.Resolver, rng *rand.Rand, sink func(*pdns.Record) error) error {
+	pol, ok := dnssim.PolicyFor(f.Provider)
+	if !ok {
+		return fmt.Errorf("no DNS policy for provider %v", f.Provider)
+	}
+	for i, day := range f.ActiveDays {
+		count := f.DailyInvocations[i]
+		if count <= 0 {
+			continue
+		}
+		for _, tc := range allocateRTypes(pol, count, rng) {
+			draws := 1
+			if tc.count >= 50 {
+				draws = 2
+			}
+			for _, share := range splitCount(rng, tc.count, draws) {
+				ans, err := resolver.ResolveRType(f.FQDN, tc.rtype, rng)
+				if err != nil {
+					return err
+				}
+				obs := share
+				if pop.Config.CacheModel {
+					obs = dnssim.ObservedQueries(share, 86_400, float64(ans.TTL))
+				}
+				first := day.Time().Add(time.Duration(rng.Intn(6*3600)) * time.Second)
+				last := first.Add(time.Duration(1+rng.Intn(16*3600)) * time.Second)
+				rec := pdns.Record{
+					FQDN:       f.FQDN,
+					RType:      ans.RType,
+					RData:      ans.RData,
+					FirstSeen:  first,
+					LastSeen:   last,
+					RequestCnt: obs,
+					PDate:      day,
+				}
+				if err := sink(&rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type rtypeCount struct {
+	rtype pdns.RType
+	count int64
+}
+
+// allocateRTypes splits a day's count across the provider's record types by
+// policy share: each type gets its proportional floor, and the remaining
+// units are drawn stochastically by share. Heavy days therefore follow the
+// exact proportions while single-request days still sample every type with
+// the right probability (so even one-function providers like IBM expose
+// their AAAA share).
+func allocateRTypes(pol *dnssim.Policy, count int64, rng *rand.Rand) []rtypeCount {
+	type ts struct {
+		t     pdns.RType
+		share float64
+	}
+	shares := []ts{
+		{pdns.TypeCNAME, pol.CNAMEShare},
+		{pdns.TypeA, pol.AShare},
+		{pdns.TypeAAAA, pol.AAAAShare},
+	}
+	counts := map[pdns.RType]int64{}
+	var assigned int64
+	for _, s := range shares {
+		c := int64(float64(count) * s.share)
+		if c > 0 {
+			counts[s.t] = c
+			assigned += c
+		}
+	}
+	for rem := count - assigned; rem > 0; rem-- {
+		x := rng.Float64()
+		for _, s := range shares {
+			x -= s.share
+			if x <= 0 || s.t == pdns.TypeAAAA {
+				counts[s.t]++
+				break
+			}
+		}
+	}
+	out := make([]rtypeCount, 0, 3)
+	for _, s := range shares {
+		if c := counts[s.t]; c > 0 {
+			out = append(out, rtypeCount{s.t, c})
+		}
+	}
+	return out
+}
+
+// splitCount partitions count into n positive shares.
+func splitCount(rng *rand.Rand, count int64, n int) []int64 {
+	if int64(n) > count {
+		n = int(count)
+	}
+	if n <= 1 {
+		return []int64{count}
+	}
+	out := make([]int64, n)
+	remaining := count
+	for i := 0; i < n-1; i++ {
+		maxShare := remaining - int64(n-1-i)
+		share := 1 + rng.Int63n(maxShare)
+		// Bias the first draw large so the primary rtype dominates.
+		if i == 0 && maxShare > 4 {
+			share = maxShare/2 + rng.Int63n(maxShare/2+1)
+		}
+		out[i] = share
+		remaining -= share
+	}
+	out[n-1] = remaining
+	return out
+}
+
+// MarkDeleted registers every deleted function with the resolver so the
+// probing phase sees Tencent NXDOMAINs (paper §4.4).
+func MarkDeleted(pop *Population, resolver *dnssim.Resolver) int {
+	n := 0
+	for _, f := range pop.Functions {
+		if f.Profile == ProfileDeleted {
+			resolver.MarkDeleted(f.FQDN)
+			n++
+		}
+	}
+	return n
+}
+
+// Records materialises the whole PDNS stream in memory — convenient for
+// tests and small scales; large runs should stream via EmitPDNS.
+func Records(pop *Population, resolver *dnssim.Resolver) ([]pdns.Record, error) {
+	var out []pdns.Record
+	err := EmitPDNS(pop, resolver, func(r *pdns.Record) error {
+		out = append(out, *r)
+		return nil
+	})
+	return out, err
+}
