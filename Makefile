@@ -1,0 +1,23 @@
+# Developer entry points; CI and the verify flow run `make check`.
+
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-run the packages with lock-free hot paths and shared counters.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/probe/... ./internal/dnssim/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+check: build vet test race

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnssim"
 	"repro/internal/faas"
+	"repro/internal/obs"
 	"repro/internal/pdns"
 	"repro/internal/probe"
 	"repro/internal/providers"
@@ -153,6 +154,61 @@ func BenchmarkTable2Resolution(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(fixRecords)), "records/op")
+}
+
+// BenchmarkTable2ResolutionInstrumented is the same rollup with the obs
+// counters attached: the delta against BenchmarkTable2Resolution is the
+// whole observability overhead on the aggregation hot path (three atomic
+// increments per record; must stay within 5% of the baseline).
+func BenchmarkTable2ResolutionInstrumented(b *testing.B) {
+	fixtures(b)
+	w := workload.Window()
+	reg := obs.NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := pdns.NewAggregator(nil, w.Start, w.End)
+		agg.Instrument(reg)
+		for j := range fixRecords {
+			agg.Add(&fixRecords[j])
+		}
+		ag := agg.Finish()
+		if rows := analysis.Table2(ag); len(rows) == 0 {
+			b.Fatal("empty table 2")
+		}
+	}
+	b.ReportMetric(float64(len(fixRecords)), "records/op")
+}
+
+// BenchmarkObsPrimitives prices the individual instrumentation events.
+func BenchmarkObsPrimitives(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("c")
+	h := reg.Histogram("h", nil)
+	b.Run("counter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("counter-nil", func(b *testing.B) {
+		var nc *obs.Counter
+		for i := 0; i < b.N; i++ {
+			nc.Inc()
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%100) / 1000)
+		}
+	})
+	b.Run("span", func(b *testing.B) {
+		tr := obs.NewTrace()
+		ctx := obs.ContextWithTrace(context.Background(), tr)
+		for i := 0; i < b.N; i++ {
+			_, sp := obs.StartSpan(ctx, "bench")
+			sp.End()
+		}
+	})
 }
 
 // ---- T3: abuse classification (Table 3) ----

@@ -1,41 +1,84 @@
 // Command scfpipe runs the paper's full measurement pipeline end to end on
 // the synthetic substrate and prints the summary plus every table and
-// figure of the evaluation.
+// figure of the evaluation, followed by the per-stage timing breakdown.
 //
 // Usage:
 //
 //	scfpipe -seed 1 -scale 0.01
-//	scfpipe -scale 0.05 -skip-c2        # faster: skip the fingerprint sweep
+//	scfpipe -scale 0.05 -skip-c2             # faster: skip the fingerprint sweep
+//	scfpipe -probe-concurrency 128           # widen the probe sweep
+//	scfpipe -metrics-addr :6060              # live JSON metrics + trace + pprof
+//	scfpipe -manifest run.json               # machine-readable run provenance
+//
+// With -metrics-addr the run serves live introspection while it executes:
+// /metrics (JSON metric snapshot), /trace (the stage span tree so far), and
+// /debug/pprof/ (standard profiles). With -manifest the finished run's
+// RunManifest — config, per-stage wall/CPU time, final metrics — is written
+// as JSON, so every benchmark entry has a provenance record. Interrupting
+// the run (SIGINT/SIGTERM) aborts the probe and C2 sweeps cleanly; the
+// manifest is still written, with the cancellation recorded on the
+// interrupted stage.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("scfpipe: ")
 	var (
-		seed    = flag.Int64("seed", 1, "substrate seed")
-		scale   = flag.Float64("scale", 0.01, "fraction of the paper's population")
-		skipC2  = flag.Bool("skip-c2", false, "skip the C2 fingerprint sweep")
-		cache   = flag.Bool("cache-model", false, "model resolver caching in PDNS counts")
-		timeout = flag.Duration("probe-timeout", 2*time.Second, "per-request probe timeout")
+		seed        = flag.Int64("seed", 1, "substrate seed")
+		scale       = flag.Float64("scale", 0.01, "fraction of the paper's population")
+		skipC2      = flag.Bool("skip-c2", false, "skip the C2 fingerprint sweep")
+		cache       = flag.Bool("cache-model", false, "model resolver caching in PDNS counts")
+		timeout     = flag.Duration("probe-timeout", 2*time.Second, "per-request probe timeout")
+		probeConc   = flag.Int("probe-concurrency", 0, "max in-flight probes (0 = default 32)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live JSON metrics, trace, and pprof on this address (e.g. :6060)")
+		manifest    = flag.String("manifest", "", "write the run manifest (stage timings + metrics) to this JSON file")
 	)
 	flag.Parse()
 
-	res, err := core.Run(core.Config{
-		Seed:         *seed,
-		Scale:        *scale,
-		SkipC2Scan:   *skipC2,
-		CacheModel:   *cache,
-		ProbeTimeout: *timeout,
+	ctx, stop := signal.NotifyContext(obsContext(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *metricsAddr != "" {
+		srv, err := obs.Serve(*metricsAddr, metrics, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("serving metrics on http://%s/metrics (trace: /trace, pprof: /debug/pprof/)", srv.Addr())
+	}
+
+	res, err := core.RunContext(ctx, core.Config{
+		Seed:             *seed,
+		Scale:            *scale,
+		SkipC2Scan:       *skipC2,
+		CacheModel:       *cache,
+		ProbeTimeout:     *timeout,
+		ProbeConcurrency: *probeConc,
+		Metrics:          metrics,
 	})
+	manifestFailed := false
+	if res != nil && *manifest != "" {
+		if werr := res.Manifest("scfpipe").WriteFile(*manifest); werr != nil {
+			log.Print(werr)
+			manifestFailed = true
+		} else {
+			log.Printf("wrote manifest to %s", *manifest)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,4 +93,20 @@ func main() {
 	fmt.Println(res.RenderFigure6())
 	fmt.Println(res.RenderFigure7())
 	fmt.Println(res.RenderDisclosures())
+	fmt.Println(res.RenderStageTimings())
+	fmt.Println(res.RenderMetrics())
+	if manifestFailed {
+		os.Exit(1)
+	}
+}
+
+// Shared observability state: created up front so the introspection endpoint
+// serves live data for the whole run, not a post-hoc copy.
+var (
+	metrics = obs.NewRegistry()
+	trace   = obs.NewTrace()
+)
+
+func obsContext() context.Context {
+	return obs.ContextWithTrace(context.Background(), trace)
 }

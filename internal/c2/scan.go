@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Scanner probes hosts for C2 relays by emitting each fingerprint's request
@@ -25,6 +27,14 @@ type Scanner struct {
 	TLSPort443 bool
 	// MaxResponse bounds how many response bytes are read per probe.
 	MaxResponse int
+
+	// Telemetry; populated by Instrument, no-ops otherwise.
+	mHosts    *obs.Counter   // c2_hosts_scanned_total
+	mProbes   *obs.Counter   // c2_probes_total: fingerprint connections tried
+	mConnFail *obs.Counter   // c2_conn_failures_total
+	mHits     *obs.Counter   // c2_detections_total
+	mInflight *obs.Gauge     // c2_inflight: hosts being scanned right now
+	mLatency  *obs.Histogram // c2_scan_seconds: full per-host sweep time
 }
 
 // NewScanner builds a scanner over db with sane defaults.
@@ -38,12 +48,30 @@ func NewScanner(db *DB) *Scanner {
 	}
 }
 
+// Instrument points the scanner's telemetry at reg. Call before scanning; a
+// nil registry leaves the scanner un-instrumented.
+func (s *Scanner) Instrument(reg *obs.Registry) {
+	s.mHosts = reg.Counter("c2_hosts_scanned_total")
+	s.mProbes = reg.Counter("c2_probes_total")
+	s.mConnFail = reg.Counter("c2_conn_failures_total")
+	s.mHits = reg.Counter("c2_detections_total")
+	s.mInflight = reg.Gauge("c2_inflight")
+	s.mLatency = reg.Histogram("c2_scan_seconds", nil)
+}
+
 // ScanHost probes one host with every fingerprint on its declared ports and
 // returns the detections. A host that matches any variant of a family is
 // reported once per (fingerprint, port) hit; callers typically dedupe by
 // family. Connection failures are treated as "not a relay", never as errors:
 // a scan of the open Internet sees them constantly.
 func (s *Scanner) ScanHost(ctx context.Context, host string) []Detection {
+	s.mHosts.Inc()
+	s.mInflight.Add(1)
+	start := time.Now()
+	defer func() {
+		s.mInflight.Add(-1)
+		s.mLatency.Observe(time.Since(start).Seconds())
+	}()
 	var out []Detection
 	for _, fp := range s.DB.All() {
 		for _, port := range fp.Ports {
@@ -51,6 +79,7 @@ func (s *Scanner) ScanHost(ctx context.Context, host string) []Detection {
 				return out
 			}
 			if s.probeOne(ctx, host, port, fp) {
+				s.mHits.Inc()
 				out = append(out, Detection{
 					Host: host, Port: port,
 					Fingerprint: fp.ID, Family: fp.Family,
@@ -65,8 +94,10 @@ func (s *Scanner) ScanHost(ctx context.Context, host string) []Detection {
 func (s *Scanner) probeOne(ctx context.Context, host string, port int, fp *Fingerprint) bool {
 	cctx, cancel := context.WithTimeout(ctx, s.Timeout)
 	defer cancel()
+	s.mProbes.Inc()
 	conn, err := s.Dial(cctx, "tcp", net.JoinHostPort(host, fmt.Sprint(port)))
 	if err != nil {
+		s.mConnFail.Inc()
 		return false
 	}
 	defer conn.Close()

@@ -31,6 +31,7 @@ import (
 	"repro/internal/disclosure"
 	"repro/internal/dnssim"
 	"repro/internal/faas"
+	"repro/internal/obs"
 	"repro/internal/pdns"
 	"repro/internal/probe"
 	"repro/internal/providers"
@@ -50,7 +51,8 @@ type Config struct {
 	// ClusterThreshold is the dendrogram cut distance (paper: 0.1).
 	ClusterThreshold float64
 	// MaxClusterDocs caps the number of documents clustered per content
-	// type (clustering is O(n²) in memory); 0 means no cap.
+	// type (clustering is O(n²) in memory). 0 selects the default cap of
+	// 4000; a negative value disables the cap entirely.
 	MaxClusterDocs int
 
 	// ProbeConcurrency bounds in-flight probes; ProbeTimeout bounds each
@@ -70,6 +72,12 @@ type Config struct {
 	C2ScanAll bool
 	// SkipC2Scan skips the fingerprint sweep entirely.
 	SkipC2Scan bool
+
+	// Metrics, when non-nil, receives every substrate's live telemetry
+	// (probe latencies, C2 sweep progress, resolver cache hits, cold/warm
+	// starts, PDNS throughput) and is snapshotted into the run manifest.
+	// Nil creates a private registry so manifests are always complete.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +103,7 @@ func (c Config) withDefaults() Config {
 		}
 	}
 	if c.MaxClusterDocs == 0 {
+		// 0 is "use the default cap"; negative survives as "no cap".
 		c.MaxClusterDocs = 4000
 	}
 	return c
@@ -134,40 +143,104 @@ type Results struct {
 	// Responsible disclosure packages, per affected provider (§5.5).
 	Disclosures []*disclosure.Report
 
+	// Observability: the run's stage trace, the metrics registry every
+	// substrate reported into, and the flattened stage records (also
+	// available live over -metrics-addr while the run executes).
+	Trace   *obs.Trace
+	Metrics *obs.Registry
+	Stages  []obs.SpanRecord
+
 	Elapsed time.Duration
 }
 
-// Run executes the full pipeline.
-func Run(cfg Config) (*Results, error) {
+// Manifest assembles the run's machine-readable provenance record: config,
+// per-stage wall/CPU time, and the final metric snapshot.
+func (r *Results) Manifest(tool string) *obs.Manifest {
+	meta := map[string]string{
+		"seed":              fmt.Sprint(r.Config.Seed),
+		"scale":             fmt.Sprintf("%g", r.Config.Scale),
+		"cache_model":       fmt.Sprint(r.Config.CacheModel),
+		"cluster_threshold": fmt.Sprintf("%g", r.Config.ClusterThreshold),
+		"max_cluster_docs":  fmt.Sprint(r.Config.MaxClusterDocs),
+		"probe_concurrency": fmt.Sprint(r.Config.ProbeConcurrency),
+		"probe_timeout":     r.Config.ProbeTimeout.String(),
+		"c2_concurrency":    fmt.Sprint(r.Config.C2Concurrency),
+		"c2_timeout":        r.Config.C2Timeout.String(),
+		"skip_c2_scan":      fmt.Sprint(r.Config.SkipC2Scan),
+		"elapsed":           r.Elapsed.String(),
+	}
+	return obs.BuildManifest(tool, r.Trace, r.Metrics, meta)
+}
+
+// Run executes the full pipeline with a background context.
+func Run(cfg Config) (*Results, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext executes the full pipeline under ctx. Cancelling the context
+// aborts the probe and C2 sweeps cleanly; the partial Results accumulated so
+// far are returned alongside the context error, with the cancellation
+// recorded on the interrupted stage's span, so a manifest can still be
+// written for an aborted run.
+//
+// Every stage is traced: if ctx carries an obs.Trace the stage spans attach
+// there, otherwise a fresh trace is created. Either way the trace and the
+// metrics registry end up on the Results.
+func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	res := &Results{Config: cfg}
 
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		tr = obs.NewTrace()
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	res.Trace, res.Metrics = tr, reg
+	defer func() {
+		res.Stages = tr.Records()
+		res.Elapsed = time.Since(start)
+	}()
+
 	// ---- Substrate: population, DNS, platform, edge servers. ----
+	_, sp := obs.StartSpan(ctx, "substrate")
 	pop := workload.Generate(workload.Config{Seed: cfg.Seed, Scale: cfg.Scale, CacheModel: cfg.CacheModel})
 	res.Population = pop
 	resolver := dnssim.NewResolver()
+	resolver.Instrument(reg)
 
 	db := c2.DefaultDB()
 	platform := faas.NewPlatform()
 	workload.Deploy(pop, platform, db)
 	gw := faas.NewGateway(platform)
+	gw.Instrument(reg)
 	gw.Clock = workload.DeployWindowClock()
 	gw.UnreachableDelay = 10 * cfg.ProbeTimeout
 	servers, err := startServers(gw)
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return nil, err
 	}
 	defer servers.Close()
+	sp.SetAttr("functions", len(pop.Functions))
+	sp.End()
 
 	// ---- Stage 1: PDNS identification & aggregation (§3.2, §4). ----
+	sctx, sp := obs.StartSpan(ctx, "identify")
 	w := workload.Window()
 	agg := pdns.NewAggregator(nil, w.Start, w.End)
+	agg.Instrument(reg)
 	if err := workload.EmitPDNS(pop, resolver, func(r *pdns.Record) error {
 		agg.Add(r)
 		return nil
 	}); err != nil {
-		return nil, fmt.Errorf("core: pdns: %w", err)
+		err = fmt.Errorf("core: pdns: %w", err)
+		sp.SetError(err)
+		sp.End()
+		return nil, err
 	}
 	res.Aggregate = agg.Finish()
 	// Deletions take effect only now: the PDNS history above was recorded
@@ -177,8 +250,13 @@ func Run(cfg Config) (*Results, error) {
 	perFn := res.Aggregate.PerFunctionStats()
 	res.Frequency = analysis.Frequency(perFn)
 	res.Lifespan = analysis.Lifespan(perFn, w)
+	sp.SetAttr("records", res.Aggregate.Scanned)
+	sp.SetAttr("matched", res.Aggregate.Matched)
+	sp.SetAttr("domains", res.Aggregate.TotalDomains())
+	sp.End()
 
 	// ---- Stage 2: active probing (§3.3). ----
+	sctx, sp = obs.StartSpan(ctx, "probe")
 	httpOnly := map[string]bool{}
 	for _, f := range pop.Functions {
 		if f.HTTPOnly {
@@ -188,6 +266,7 @@ func Run(cfg Config) (*Results, error) {
 	prober := probe.New(probe.Config{
 		Timeout:     cfg.ProbeTimeout,
 		Concurrency: cfg.ProbeConcurrency,
+		Metrics:     reg,
 		Resolve: func(fqdn string) error {
 			rng := rand.New(rand.NewSource(int64(hashFQDN(fqdn))))
 			_, err := resolver.Resolve(fqdn, rng)
@@ -196,10 +275,18 @@ func Run(cfg Config) (*Results, error) {
 		DialContext: simDialer(servers, httpOnly),
 	})
 	targets := pop.ProbeTargets()
-	res.ProbeResults = prober.ProbeAll(context.Background(), targets)
+	res.ProbeResults = prober.ProbeAll(sctx, targets)
 	res.ProbeStats = prober.Stats()
+	sp.SetAttr("targets", len(targets))
+	sp.SetAttr("reachable", res.ProbeStats.Reachable)
+	sp.SetError(sctx.Err())
+	sp.End()
+	if err := sctx.Err(); err != nil {
+		return res, fmt.Errorf("core: probe sweep aborted: %w", err)
+	}
 
 	// ---- Stage 3: sanitisation (§3.4, Appendix A). ----
+	_, sp = obs.StartSpan(ctx, "sanitise")
 	anonRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5a17))
 	anon := secrets.NewAnonymizer(anonRng)
 	docs := make([]abuse.Document, 0, len(res.ProbeResults))
@@ -238,14 +325,21 @@ func Run(cfg Config) (*Results, error) {
 		}
 		docs = append(docs, doc)
 	}
+	sp.SetAttr("docs", len(docs))
+	sp.SetAttr("content_rich", res.ContentRich)
+	sp.End()
 
 	// ---- Stage 4: clustering (§3.4). ----
+	_, sp = obs.StartSpan(ctx, "cluster")
 	res.ClustersByType = clusterByType(contentDocs, contentTypes, cfg)
 	for _, n := range res.ClustersByType {
 		res.TotalClusters += n
 	}
+	sp.SetAttr("clusters", res.TotalClusters)
+	sp.End()
 
 	// ---- Stage 5: abuse classification (§5). ----
+	sctx, sp = obs.StartSpan(ctx, "classify")
 	res.Verdicts = map[string][]abuse.Verdict{}
 	for i := range docs {
 		if vs := abuse.Classify(&docs[i]); len(vs) > 0 {
@@ -263,7 +357,12 @@ func Run(cfg Config) (*Results, error) {
 				}
 			}
 		}
-		res.C2Detections = scanC2(cfg, servers, db, c2Targets)
+		cctx, csp := obs.StartSpan(sctx, "c2-sweep")
+		res.C2Detections = scanC2(cctx, cfg, servers, db, reg, c2Targets)
+		csp.SetAttr("targets", len(c2Targets))
+		csp.SetAttr("detections", len(res.C2Detections))
+		csp.SetError(cctx.Err())
+		csp.End()
 		for _, d := range res.C2Detections {
 			if !hasCase(res.Verdicts[d.Host], abuse.CaseC2) {
 				res.Verdicts[d.Host] = append(res.Verdicts[d.Host],
@@ -281,8 +380,15 @@ func Run(cfg Config) (*Results, error) {
 		allVerdicts = append(allVerdicts, vs...)
 	}
 	res.ResaleGroups = abuse.GroupByContact(allVerdicts)
+	sp.SetAttr("abused", res.AbuseReport.TotalFunctions())
+	sp.SetError(sctx.Err())
+	sp.End()
+	if err := sctx.Err(); err != nil {
+		return res, fmt.Errorf("core: c2 sweep aborted: %w", err)
+	}
 
 	// ---- Stage 6: threat-intelligence coverage (§5.5). ----
+	_, sp = obs.StartSpan(ctx, "assess")
 	oracle := ti.NewOracle()
 	seedTI(oracle, res.C2Detections)
 	abused := make([]string, 0, len(res.AbuseReport.Assigned))
@@ -290,12 +396,16 @@ func Run(cfg Config) (*Results, error) {
 		abused = append(abused, fqdn)
 	}
 	res.TICoverage = oracle.Assess(abused)
+	sp.SetAttr("flagged", res.TICoverage.Flagged)
+	sp.End()
 
 	// ---- Stage 7: responsible disclosure (§5.5, Appendix A). ----
+	_, sp = obs.StartSpan(ctx, "disclosure")
 	res.Disclosures = disclosure.Build(res.AbuseReport, res.Verdicts, requests)
 	disclosure.SimulateVendorResponses(res.Disclosures, workload.DeployWindowClock()())
+	sp.SetAttr("reports", len(res.Disclosures))
+	sp.End()
 
-	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
@@ -352,9 +462,11 @@ func clusterByType(docs []string, types []content.Type, cfg Config) map[content.
 }
 
 // scanC2 sweeps every target with the fingerprint scanner through the plain
-// edge listener, bounded by cfg.C2Concurrency.
-func scanC2(cfg Config, servers *gatewayServers, db *c2.DB, targets []string) []c2.Detection {
+// edge listener, bounded by cfg.C2Concurrency. A cancelled ctx stops
+// scheduling new hosts and aborts in-flight scans.
+func scanC2(ctx context.Context, cfg Config, servers *gatewayServers, db *c2.DB, reg *obs.Registry, targets []string) []c2.Detection {
 	scanner := c2.NewScanner(db)
+	scanner.Instrument(reg)
 	scanner.Timeout = cfg.C2Timeout
 	scanner.Dial = func(ctx context.Context, network, addr string) (net.Conn, error) {
 		var d net.Dialer
@@ -367,12 +479,15 @@ func scanC2(cfg Config, servers *gatewayServers, db *c2.DB, targets []string) []
 	)
 	sem := make(chan struct{}, cfg.C2Concurrency)
 	for _, host := range targets {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(host string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			ds := scanner.ScanHost(context.Background(), host)
+			ds := scanner.ScanHost(ctx, host)
 			if len(ds) > 0 {
 				mu.Lock()
 				out = append(out, ds...)

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/content"
+	"repro/internal/obs"
+)
+
+// stageNames flattens root span names in order.
+func stageNames(recs []obs.SpanRecord) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// TestRunStageSpans checks the shared run produced the full instrumented
+// stage sequence with non-zero wall durations, and that the manifest carries
+// it all.
+func TestRunStageSpans(t *testing.T) {
+	r := sharedRun(t)
+	want := []string{"substrate", "identify", "probe", "sanitise", "cluster", "classify", "assess", "disclosure"}
+	got := stageNames(r.Stages)
+	if len(got) != len(want) {
+		t.Fatalf("stages = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stage[%d] = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+		if r.Stages[i].WallNS <= 0 {
+			t.Errorf("stage %q wall = %d, want > 0", want[i], r.Stages[i].WallNS)
+		}
+	}
+
+	m := r.Manifest("test")
+	b, err := m.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back obs.Manifest
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta["seed"] != "1" {
+		t.Fatalf("manifest meta = %v", back.Meta)
+	}
+	secs := back.StageSeconds()
+	for _, name := range want {
+		if secs[name] <= 0 {
+			t.Errorf("manifest stage %q has zero wall time", name)
+		}
+	}
+
+	// Substrate metrics must have flowed into the run registry.
+	s := r.Metrics.Snapshot()
+	if s.Counters["pdns_records_scanned_total"] == 0 {
+		t.Error("no pdns records counted")
+	}
+	if s.Counters["probe_requests_total"] == 0 {
+		t.Error("no probe requests counted")
+	}
+	if s.Counters["dnssim_lookup_cache_hits_total"] == 0 {
+		t.Error("resolver lookup cache never hit")
+	}
+	if s.Counters["faas_cold_starts_total"] == 0 {
+		t.Error("no cold starts counted")
+	}
+	if s.Histograms["probe_request_seconds"].Count == 0 {
+		t.Error("empty probe latency histogram")
+	}
+}
+
+// TestRunContextCancel verifies a cancelled context aborts the sweeps
+// cleanly: partial results come back with the context error, and the
+// interrupted stage span records the cancellation.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the probe stage starts
+	res, err := RunContext(ctx, Config{
+		Seed:         2,
+		Scale:        0.002,
+		ProbeTimeout: 500 * time.Millisecond,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("want partial results for manifest writing")
+	}
+	var probeSpan *obs.SpanRecord
+	for i := range res.Stages {
+		if res.Stages[i].Name == "probe" {
+			probeSpan = &res.Stages[i]
+		}
+	}
+	if probeSpan == nil {
+		t.Fatalf("no probe span in %v", stageNames(res.Stages))
+	}
+	if probeSpan.Err == "" {
+		t.Error("probe span did not record the cancellation")
+	}
+	// The manifest of an aborted run must still serialise.
+	if _, err := res.Manifest("test").MarshalIndent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunTraceOnContext verifies caller-supplied traces receive the stage
+// spans (this is how scfpipe serves /trace live).
+func TestRunTraceOnContext(t *testing.T) {
+	tr := obs.NewTrace()
+	reg := obs.NewRegistry()
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	res, err := RunContext(ctx, Config{
+		Seed: 3, Scale: 0.001, SkipC2Scan: true,
+		ProbeTimeout: 500 * time.Millisecond,
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != tr || res.Metrics != reg {
+		t.Fatal("run did not adopt the caller's trace/registry")
+	}
+	if len(tr.Records()) == 0 {
+		t.Fatal("caller trace received no spans")
+	}
+}
+
+// TestMaxClusterDocsSemantics pins the repaired config contract:
+// 0 = default cap of 4000, negative = no cap, positive = that cap.
+func TestMaxClusterDocsSemantics(t *testing.T) {
+	if got := (Config{}).withDefaults().MaxClusterDocs; got != 4000 {
+		t.Fatalf("zero → %d, want default 4000", got)
+	}
+	if got := (Config{MaxClusterDocs: -1}).withDefaults().MaxClusterDocs; got != -1 {
+		t.Fatalf("negative → %d, want preserved (no cap)", got)
+	}
+	if got := (Config{MaxClusterDocs: 7}).withDefaults().MaxClusterDocs; got != 7 {
+		t.Fatalf("positive → %d, want preserved", got)
+	}
+
+	docs := make([]string, 6)
+	types := make([]content.Type, 6)
+	for i := range docs {
+		docs[i] = "alpha beta gamma delta"
+		types[i] = content.Plaintext
+	}
+	capped := clusterByType(docs, types, Config{MaxClusterDocs: 2, ClusterThreshold: 0.1})
+	uncapped := clusterByType(docs, types, Config{MaxClusterDocs: -1, ClusterThreshold: 0.1})
+	if capped[content.Plaintext] == 0 || uncapped[content.Plaintext] == 0 {
+		t.Fatalf("clustering produced nothing: capped=%v uncapped=%v", capped, uncapped)
+	}
+}

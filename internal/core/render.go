@@ -199,6 +199,16 @@ func (r *Results) RenderSummary() string {
 	return b.String()
 }
 
+// RenderStageTimings prints the per-stage wall/CPU breakdown of the run.
+func (r *Results) RenderStageTimings() string {
+	return report.StageTimings(r.Stages)
+}
+
+// RenderMetrics prints the highlights of the run's metric snapshot.
+func (r *Results) RenderMetrics() string {
+	return report.MetricsSummary(r.Metrics.Snapshot())
+}
+
 func dedupHosts(r *Results) map[string]struct{} {
 	m := map[string]struct{}{}
 	for _, d := range r.C2Detections {

@@ -1,0 +1,85 @@
+package dnssim
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/providers"
+)
+
+// TestLookupCacheHitMiss verifies the memoised lookup path: first query per
+// FQDN misses, repeats hit, and answers stay identical to the uncached path.
+func TestLookupCacheHitMiss(t *testing.T) {
+	r := NewResolver()
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+
+	fqdn := "myfn-1234567890-uc.a.run.app"
+	rng := rand.New(rand.NewSource(1))
+	if _, err := r.Resolve(fqdn, rng); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if _, err := r.Resolve(fqdn, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := reg.Snapshot()
+	if s.Counters["dnssim_lookup_cache_misses_total"] != 1 {
+		t.Fatalf("misses = %d, want 1", s.Counters["dnssim_lookup_cache_misses_total"])
+	}
+	if s.Counters["dnssim_lookup_cache_hits_total"] != 9 {
+		t.Fatalf("hits = %d, want 9", s.Counters["dnssim_lookup_cache_hits_total"])
+	}
+
+	// Negative entries cache too, and still fail.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Resolve("not-a-function.example.com", rng); !errors.Is(err, ErrNXDomain) {
+			t.Fatalf("want NXDOMAIN, got %v", err)
+		}
+	}
+}
+
+// TestLookupCacheDeletionDynamic verifies deletion state is never cached:
+// a Tencent function resolves, is marked deleted, and must NXDOMAIN on the
+// very next query even though its lookup is cached.
+func TestLookupCacheDeletionDynamic(t *testing.T) {
+	r := NewResolver()
+	rng := rand.New(rand.NewSource(2))
+	fqdn := providers.Get(providers.Tencent).Generate(rng, "ap-guangzhou")
+	if _, err := r.Resolve(fqdn, rng); err != nil {
+		t.Fatalf("pre-deletion resolve: %v", err)
+	}
+	r.MarkDeleted(fqdn)
+	if _, err := r.Resolve(fqdn, rng); !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("post-deletion resolve = %v, want NXDOMAIN", err)
+	}
+}
+
+// TestLookupCacheConcurrent hammers one resolver from many goroutines; run
+// with -race.
+func TestLookupCacheConcurrent(t *testing.T) {
+	r := NewResolver()
+	r.Instrument(obs.NewRegistry())
+	fqdns := []string{
+		"a-1234567890-uc.a.run.app",
+		"b-1234567890-uc.a.run.app",
+		"fn.azurewebsites.net",
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				r.Resolve(fqdns[i%len(fqdns)], rng)
+			}
+		}()
+	}
+	wg.Wait()
+}

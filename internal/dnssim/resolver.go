@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/pdns"
 	"repro/internal/providers"
 )
@@ -29,11 +30,22 @@ type Answer struct {
 
 // Resolver answers queries for function FQDNs according to each provider's
 // policy. It is safe for concurrent use.
+//
+// Lookups (regex identification + policy selection) are memoised per FQDN:
+// a two-year feed re-resolves each name hundreds of times, so the cache
+// turns the per-query matcher work into a map hit. Deletion state is checked
+// on every query, never cached.
 type Resolver struct {
 	matcher *providers.Matcher
 
 	mu      sync.RWMutex
 	deleted map[string]struct{}
+
+	lookups sync.Map // fqdn → *cachedLookup
+
+	// Cache telemetry; populated by Instrument, no-ops otherwise.
+	mHits   *obs.Counter // dnssim_lookup_cache_hits_total
+	mMisses *obs.Counter // dnssim_lookup_cache_misses_total
 }
 
 // NewResolver builds a resolver over all collected providers.
@@ -83,23 +95,59 @@ func (r *Resolver) ResolveRType(fqdn string, t pdns.RType, rng *rand.Rand) (Answ
 	return pol.answer(t, region, rng)
 }
 
+// Instrument points the resolver's cache telemetry at reg. Call before
+// resolving; a nil registry leaves the resolver un-instrumented.
+func (r *Resolver) Instrument(reg *obs.Registry) {
+	r.mHits = reg.Counter("dnssim_lookup_cache_hits_total")
+	r.mMisses = reg.Counter("dnssim_lookup_cache_misses_total")
+}
+
+// cachedLookup is the immutable, deletion-independent part of one FQDN's
+// resolution: its policy and region, or the terminal identification error.
+type cachedLookup struct {
+	pol      *Policy
+	region   string
+	name     string // provider display name, for error text
+	wildcard bool
+	err      error // non-nil: the FQDN never resolves (bad name / no policy)
+}
+
 func (r *Resolver) lookup(fqdn string) (*Policy, string, error) {
+	if v, ok := r.lookups.Load(fqdn); ok {
+		r.mHits.Inc()
+		return r.finish(fqdn, v.(*cachedLookup))
+	}
+	r.mMisses.Inc()
+	cl := r.buildLookup(fqdn)
+	r.lookups.Store(fqdn, cl)
+	return r.finish(fqdn, cl)
+}
+
+// finish applies the per-query deletion check on top of a cached lookup.
+func (r *Resolver) finish(fqdn string, cl *cachedLookup) (*Policy, string, error) {
+	if cl.err != nil {
+		return nil, "", cl.err
+	}
+	if !cl.wildcard && r.Deleted(fqdn) {
+		return nil, "", fmt.Errorf("dnssim: %q deleted and %s has no wildcard: %w", fqdn, cl.name, ErrNXDomain)
+	}
+	return cl.pol, cl.region, nil
+}
+
+func (r *Resolver) buildLookup(fqdn string) *cachedLookup {
 	info, ok := r.matcher.Identify(fqdn)
 	if !ok {
-		return nil, "", fmt.Errorf("dnssim: %q is not a function domain: %w", fqdn, ErrNXDomain)
-	}
-	if r.Deleted(fqdn) && !info.WildcardDNS {
-		return nil, "", fmt.Errorf("dnssim: %q deleted and %s has no wildcard: %w", fqdn, info.Name, ErrNXDomain)
+		return &cachedLookup{err: fmt.Errorf("dnssim: %q is not a function domain: %w", fqdn, ErrNXDomain)}
 	}
 	pol, ok := PolicyFor(info.ID)
 	if !ok {
-		return nil, "", fmt.Errorf("dnssim: no policy for %s", info.Name)
+		return &cachedLookup{err: fmt.Errorf("dnssim: no policy for %s", info.Name)}
 	}
 	region := ""
 	if p, ok := info.Parse(fqdn); ok {
 		region = p.Region
 	}
-	return pol, region, nil
+	return &cachedLookup{pol: pol, region: region, name: info.Name, wildcard: info.WildcardDNS}
 }
 
 // answer synthesises the rdata for one (rtype, region) draw.

@@ -2,11 +2,13 @@ package faas
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/providers"
 )
 
@@ -29,6 +31,20 @@ type Gateway struct {
 	UnreachableDelay time.Duration
 
 	matcher *providers.Matcher
+
+	// Telemetry; populated by Instrument, no-ops otherwise.
+	mRequests *obs.Counter  // gateway_requests_total
+	mStatus   *obs.Registry // gateway_responses_{1xx..5xx}_total
+}
+
+// Instrument points the gateway's telemetry at reg (and the platform's, for
+// cold/warm start counters). A nil registry leaves both un-instrumented.
+func (g *Gateway) Instrument(reg *obs.Registry) {
+	g.mRequests = reg.Counter("gateway_requests_total")
+	g.mStatus = reg
+	if g.Platform != nil {
+		g.Platform.Instrument(reg)
+	}
 }
 
 // NewGateway wraps a platform.
@@ -41,8 +57,34 @@ func NewGateway(p *Platform) *Gateway {
 	}
 }
 
+// statusWriter captures the response status for the gateway's telemetry.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
 // ServeHTTP implements http.Handler.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mRequests.Inc()
+	sw := &statusWriter{ResponseWriter: w}
+	w = sw
+	defer func() {
+		if sw.status != 0 {
+			g.mStatus.Counter(fmt.Sprintf("gateway_responses_%dxx_total", sw.status/100)).Inc()
+		}
+	}()
 	host := r.Host
 	if i := strings.IndexByte(host, ':'); i >= 0 {
 		host = host[:i]

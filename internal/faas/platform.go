@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/providers"
 )
 
@@ -14,6 +15,23 @@ import (
 type Platform struct {
 	mu    sync.RWMutex
 	funcs map[string]*Function // keyed by lowercase FQDN
+
+	// Telemetry; populated by Instrument, no-ops otherwise.
+	mInvocations *obs.Counter   // faas_invocations_total
+	mCold        *obs.Counter   // faas_cold_starts_total
+	mWarm        *obs.Counter   // faas_warm_starts_total
+	mThrottled   *obs.Counter   // faas_throttled_total
+	mDuration    *obs.Histogram // faas_exec_seconds: billed execution time
+}
+
+// Instrument points the platform's telemetry at reg. Call before serving; a
+// nil registry leaves the platform un-instrumented.
+func (p *Platform) Instrument(reg *obs.Registry) {
+	p.mInvocations = reg.Counter("faas_invocations_total")
+	p.mCold = reg.Counter("faas_cold_starts_total")
+	p.mWarm = reg.Counter("faas_warm_starts_total")
+	p.mThrottled = reg.Counter("faas_throttled_total")
+	p.mDuration = reg.Histogram("faas_exec_seconds", nil)
 }
 
 // NewPlatform returns an empty platform.
@@ -120,8 +138,15 @@ func (p *Platform) Invoke(fqdn string, req Request) (Response, InvokeInfo, error
 
 	id, cold, ok := f.acquire(req.Time)
 	if !ok {
+		p.mThrottled.Inc()
 		return Response{}, InvokeInfo{}, fmt.Errorf("%w: %s at %d concurrent executions",
 			ErrTooManyRequests, fqdn, f.Config.Concurrency)
+	}
+	p.mInvocations.Inc()
+	if cold {
+		p.mCold.Inc()
+	} else {
+		p.mWarm.Inc()
 	}
 	startLatency := WarmStartLatency
 	if cold {
@@ -136,6 +161,7 @@ func (p *Platform) Invoke(fqdn string, req Request) (Response, InvokeInfo, error
 	resp, dur := p.run(f, req, &info)
 	info.Duration = dur
 	info.Latency = startLatency + dur
+	p.mDuration.Observe(dur.Seconds())
 
 	done := req.Time.Add(info.Latency)
 	f.release(id, done)

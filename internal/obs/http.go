@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler serves live introspection for a running pipeline:
+//
+//	/metrics        registry snapshot as indented JSON (expvar-style)
+//	/trace          current span tree as JSON
+//	/debug/pprof/*  the standard net/http/pprof profiles
+//	/               a plain-text index of the above
+//
+// Either reg or tr may be nil; the corresponding endpoint then serves an
+// empty document.
+func Handler(reg *Registry, tr *Trace) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(tr.Records())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "pipeline introspection:\n  /metrics\n  /trace\n  /debug/pprof/")
+	})
+	return mux
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	srv  *http.Server
+	ln   net.Listener
+	once sync.Once
+}
+
+// Addr returns the address the server is listening on (useful when started
+// with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	var err error
+	s.once.Do(func() { err = s.srv.Close() })
+	return err
+}
+
+// Serve starts the introspection endpoint on addr (e.g. ":6060") in a
+// background goroutine and returns immediately.
+func Serve(addr string, reg *Registry, tr *Trace) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{srv: &http.Server{Handler: Handler(reg, tr)}, ln: ln}
+	go s.srv.Serve(ln)
+	return s, nil
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pdns_records_total").Add(11)
+	tr := NewTrace()
+	ctx := ContextWithTrace(context.Background(), tr)
+	_, sp := StartSpan(ctx, "identify")
+	sp.End()
+
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/metrics"); code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	} else {
+		var s Snapshot
+		if err := json.Unmarshal([]byte(body), &s); err != nil {
+			t.Fatalf("/metrics not JSON: %v", err)
+		}
+		if s.Counters["pdns_records_total"] != 11 {
+			t.Fatalf("/metrics counters = %v", s.Counters)
+		}
+	}
+	if code, body := get("/trace"); code != 200 || !strings.Contains(body, `"identify"`) {
+		t.Fatalf("/trace = %d %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %d %q", code, body)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	s, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // idempotent
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Manifest is the machine-readable provenance record of one instrumented
+// run: what was configured, how long every stage took (wall and CPU), and
+// the final metric values. BENCH entries and regression comparisons should
+// cite a manifest rather than ad-hoc log lines.
+type Manifest struct {
+	// Tool names the binary or harness that produced the run.
+	Tool string `json:"tool"`
+	// CreatedAt is the RFC3339 completion instant; empty in golden tests.
+	CreatedAt string `json:"created_at,omitempty"`
+	// Meta carries flat configuration facts (seed, scale, flags).
+	Meta map[string]string `json:"meta,omitempty"`
+	// Stages is the run's span tree, one root per pipeline stage.
+	Stages []SpanRecord `json:"stages"`
+	// Metrics is the registry snapshot at completion.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// BuildManifest assembles a manifest from a finished trace and registry,
+// stamping the current time. Either may be nil.
+func BuildManifest(tool string, tr *Trace, reg *Registry, meta map[string]string) *Manifest {
+	return &Manifest{
+		Tool:      tool,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Meta:      meta,
+		Stages:    tr.Records(),
+		Metrics:   reg.Snapshot(),
+	}
+}
+
+// MarshalIndent renders the manifest as indented JSON with a trailing
+// newline. Map keys sort, so output is deterministic for fixed contents.
+func (m *Manifest) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("obs: manifest: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile serialises the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	b, err := m.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("obs: manifest: %w", err)
+	}
+	return nil
+}
+
+// StageSeconds flattens the manifest's root stages to name → wall seconds,
+// a convenience for overhead assertions in tests and benchmarks.
+func (m *Manifest) StageSeconds() map[string]float64 {
+	out := make(map[string]float64, len(m.Stages))
+	for _, s := range m.Stages {
+		out[s.Name] = time.Duration(s.WallNS).Seconds()
+	}
+	return out
+}

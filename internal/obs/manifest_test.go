@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestManifestGolden pins the manifest JSON shape: a manifest built from
+// deterministic contents must serialise byte-for-byte to the golden form.
+// Downstream tooling (BENCH comparisons, regression dashboards) parses this.
+func TestManifestGolden(t *testing.T) {
+	m := &Manifest{
+		Tool: "scfpipe",
+		Meta: map[string]string{"scale": "0.010", "seed": "1"},
+		Stages: []SpanRecord{
+			{
+				Name: "identify", Start: "2026-01-02T03:04:05Z",
+				Wall: "150ms", CPU: "100ms", WallNS: 150e6, CPUNS: 100e6,
+				Attrs: []Attr{{Key: "records", Value: "1234"}},
+			},
+			{
+				Name: "probe", Start: "2026-01-02T03:04:05.15Z",
+				Wall: "2s", CPU: "1.2s", WallNS: 2e9, CPUNS: 12e8,
+				Err: "context canceled",
+				Children: []SpanRecord{
+					{Name: "sweep", Wall: "1.9s", CPU: "1.1s", WallNS: 19e8, CPUNS: 11e8},
+				},
+			},
+		},
+		Metrics: Snapshot{
+			Counters: map[string]int64{"probe_requests_total": 99},
+			Gauges:   map[string]int64{"probe_inflight": 0},
+			Histograms: map[string]HistogramSnapshot{
+				"probe_request_seconds": {
+					Bounds: []float64{0.1, 1},
+					Counts: []int64{90, 9, 0},
+					Count:  99, Sum: 7.5,
+				},
+			},
+		},
+	}
+	got, err := m.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "manifest.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("manifest shape drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// And it must round-trip.
+	var back Manifest
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Stages[1].Children[0].Name != "sweep" {
+		t.Fatal("round-trip lost the span tree")
+	}
+	if s := back.StageSeconds(); s["probe"] != 2 {
+		t.Fatalf("StageSeconds = %v", s)
+	}
+}
+
+func TestBuildManifestLive(t *testing.T) {
+	tr := NewTrace()
+	reg := NewRegistry()
+	ctx := ContextWithTrace(t.Context(), tr)
+	_, sp := StartSpan(ctx, "stage")
+	reg.Counter("n").Inc()
+	sp.End()
+	m := BuildManifest("test", tr, reg, map[string]string{"k": "v"})
+	if m.CreatedAt == "" {
+		t.Fatal("missing timestamp")
+	}
+	if len(m.Stages) != 1 || m.Stages[0].Name != "stage" {
+		t.Fatalf("stages = %+v", m.Stages)
+	}
+	if m.Metrics.Counters["n"] != 1 {
+		t.Fatalf("metrics = %+v", m.Metrics)
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+}

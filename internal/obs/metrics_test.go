@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("reqs").Inc()
+				r.Gauge("inflight").Add(1)
+				r.Gauge("inflight").Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("reqs").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("inflight").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w%4) + 0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	wantSum := float64(perWorker) * 2 * (0.5 + 1.5 + 2.5 + 3.5)
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.2, 0.4, 0.8})
+	// 100 samples uniform in (0, 0.1]: everything lands in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q <= 0 || q > 0.1 {
+		t.Fatalf("p50 = %v, want within first bucket (0, 0.1]", q)
+	}
+	// Skewed: 90 fast, 10 slow → p99 must land in the slow bucket.
+	h2 := NewHistogram([]float64{0.1, 1, 10})
+	for i := 0; i < 90; i++ {
+		h2.Observe(0.05)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(5)
+	}
+	s2 := h2.Snapshot()
+	if q := s2.Quantile(0.99); q <= 1 || q > 10 {
+		t.Fatalf("p99 = %v, want within (1, 10]", q)
+	}
+	if q := s2.Quantile(0.5); q > 0.1 {
+		t.Fatalf("p50 = %v, want ≤ 0.1", q)
+	}
+	// Overflow samples report the last finite bound.
+	h3 := NewHistogram([]float64{1})
+	h3.Observe(100)
+	if q := h3.Snapshot().Quantile(0.99); q != 1 {
+		t.Fatalf("overflow quantile = %v, want 1", q)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	h := r.Histogram("z", nil)
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram should count 0")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+	var tr *Trace
+	if recs := tr.Records(); recs != nil {
+		t.Fatal("nil trace should have no records")
+	}
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.End()
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name must return same counter")
+	}
+	if r.Histogram("h", []float64{1}) != r.Histogram("h", []float64{2, 3}) {
+		t.Fatal("same name must return same histogram")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("probe_requests_total").Add(7)
+	r.Gauge("probe_inflight").Set(2)
+	r.Histogram("probe_seconds", []float64{1, 2}).Observe(1.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("endpoint JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if s.Counters["probe_requests_total"] != 7 {
+		t.Fatalf("counter round-trip = %d", s.Counters["probe_requests_total"])
+	}
+	if s.Gauges["probe_inflight"] != 2 {
+		t.Fatalf("gauge round-trip = %d", s.Gauges["probe_inflight"])
+	}
+	if h := s.Histograms["probe_seconds"]; h.Count != 1 || h.Sum != 1.5 {
+		t.Fatalf("histogram round-trip = %+v", h)
+	}
+}

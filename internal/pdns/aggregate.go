@@ -3,6 +3,7 @@ package pdns
 import (
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/providers"
 )
 
@@ -103,6 +104,20 @@ type Aggregator struct {
 	matched    int64                           // records kept
 	scanned    int64                           // records examined
 	dropped    int64                           // records failing Validate
+
+	// Telemetry; populated by Instrument, no-ops otherwise. Together with
+	// the identify stage span this yields the feed's records/sec throughput.
+	mScanned *obs.Counter // pdns_records_scanned_total
+	mMatched *obs.Counter // pdns_records_matched_total
+	mDropped *obs.Counter // pdns_records_dropped_total
+}
+
+// Instrument points the aggregator's telemetry at reg. Call before the first
+// Add; a nil registry leaves the aggregator un-instrumented.
+func (a *Aggregator) Instrument(reg *obs.Registry) {
+	a.mScanned = reg.Counter("pdns_records_scanned_total")
+	a.mMatched = reg.Counter("pdns_records_matched_total")
+	a.mDropped = reg.Counter("pdns_records_dropped_total")
 }
 
 // NewAggregator builds an aggregator over the [start, end] day window. The
@@ -128,8 +143,10 @@ func NewAggregator(matcher *providers.Matcher, start, end Date) *Aggregator {
 // are dropped, mirroring a production feed consumer.
 func (a *Aggregator) Add(r *Record) {
 	a.scanned++
+	a.mScanned.Inc()
 	if err := r.Validate(); err != nil {
 		a.dropped++
+		a.mDropped.Inc()
 		return
 	}
 	if r.PDate < a.window.start || r.PDate > a.window.end {
@@ -140,6 +157,7 @@ func (a *Aggregator) Add(r *Record) {
 		return
 	}
 	a.matched++
+	a.mMatched.Inc()
 
 	fs := a.byFQDN[r.FQDN]
 	if fs == nil {

@@ -1,0 +1,127 @@
+package probe
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestStatsRaceUnderProbeAll is the race regression for campaign counters:
+// Stats snapshots must be safe to read while ProbeAll is mid-flight (the
+// introspection endpoint does exactly this). Run with -race.
+func TestStatsRaceUnderProbeAll(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+		w.Write([]byte(`{"ok":true}`))
+	})
+	tlsAddr, plainAddr, cleanup := newServerPair(t, h)
+	defer cleanup()
+
+	reg := obs.NewRegistry()
+	p := New(Config{
+		Timeout:     time.Second,
+		Concurrency: 8,
+		DialContext: schemeDialer(tlsAddr, plainAddr),
+		Metrics:     reg,
+	})
+	targets := make([]string, 64)
+	for i := range targets {
+		targets[i] = fmt.Sprintf("fn%02d.example.lambda-url.us-east-1.on.aws", i)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					_ = p.Stats()
+					_ = reg.Snapshot()
+				}
+			}
+		}()
+	}
+	results := p.ProbeAll(context.Background(), targets)
+	close(done)
+	wg.Wait()
+
+	if len(results) != len(targets) {
+		t.Fatalf("results = %d, want %d", len(results), len(targets))
+	}
+	st := p.Stats()
+	if st.Probed != len(targets) {
+		t.Fatalf("probed = %d, want %d", st.Probed, len(targets))
+	}
+}
+
+// TestProbeMetrics verifies the campaign telemetry lands in the registry:
+// latency histogram, request counters, and a drained in-flight gauge.
+func TestProbeMetrics(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+		w.Write([]byte("ok"))
+	})
+	tlsAddr, plainAddr, cleanup := newServerPair(t, h)
+	defer cleanup()
+
+	reg := obs.NewRegistry()
+	p := New(Config{
+		Timeout:     time.Second,
+		Concurrency: 4,
+		DialContext: schemeDialer(tlsAddr, plainAddr),
+		Metrics:     reg,
+	})
+	targets := []string{
+		"a-1234567890-uc.a.run.app",
+		"b-1234567890-uc.a.run.app",
+		"c-1234567890-uc.a.run.app",
+	}
+	p.ProbeAll(context.Background(), targets)
+
+	s := reg.Snapshot()
+	if got := s.Counters["probe_requests_total"]; got != int64(len(targets)) {
+		t.Fatalf("probe_requests_total = %d, want %d", got, len(targets))
+	}
+	h1 := s.Histograms["probe_request_seconds"]
+	if h1.Count != int64(len(targets)) {
+		t.Fatalf("latency histogram count = %d, want %d", h1.Count, len(targets))
+	}
+	if h1.Quantile(0.5) <= 0 {
+		t.Fatal("latency p50 must be positive")
+	}
+	if got := s.Gauges["probe_inflight"]; got != 0 {
+		t.Fatalf("probe_inflight = %d after campaign, want 0", got)
+	}
+}
+
+// TestProbeMetricsFailureCounters exercises the DNS-failure and opt-out
+// counters.
+func TestProbeMetricsFailureCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(Config{
+		Timeout: 100 * time.Millisecond,
+		Metrics: reg,
+		Resolve: func(fqdn string) error { return fmt.Errorf("no such host") },
+	})
+	p.OptOut("optout.example")
+	p.Probe(context.Background(), "optout.example")
+	p.Probe(context.Background(), "dead.example")
+
+	s := reg.Snapshot()
+	if s.Counters["probe_optouts_total"] != 1 {
+		t.Fatalf("optouts = %d", s.Counters["probe_optouts_total"])
+	}
+	if s.Counters["probe_dns_failures_total"] != 1 {
+		t.Fatalf("dns failures = %d", s.Counters["probe_dns_failures_total"])
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FailureReason classifies why a domain was unreachable.
@@ -77,6 +79,10 @@ type Config struct {
 	// RatePerSecond caps the campaign-wide request rate, a politeness
 	// control on top of the per-function caps; 0 disables.
 	RatePerSecond float64
+	// Metrics, when non-nil, receives the campaign's live telemetry:
+	// per-request latency histogram, in-flight gauge, and retry/fallback/
+	// failure counters. A nil registry costs one nil check per event.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +109,16 @@ type Prober struct {
 	cfg     Config
 	client  *http.Client
 	limiter chan struct{}
+
+	// Live telemetry; every field is a no-op when Config.Metrics is nil.
+	mLatency   *obs.Histogram // probe_request_seconds: per-request wall time
+	mInflight  *obs.Gauge     // probe_inflight: probes currently executing
+	mRequests  *obs.Counter   // probe_requests_total: HTTP requests issued
+	mRetries   *obs.Counter   // probe_retries_total: attempts beyond the first
+	mFallbacks *obs.Counter   // probe_fallbacks_total: reached only via HTTP
+	mDNSFail   *obs.Counter   // probe_dns_failures_total
+	mTimeouts  *obs.Counter   // probe_timeouts_total
+	mOptOuts   *obs.Counter   // probe_optouts_total
 
 	mu     sync.Mutex
 	optOut map[string]struct{}
@@ -148,8 +164,16 @@ func New(cfg Config) *Prober {
 		}()
 	}
 	return &Prober{
-		cfg:     cfg,
-		limiter: limiter,
+		cfg:        cfg,
+		limiter:    limiter,
+		mLatency:   cfg.Metrics.Histogram("probe_request_seconds", nil),
+		mInflight:  cfg.Metrics.Gauge("probe_inflight"),
+		mRequests:  cfg.Metrics.Counter("probe_requests_total"),
+		mRetries:   cfg.Metrics.Counter("probe_retries_total"),
+		mFallbacks: cfg.Metrics.Counter("probe_fallbacks_total"),
+		mDNSFail:   cfg.Metrics.Counter("probe_dns_failures_total"),
+		mTimeouts:  cfg.Metrics.Counter("probe_timeouts_total"),
+		mOptOuts:   cfg.Metrics.Counter("probe_optouts_total"),
 		client: &http.Client{
 			Transport: tr,
 			Timeout:   cfg.Timeout,
@@ -191,8 +215,24 @@ func (p *Prober) Stats() Stats {
 func (p *Prober) Probe(ctx context.Context, fqdn string) Result {
 	start := time.Now()
 	res := Result{FQDN: fqdn}
+	p.mInflight.Add(1)
 	defer func() {
 		res.Elapsed = time.Since(start)
+		p.mInflight.Add(-1)
+		if res.Attempts > 1 {
+			p.mRetries.Add(int64(res.Attempts - 1))
+		}
+		switch res.Failure {
+		case FailDNS:
+			p.mDNSFail.Inc()
+		case FailTimeout:
+			p.mTimeouts.Inc()
+		case FailOptOut:
+			p.mOptOuts.Inc()
+		}
+		if res.Reachable && !res.HTTPS {
+			p.mFallbacks.Inc()
+		}
 		p.mu.Lock()
 		p.stats.Probed++
 		p.stats.Requests += res.Attempts
@@ -257,7 +297,10 @@ func (p *Prober) tryScheme(ctx context.Context, scheme, fqdn string, res *Result
 		return false, err
 	}
 	req.Header.Set("User-Agent", p.cfg.UserAgent)
+	reqStart := time.Now()
+	p.mRequests.Inc()
 	resp, err := p.client.Do(req)
+	p.mLatency.Observe(time.Since(reqStart).Seconds())
 	if err != nil {
 		return false, err
 	}
