@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -10,14 +10,23 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-run the packages with lock-free hot paths and shared counters.
+# Race-run the packages with lock-free hot paths and shared counters,
+# including the parallel substrate (emission workers, shard aggregators).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/probe/... ./internal/dnssim/...
+	$(GO) test -race ./internal/obs/... ./internal/probe/... ./internal/dnssim/... ./internal/pdns/... ./internal/workload/...
 
 vet:
 	$(GO) vet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Benchstat-friendly snapshot of the parallel-substrate benchmarks: the raw
+# `go test -bench` text (which benchstat consumes directly) is teed to
+# BENCH_pipeline.json. Compare two snapshots with
+# `benchstat old.json BENCH_pipeline.json`.
+bench-json:
+	$(GO) test -bench 'EmitPDNS|AggregateParallel|Top10Share|Table2Resolution' \
+		-benchmem -count=5 -run=^$$ ./... 2>&1 | tee BENCH_pipeline.json
 
 check: build vet test race

@@ -22,12 +22,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pdnsgen: ")
 	var (
-		seed   = flag.Int64("seed", 1, "generator seed (equal seeds give identical datasets)")
-		scale  = flag.Float64("scale", 0.01, "fraction of the paper's 531k-domain population")
-		format = flag.String("format", "tsv", "output format: tsv or jsonl")
-		out    = flag.String("o", "-", "output file (- for stdout)")
-		cache  = flag.Bool("cache-model", false, "model resolver caching (request_cnt becomes a lower bound)")
-		fleet  = flag.String("fleet", "", "also write the ground-truth fleet spec (JSONL) to this file")
+		seed    = flag.Int64("seed", 1, "generator seed (equal seeds give identical datasets)")
+		scale   = flag.Float64("scale", 0.01, "fraction of the paper's 531k-domain population")
+		format  = flag.String("format", "tsv", "output format: tsv or jsonl")
+		out     = flag.String("o", "-", "output file (- for stdout)")
+		cache   = flag.Bool("cache-model", false, "model resolver caching (request_cnt becomes a lower bound)")
+		fleet   = flag.String("fleet", "", "also write the ground-truth fleet spec (JSONL) to this file")
+		workers = flag.Int("workers", 0, "generation worker pool (0 = GOMAXPROCS; output is byte-identical for every value)")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 		w = file
 	}
 
-	pop := workload.Generate(workload.Config{Seed: *seed, Scale: *scale, CacheModel: *cache})
+	pop := workload.Generate(workload.Config{Seed: *seed, Scale: *scale, CacheModel: *cache, Workers: *workers})
 	if *fleet != "" {
 		ff, err := os.Create(*fleet)
 		if err != nil {
@@ -66,7 +67,7 @@ func main() {
 	}
 	writer := pdns.NewWriter(w, f)
 	resolver := dnssim.NewResolver()
-	if err := workload.EmitPDNS(pop, resolver, writer.Write); err != nil {
+	if err := workload.EmitPDNSOrdered(pop, resolver, *workers, writer.Write); err != nil {
 		log.Fatal(err)
 	}
 	if err := writer.Flush(); err != nil {

@@ -44,6 +44,7 @@ func main() {
 		cache       = flag.Bool("cache-model", false, "model resolver caching in PDNS counts")
 		timeout     = flag.Duration("probe-timeout", 2*time.Second, "per-request probe timeout")
 		probeConc   = flag.Int("probe-concurrency", 0, "max in-flight probes (0 = default 32)")
+		workers     = flag.Int("workers", 0, "CPU-bound fan-out for generation, PDNS emission+aggregation, sanitisation, and classification (0 = GOMAXPROCS; results are identical for every value)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live JSON metrics, trace, and pprof on this address (e.g. :6060)")
 		manifest    = flag.String("manifest", "", "write the run manifest (stage timings + metrics) to this JSON file")
 	)
@@ -68,6 +69,7 @@ func main() {
 		CacheModel:       *cache,
 		ProbeTimeout:     *timeout,
 		ProbeConcurrency: *probeConc,
+		Workers:          *workers,
 		Metrics:          metrics,
 	})
 	manifestFailed := false

@@ -17,9 +17,9 @@ package core
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -47,6 +47,13 @@ type Config struct {
 	Scale float64
 	// CacheModel routes invocation counts through the resolver-cache model.
 	CacheModel bool
+
+	// Workers bounds the CPU-bound fan-out: substrate generation, PDNS
+	// emission+aggregation, sanitisation, and abuse classification all
+	// shard across this many goroutines (<= 0 selects GOMAXPROCS). Results
+	// are bit-identical for every value — parallelism only buys wall-clock
+	// time, never determinism.
+	Workers int
 
 	// ClusterThreshold is the dendrogram cut distance (paper: 0.1).
 	ClusterThreshold float64
@@ -83,6 +90,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Scale <= 0 {
 		c.Scale = 0.01
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.ClusterThreshold <= 0 {
 		c.ClusterThreshold = 0.1
@@ -159,6 +169,7 @@ func (r *Results) Manifest(tool string) *obs.Manifest {
 	meta := map[string]string{
 		"seed":              fmt.Sprint(r.Config.Seed),
 		"scale":             fmt.Sprintf("%g", r.Config.Scale),
+		"workers":           fmt.Sprint(r.Config.Workers),
 		"cache_model":       fmt.Sprint(r.Config.CacheModel),
 		"cluster_threshold": fmt.Sprintf("%g", r.Config.ClusterThreshold),
 		"max_cluster_docs":  fmt.Sprint(r.Config.MaxClusterDocs),
@@ -206,7 +217,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 
 	// ---- Substrate: population, DNS, platform, edge servers. ----
 	_, sp := obs.StartSpan(ctx, "substrate")
-	pop := workload.Generate(workload.Config{Seed: cfg.Seed, Scale: cfg.Scale, CacheModel: cfg.CacheModel})
+	pop := workload.Generate(workload.Config{Seed: cfg.Seed, Scale: cfg.Scale, CacheModel: cfg.CacheModel, Workers: cfg.Workers})
 	res.Population = pop
 	resolver := dnssim.NewResolver()
 	resolver.Instrument(reg)
@@ -229,20 +240,20 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	sp.End()
 
 	// ---- Stage 1: PDNS identification & aggregation (§3.2, §4). ----
+	// Emission and aggregation shard by FQDN across cfg.Workers: each
+	// worker feeds its own aggregator from its own per-function RNG
+	// streams, and the shard aggregates merge into the exact result the
+	// serial pass produces (see workload.AggregateParallel).
 	sctx, sp := obs.StartSpan(ctx, "identify")
 	w := workload.Window()
-	agg := pdns.NewAggregator(nil, w.Start, w.End)
-	agg.Instrument(reg)
-	if err := workload.EmitPDNS(pop, resolver, func(r *pdns.Record) error {
-		agg.Add(r)
-		return nil
-	}); err != nil {
+	agg, err := workload.AggregateParallel(sctx, pop, resolver, nil, cfg.Workers, reg)
+	if err != nil {
 		err = fmt.Errorf("core: pdns: %w", err)
 		sp.SetError(err)
 		sp.End()
 		return nil, err
 	}
-	res.Aggregate = agg.Finish()
+	res.Aggregate = agg
 	// Deletions take effect only now: the PDNS history above was recorded
 	// while the functions were alive, but the probing phase sees deleted
 	// Tencent functions as NXDOMAIN (§4.4).
@@ -253,6 +264,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	sp.SetAttr("records", res.Aggregate.Scanned)
 	sp.SetAttr("matched", res.Aggregate.Matched)
 	sp.SetAttr("domains", res.Aggregate.TotalDomains())
+	sp.SetAttr("workers", cfg.Workers)
 	sp.End()
 
 	// ---- Stage 2: active probing (§3.3). ----
@@ -268,7 +280,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		Concurrency: cfg.ProbeConcurrency,
 		Metrics:     reg,
 		Resolve: func(fqdn string) error {
-			rng := rand.New(rand.NewSource(int64(hashFQDN(fqdn))))
+			rng := rand.New(rand.NewSource(int64(pdns.HashFQDN(fqdn))))
 			_, err := resolver.Resolve(fqdn, rng)
 			return err
 		},
@@ -286,44 +298,67 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	}
 
 	// ---- Stage 3: sanitisation (§3.4, Appendix A). ----
+	// The per-response scan+anonymise work is pure once the salt is fixed,
+	// so it fans out across cfg.Workers; the fold back into census, type
+	// counts, and the document corpus runs serially in probe-result order,
+	// keeping the stage bit-identical for every worker count.
 	_, sp = obs.StartSpan(ctx, "sanitise")
 	anonRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5a17))
 	anon := secrets.NewAnonymizer(anonRng)
-	docs := make([]abuse.Document, 0, len(res.ProbeResults))
 	res.TypeCounts = map[content.Type]int{}
 	byFQDN := fqdnIndex(pop)
-	var contentDocs []string
-	var contentTypes []content.Type
-	for i := range res.ProbeResults {
+	type sanitised struct {
+		doc      abuse.Document
+		findings []secrets.Finding
+		ct       content.Type
+		keep     bool // reachable: contributes a document
+		rich     bool // 200 + body: contributes to the content corpus
+	}
+	cleaned := make([]sanitised, len(res.ProbeResults))
+	parallelFor(len(res.ProbeResults), cfg.Workers, func(i int) {
 		r := &res.ProbeResults[i]
 		if !r.Reachable {
-			continue
+			return
 		}
+		out := &cleaned[i]
+		out.keep = true
 		body := string(r.Body)
 		if r.Status == 200 && len(body) > 0 {
 			clean, findings := anon.Sanitize(body)
-			res.SecretsCensus.Add(findings)
 			body = clean
-			res.ContentRich++
-			ct := content.DetectType([]byte(body), r.ContentType)
-			res.TypeCounts[ct]++
-			contentDocs = append(contentDocs, body)
-			contentTypes = append(contentTypes, ct)
+			out.findings = findings
+			out.ct = content.DetectType([]byte(body), r.ContentType)
+			out.rich = true
 		}
-		f := byFQDN[r.FQDN]
-		doc := abuse.Document{
+		out.doc = abuse.Document{
 			FQDN:        r.FQDN,
 			Status:      r.Status,
 			ContentType: r.ContentType,
 			Body:        body,
 			Location:    r.Location,
 		}
-		if f != nil {
-			doc.Provider = f.Provider.String()
-			doc.Region = f.Region
-			doc.ChinaRegion = providers.ChinaRegion(f.Region)
+		if f := byFQDN[r.FQDN]; f != nil {
+			out.doc.Provider = f.Provider.String()
+			out.doc.Region = f.Region
+			out.doc.ChinaRegion = providers.ChinaRegion(f.Region)
 		}
-		docs = append(docs, doc)
+	})
+	docs := make([]abuse.Document, 0, len(res.ProbeResults))
+	var contentDocs []string
+	var contentTypes []content.Type
+	for i := range cleaned {
+		c := &cleaned[i]
+		if !c.keep {
+			continue
+		}
+		if c.rich {
+			res.SecretsCensus.Add(c.findings)
+			res.ContentRich++
+			res.TypeCounts[c.ct]++
+			contentDocs = append(contentDocs, c.doc.Body)
+			contentTypes = append(contentTypes, c.ct)
+		}
+		docs = append(docs, c.doc)
 	}
 	sp.SetAttr("docs", len(docs))
 	sp.SetAttr("content_rich", res.ContentRich)
@@ -339,10 +374,16 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	sp.End()
 
 	// ---- Stage 5: abuse classification (§5). ----
+	// Classify is pure per document, so the scan fans out; the verdict map
+	// is folded serially in document order.
 	sctx, sp = obs.StartSpan(ctx, "classify")
 	res.Verdicts = map[string][]abuse.Verdict{}
-	for i := range docs {
-		if vs := abuse.Classify(&docs[i]); len(vs) > 0 {
+	verdicts := make([][]abuse.Verdict, len(docs))
+	parallelFor(len(docs), cfg.Workers, func(i int) {
+		verdicts[i] = abuse.Classify(&docs[i])
+	})
+	for i, vs := range verdicts {
+		if len(vs) > 0 {
 			res.Verdicts[docs[i].FQDN] = vs
 		}
 	}
@@ -521,8 +562,28 @@ func simDialer(servers *gatewayServers, httpOnly map[string]bool) func(ctx conte
 	}
 }
 
-func hashFQDN(fqdn string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(strings.ToLower(fqdn)))
-	return h.Sum64()
+// parallelFor runs fn(i) for i in [0, n) across at most workers goroutines.
+// Iterations are strided, not chunked, so uneven per-item cost still
+// balances; fn must only write state owned by index i.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
 }

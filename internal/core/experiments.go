@@ -27,6 +27,11 @@ func (r *Results) RenderExperiments() string {
 		r.Config.Seed, scale, !r.Config.SkipC2Scan)
 	fmt.Fprintf(&b, "All absolute paper counts are compared after multiplying by the scale;\n")
 	fmt.Fprintf(&b, "proportions and orderings are compared directly. Elapsed: %v.\n\n", r.Elapsed)
+	fmt.Fprintf(&b, "Every number below is a pure function of (seed, scale): the pipeline's\n")
+	fmt.Fprintf(&b, "worker count (`-workers`) changes only wall-clock time, never a measurement.\n")
+	fmt.Fprintf(&b, "Per-function and per-provider RNG streams make the parallel run bit-identical\n")
+	fmt.Fprintf(&b, "to the serial one, so reruns reproduce this file at any `-workers` setting\n")
+	fmt.Fprintf(&b, "(`internal/workload/parallel_test.go` enforces this).\n\n")
 
 	row := func(metric, paper, measured string, holds bool) {
 		mark := "yes"

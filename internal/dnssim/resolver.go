@@ -29,7 +29,16 @@ type Answer struct {
 }
 
 // Resolver answers queries for function FQDNs according to each provider's
-// policy. It is safe for concurrent use.
+// policy. It is safe for concurrent use: one Resolver serves every worker of
+// the parallel emission path (workload.EmitPDNSParallel).
+//
+// Concurrency audit, per field: the matcher and per-provider policies are
+// built once and read-only afterwards; the deletion set is guarded by mu;
+// the lookup and harmonic-number memos are sync.Maps (duplicate computation
+// on a racing first miss is benign — entries are value-identical); the
+// telemetry counters are atomics. Methods take no locks while calling out,
+// so Resolve/ResolveRType/MarkDeleted may interleave freely from any number
+// of goroutines.
 //
 // Lookups (regex identification + policy selection) are memoised per FQDN:
 // a two-year feed re-resolves each name hundreds of times, so the cache

@@ -46,7 +46,10 @@ type RTypeStats struct {
 func (rs *RTypeStats) RDataCnt() int { return len(rs.ByRData) }
 
 // Top10Share is the fraction of the type's requests contributed by its ten
-// most frequent rdata values (Table 2, "Top10").
+// most frequent rdata values (Table 2, "Top10"). Rather than sorting the
+// full rdata distribution — AWS alone carries thousands of ingress
+// addresses — it keeps a fixed 10-slot min-heap while streaming the map, so
+// the cost is O(n log 10) with zero allocations.
 func (rs *RTypeStats) Top10Share() float64 {
 	if rs.Requests == 0 {
 		return 0
@@ -54,16 +57,51 @@ func (rs *RTypeStats) Top10Share() float64 {
 	if len(rs.ByRData) <= 10 {
 		return 1
 	}
-	counts := make([]int64, 0, len(rs.ByRData))
+	// top holds the 10 largest counts seen so far as a min-heap rooted at
+	// index 0, so the smallest kept value is evicted in O(log 10).
+	var top [10]int64
+	k := 0
 	for _, c := range rs.ByRData {
-		counts = append(counts, c)
+		switch {
+		case k < len(top):
+			// Fill phase: append and sift up.
+			i := k
+			top[i] = c
+			k++
+			for i > 0 {
+				parent := (i - 1) / 2
+				if top[parent] <= top[i] {
+					break
+				}
+				top[parent], top[i] = top[i], top[parent]
+				i = parent
+			}
+		case c > top[0]:
+			// Replace the minimum and sift down.
+			top[0] = c
+			i := 0
+			for {
+				l, r := 2*i+1, 2*i+2
+				small := i
+				if l < len(top) && top[l] < top[small] {
+					small = l
+				}
+				if r < len(top) && top[r] < top[small] {
+					small = r
+				}
+				if small == i {
+					break
+				}
+				top[i], top[small] = top[small], top[i]
+				i = small
+			}
+		}
 	}
-	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
-	var top int64
-	for _, c := range counts[:10] {
-		top += c
+	var sum int64
+	for _, c := range top {
+		sum += c
 	}
-	return float64(top) / float64(rs.Requests)
+	return float64(sum) / float64(rs.Requests)
 }
 
 // ProviderStats is the per-provider rollup backing Table 2.

@@ -1,0 +1,61 @@
+package pdns
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func syntheticRTypeStats(n int, seed int64) *RTypeStats {
+	rng := rand.New(rand.NewSource(seed))
+	rs := &RTypeStats{ByRData: make(map[string]int64, n)}
+	for i := 0; i < n; i++ {
+		// Zipf-ish counts so the top ten actually dominate, as A-record
+		// rdata distributions do in the aggregate.
+		c := int64(rng.ExpFloat64()*100) + 1
+		rs.ByRData[fmt.Sprintf("203.0.%d.%d", i/256, i%256)] = c
+		rs.Requests += c
+	}
+	return rs
+}
+
+// TestTop10ShareMatchesSortReference pins the heap-based selection to the
+// obvious full-sort implementation across sizes around the 10-entry
+// boundary.
+func TestTop10ShareMatchesSortReference(t *testing.T) {
+	for _, n := range []int{1, 9, 10, 11, 37, 500, 4096} {
+		rs := syntheticRTypeStats(n, int64(n))
+		counts := make([]int64, 0, len(rs.ByRData))
+		for _, c := range rs.ByRData {
+			counts = append(counts, c)
+		}
+		sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+		var top int64
+		for i := 0; i < len(counts) && i < 10; i++ {
+			top += counts[i]
+		}
+		want := float64(top) / float64(rs.Requests)
+		if got := rs.Top10Share(); got != want {
+			t.Errorf("n=%d: Top10Share = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// BenchmarkTop10Share measures the top-10 selection on a large rdata map.
+// ReportAllocs is the point: the selection runs once per (FQDN, rtype) pair
+// in Table 2 rendering, and the heap variant must not allocate at all where
+// the old implementation built and sorted a fresh slice per call.
+func BenchmarkTop10Share(b *testing.B) {
+	for _, n := range []int{100, 10_000} {
+		rs := syntheticRTypeStats(n, 1)
+		b.Run(fmt.Sprintf("rdata=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if rs.Top10Share() <= 0 {
+					b.Fatal("unexpected zero share")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,28 @@
+package pdns
+
+// HashFQDN returns the canonical 64-bit FNV-1a hash of an FQDN, computed
+// over its ASCII-lowercased form so that differently-cased spellings of the
+// same name hash identically. It is the single hash every layer derives
+// per-function state from: shard selection (ShardByFQDN), the per-function
+// RNG streams of the workload emitter, and the probe resolver's seeded RNGs
+// all share it, so a function's behaviour is a pure function of (seed, FQDN)
+// and never of iteration order.
+//
+// The implementation is allocation-free; it matches hash/fnv's New64a over
+// strings.ToLower(fqdn) for ASCII input.
+func HashFQDN(fqdn string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(fqdn); i++ {
+		c := fqdn[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

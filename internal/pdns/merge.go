@@ -86,17 +86,15 @@ func (ag *Aggregate) Merge(other *Aggregate) error {
 }
 
 // ShardByFQDN returns a stable shard index for an FQDN, so that all records
-// of one function land in the same shard and day counts stay exact.
+// of one function land in the same shard and day counts stay exact. It is
+// derived from HashFQDN, the same hash the emitter seeds per-function RNG
+// streams from, so sharding and stream seeding can never disagree about a
+// function's identity.
 func ShardByFQDN(fqdn string, shards int) int {
 	if shards <= 1 {
 		return 0
 	}
-	var h uint32 = 2166136261
-	for i := 0; i < len(fqdn); i++ {
-		h ^= uint32(fqdn[i])
-		h *= 16777619
-	}
-	return int(h % uint32(shards))
+	return int(HashFQDN(fqdn) % uint64(shards))
 }
 
 // ParallelAggregate consumes records from next (which returns nil at end of

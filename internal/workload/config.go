@@ -183,6 +183,11 @@ type Config struct {
 	// recursive-resolver cache model before recording them as request_cnt
 	// (ablation; default off so totals match Table 2 directly).
 	CacheModel bool
+	// Workers bounds the generator's per-provider fan-out (<= 0 selects
+	// GOMAXPROCS). It only changes wall-clock time: every provider draws
+	// from its own (Seed, suffix)-derived RNG stream, so the generated
+	// fleet is identical for every Workers value.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {

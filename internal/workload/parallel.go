@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dnssim"
+	"repro/internal/obs"
+	"repro/internal/pdns"
+	"repro/internal/providers"
+)
+
+// normWorkers clamps a worker count: <= 0 selects GOMAXPROCS.
+func normWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// EmitPDNSParallel emits the population's PDNS history across a pool of
+// workers. Functions are sharded by pdns.ShardByFQDN, so all records of one
+// function stay on one worker and arrive in their serial order; because
+// every function draws from its own (seed, FQDN)-seeded RNG stream, each
+// record is byte-identical to what EmitPDNS would have produced — only the
+// interleaving across functions differs.
+//
+// Sinks receive the records: pass one sink per worker (sink i sees exactly
+// shard i, called from a single goroutine) to aggregate shard-locally
+// without any cross-worker synchronisation, or a single sink to funnel all
+// shards into one consumer — the single sink is then serialised with a
+// mutex, so it stays correct but no longer scales. workers <= 0 selects
+// GOMAXPROCS. The first error (by shard index) cancels the remaining work.
+func EmitPDNSParallel(pop *Population, resolver *dnssim.Resolver, workers int, sinks ...func(*pdns.Record) error) error {
+	workers = normWorkers(workers)
+	switch {
+	case len(sinks) == 0:
+		return fmt.Errorf("workload: EmitPDNSParallel needs at least one sink")
+	case len(sinks) == 1 && workers > 1:
+		var mu sync.Mutex
+		inner := sinks[0]
+		guarded := func(r *pdns.Record) error {
+			mu.Lock()
+			defer mu.Unlock()
+			return inner(r)
+		}
+		sinks = make([]func(*pdns.Record) error, workers)
+		for i := range sinks {
+			sinks[i] = guarded
+		}
+	case len(sinks) != workers:
+		return fmt.Errorf("workload: EmitPDNSParallel got %d sinks for %d workers (want 1 or exactly %d)", len(sinks), workers, workers)
+	}
+	if workers == 1 {
+		return EmitPDNS(pop, resolver, sinks[0])
+	}
+
+	// Pre-shard the function list once so each worker walks only its own
+	// functions, in population (FQDN-sorted) order.
+	shards := make([][]*Function, workers)
+	for _, f := range pop.Functions {
+		s := pdns.ShardByFQDN(f.FQDN, workers)
+		shards[s] = append(shards[s], f)
+	}
+
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			sink := sinks[wkr]
+			for _, f := range shards[wkr] {
+				if err := emitFunction(pop, f, resolver, functionRNG(pop.Config.Seed, f.FQDN), sink); err != nil {
+					errs[wkr] = fmt.Errorf("workload: emit %s: %w", f.FQDN, err)
+					return
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EmitPDNSOrdered produces the exact record sequence of EmitPDNS — same
+// records, same order, byte-identical output — while generating the
+// per-function streams on a worker pool. It exists for sinks that care
+// about stream order (dataset writers); consumers that aggregate should
+// prefer EmitPDNSParallel, which never buffers. The sink is always called
+// from the caller's goroutine. workers <= 0 selects GOMAXPROCS.
+func EmitPDNSOrdered(pop *Population, resolver *dnssim.Resolver, workers int, sink func(*pdns.Record) error) error {
+	workers = normWorkers(workers)
+	if workers == 1 {
+		return EmitPDNS(pop, resolver, sink)
+	}
+
+	// Batched fan-out: fill per-function record buffers in parallel, flush
+	// them in population order, repeat. The batch barrier keeps memory
+	// bounded to batch-size function histories while the flush of batch k
+	// overlaps nothing — in practice generation dominates, so the barrier
+	// costs a few percent, not the parallelism.
+	const batchPerWorker = 16
+	batch := workers * batchPerWorker
+	bufs := make([][]pdns.Record, batch)
+	errsBuf := make([]error, batch)
+	for lo := 0; lo < len(pop.Functions); lo += batch {
+		hi := lo + batch
+		if hi > len(pop.Functions) {
+			hi = len(pop.Functions)
+		}
+		var wg sync.WaitGroup
+		for wkr := 0; wkr < workers; wkr++ {
+			wg.Add(1)
+			go func(wkr int) {
+				defer wg.Done()
+				for i := lo + wkr; i < hi; i += workers {
+					f := pop.Functions[i]
+					buf := bufs[i-lo][:0]
+					err := emitFunction(pop, f, resolver, functionRNG(pop.Config.Seed, f.FQDN), func(r *pdns.Record) error {
+						buf = append(buf, *r)
+						return nil
+					})
+					bufs[i-lo] = buf
+					if err != nil {
+						errsBuf[i-lo] = fmt.Errorf("workload: emit %s: %w", f.FQDN, err)
+					}
+				}
+			}(wkr)
+		}
+		wg.Wait()
+		for i := lo; i < hi; i++ {
+			if err := errsBuf[i-lo]; err != nil {
+				return err
+			}
+			for j := range bufs[i-lo] {
+				if err := sink(&bufs[i-lo][j]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AggregateParallel runs the whole substrate→identification hot path —
+// synthetic PDNS emission plus §3.2 aggregation — on a worker pool: one
+// shard-local pdns.Aggregator per worker fed directly by that worker's
+// emission stream (no channel funnel, no record copies), merged in shard
+// order at the end. Because functions are sharded by FQDN and every
+// per-FQDN stream is order-independent, the result is identical to the
+// serial EmitPDNS → Aggregator pass for any worker count.
+//
+// ctx carries the stage trace: each worker shard records an
+// "emit-shard-<i>" span with its function and record counts. reg receives
+// the aggregators' shared throughput counters; both may be nil. A nil
+// matcher selects all collected providers.
+func AggregateParallel(ctx context.Context, pop *Population, resolver *dnssim.Resolver, matcher *providers.Matcher, workers int, reg *obs.Registry) (*pdns.Aggregate, error) {
+	workers = normWorkers(workers)
+	w := Window()
+	aggs := make([]*pdns.Aggregator, workers)
+	sinks := make([]func(*pdns.Record) error, workers)
+	spans := make([]*obs.Span, workers)
+	counts := make([]int64, workers)
+	for i := range aggs {
+		agg := pdns.NewAggregator(matcher, w.Start, w.End)
+		agg.Instrument(reg)
+		aggs[i] = agg
+		i := i
+		sinks[i] = func(r *pdns.Record) error {
+			agg.Add(r)
+			counts[i]++
+			return nil
+		}
+		_, spans[i] = obs.StartSpan(ctx, fmt.Sprintf("emit-shard-%d", i))
+	}
+	mWorkers := reg.Gauge("workload_emit_workers")
+	mWorkers.Set(int64(workers))
+
+	err := EmitPDNSParallel(pop, resolver, workers, sinks...)
+	for i, sp := range spans {
+		sp.SetAttr("records", counts[i])
+		sp.SetError(err)
+		sp.End()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := aggs[0].Finish()
+	for _, a := range aggs[1:] {
+		if merr := out.Merge(a.Finish()); merr != nil {
+			return nil, merr
+		}
+	}
+	return out, nil
+}

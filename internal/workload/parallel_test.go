@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/dnssim"
+	"repro/internal/pdns"
+)
+
+// serialAggregate is the reference path: the sequential EmitPDNS feeding one
+// Aggregator, exactly as the pipeline ran before parallelisation.
+func serialAggregate(t *testing.T, pop *Population) *pdns.Aggregate {
+	t.Helper()
+	w := Window()
+	agg := pdns.NewAggregator(nil, w.Start, w.End)
+	if err := EmitPDNS(pop, dnssim.NewResolver(), func(r *pdns.Record) error {
+		agg.Add(r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return agg.Finish()
+}
+
+// TestAggregateParallelMatchesSerial is the determinism regression for the
+// parallel hot path: for every worker count the parallel aggregate must be
+// identical to the serial one — same per-function stats, same Table 2 rows,
+// same Figure 3–5 series — not merely statistically close.
+func TestAggregateParallelMatchesSerial(t *testing.T) {
+	pop := testPop(t, 0.004)
+	want := serialAggregate(t, pop)
+	wantTable2 := analysis.Table2(want)
+	wantNew := analysis.NewFQDNsByMonth(want)
+	wantTrend := analysis.InvocationTrend(want)
+	wantFreq := analysis.Frequency(want.PerFunctionStats())
+
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, err := AggregateParallel(context.Background(), pop, dnssim.NewResolver(), nil, workers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Scanned != want.Scanned || got.Matched != want.Matched {
+				t.Fatalf("scanned/matched = %d/%d, want %d/%d",
+					got.Scanned, got.Matched, want.Scanned, want.Matched)
+			}
+			if !reflect.DeepEqual(got.PerFunctionStats(), want.PerFunctionStats()) {
+				t.Error("PerFunctionStats differs from serial pass")
+			}
+			if !reflect.DeepEqual(analysis.Table2(got), wantTable2) {
+				t.Error("Table 2 rows differ from serial pass")
+			}
+			if !reflect.DeepEqual(analysis.NewFQDNsByMonth(got), wantNew) {
+				t.Error("Figure 3 series differs from serial pass")
+			}
+			if !reflect.DeepEqual(analysis.InvocationTrend(got), wantTrend) {
+				t.Error("Figure 4 series differs from serial pass")
+			}
+			if !reflect.DeepEqual(analysis.Frequency(got.PerFunctionStats()), wantFreq) {
+				t.Error("Figure 5 frequency stats differ from serial pass")
+			}
+		})
+	}
+}
+
+// TestEmitPDNSOrderedMatchesSerial checks the stronger guarantee of the
+// ordered variant: the record sequence — values and order — equals the
+// sequential emission exactly, so dataset files are byte-identical.
+func TestEmitPDNSOrderedMatchesSerial(t *testing.T) {
+	pop := testPop(t, 0.002)
+	var want []pdns.Record
+	if err := EmitPDNS(pop, dnssim.NewResolver(), func(r *pdns.Record) error {
+		want = append(want, *r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var got []pdns.Record
+			if err := EmitPDNSOrdered(pop, dnssim.NewResolver(), workers, func(r *pdns.Record) error {
+				got = append(got, *r)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("emitted %d records, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateWorkerInvariance: the fleet must not depend on the generation
+// worker count — every provider draws from its own seed-derived stream.
+func TestGenerateWorkerInvariance(t *testing.T) {
+	base := Generate(Config{Seed: 11, Scale: 0.003})
+	for _, workers := range []int{1, 2, 8} {
+		pop := Generate(Config{Seed: 11, Scale: 0.003, Workers: workers})
+		if len(pop.Functions) != len(base.Functions) {
+			t.Fatalf("workers=%d: %d functions, want %d", workers, len(pop.Functions), len(base.Functions))
+		}
+		for i := range pop.Functions {
+			if !reflect.DeepEqual(pop.Functions[i], base.Functions[i]) {
+				t.Fatalf("workers=%d: function %d differs:\n got %+v\nwant %+v",
+					workers, i, pop.Functions[i], base.Functions[i])
+			}
+		}
+	}
+}
+
+func TestEmitPDNSParallelSinkContract(t *testing.T) {
+	pop := testPop(t, 0.001)
+	res := dnssim.NewResolver()
+	if err := EmitPDNSParallel(pop, res, 2); err == nil {
+		t.Error("no sinks: want error, got nil")
+	}
+	sink := func(*pdns.Record) error { return nil }
+	if err := EmitPDNSParallel(pop, res, 4, sink, sink, sink); err == nil {
+		t.Error("3 sinks for 4 workers: want error, got nil")
+	}
+	// One sink for many workers is the documented funnel mode.
+	var n atomic.Int64
+	if err := EmitPDNSParallel(pop, res, 4, func(*pdns.Record) error {
+		n.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() == 0 {
+		t.Error("funnel sink saw no records")
+	}
+	// Sink errors propagate.
+	boom := errors.New("boom")
+	if err := EmitPDNSParallel(pop, res, 2, func(*pdns.Record) error { return boom },
+		func(*pdns.Record) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("sink error: got %v, want %v", err, boom)
+	}
+	if err := EmitPDNSOrdered(pop, res, 2, func(*pdns.Record) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("ordered sink error: got %v, want %v", err, boom)
+	}
+}

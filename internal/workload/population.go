@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/c2"
 	"repro/internal/pdns"
@@ -83,7 +84,11 @@ func (p fqdnPool) generate(in *providers.Info, rng *rand.Rand, region string) st
 	}
 }
 
-// Generate builds the fleet deterministically from cfg.
+// Generate builds the fleet deterministically from cfg. The per-provider
+// benign cohorts — the bulk of the population — are generated concurrently,
+// each provider on its own RNG stream seeded from (Seed, provider suffix);
+// the output is therefore identical for every cfg.Workers value, and equal
+// seeds give identical fleets.
 func Generate(cfg Config) *Population {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -99,14 +104,37 @@ func Generate(cfg Config) *Population {
 		abuseByProvider[f.Provider]++
 	}
 
-	for _, in := range providers.Collected() {
+	// Benign cohorts fan out per provider. Provider domain suffixes are
+	// disjoint, so cross-provider FQDN collisions are impossible; each
+	// goroutine only needs a private pool copy carrying the abuse names to
+	// dodge collisions inside its own namespace.
+	collected := providers.Collected()
+	benign := make([][]*Function, len(collected))
+	sem := make(chan struct{}, normWorkers(cfg.Workers))
+	var wg sync.WaitGroup
+	for i, in := range collected {
 		cal := table2[in.ID]
 		n := scaleCount(cal.Domains, cfg.Scale) - abuseByProvider[in.ID]
 		if n < 0 {
 			n = 0
 		}
 		targetReq := int64(float64(cal.Requests) * cfg.Scale)
-		pop.Functions = append(pop.Functions, generateBenign(in, n, targetReq, rng, w, pool)...)
+		wg.Add(1)
+		go func(i int, in *providers.Info, n int, targetReq int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			prng := rand.New(rand.NewSource(int64(mix64(uint64(cfg.Seed) ^ pdns.HashFQDN(in.DomainSuffix)))))
+			localPool := make(fqdnPool, len(pool)+n)
+			for fqdn := range pool {
+				localPool[fqdn] = struct{}{}
+			}
+			benign[i] = generateBenign(in, n, targetReq, prng, w, localPool)
+		}(i, in, n, targetReq)
+	}
+	wg.Wait()
+	for _, fns := range benign {
+		pop.Functions = append(pop.Functions, fns...)
 	}
 	pop.Functions = append(pop.Functions, abusive...)
 
@@ -220,6 +248,13 @@ func generateBenign(in *providers.Info, n int, targetReq int64, rng *rand.Rand, 
 			f.Region = parsed.Region
 		}
 		first := sampleFirstDay(in.ID, rng, w)
+		if i == 0 {
+			// Anchor the adoption series: resolutions begin the month a
+			// provider's function URLs ship (Fig. 3 events), which a
+			// month-weighted draw can miss when the provider has only a
+			// handful of functions at small scales.
+			first = providerAvailableFrom(in.ID, w)
+		}
 		planDays(f, first, benignLifespan(rng, w, first, f.Total), rng, w)
 		f.Profile = benignProfile(in.ID, rng)
 		if f.Profile != ProfileInternal && f.Profile != ProfileDeleted && rng.Float64() < 1-fracHTTPSSupport {

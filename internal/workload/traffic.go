@@ -14,17 +14,39 @@ import (
 // through the provider's ingress policy (package dnssim) and folded into
 // daily-aggregated records, exactly the tuple shape of paper §3.2.
 //
+// Every function draws from its own RNG stream seeded from
+// (pop.Config.Seed, HashFQDN): a function's records depend only on the seed
+// and its name, never on emission order. That is what lets EmitPDNSParallel
+// and EmitPDNSOrdered fan the very same streams out across workers and
+// still aggregate bit-identically to this serial path.
+//
 // With cfg.CacheModel set, invocation counts pass through the
 // recursive-resolver cache model first, making request_cnt the conservative
 // lower bound the paper describes.
 func EmitPDNS(pop *Population, resolver *dnssim.Resolver, sink func(*pdns.Record) error) error {
-	rng := rand.New(rand.NewSource(pop.Config.Seed ^ 0x5eed0d25))
 	for _, f := range pop.Functions {
-		if err := emitFunction(pop, f, resolver, rng, sink); err != nil {
+		if err := emitFunction(pop, f, resolver, functionRNG(pop.Config.Seed, f.FQDN), sink); err != nil {
 			return fmt.Errorf("workload: emit %s: %w", f.FQDN, err)
 		}
 	}
 	return nil
+}
+
+// functionRNG builds the deterministic per-function RNG stream. The FQDN
+// hash is folded into the seed through a splitmix64 finalizer so that
+// adjacent seeds and similar names still yield uncorrelated streams.
+func functionRNG(seed int64, fqdn string) *rand.Rand {
+	return rand.New(rand.NewSource(int64(mix64(uint64(seed) ^ 0x5eed0d25 ^ pdns.HashFQDN(fqdn)))))
+}
+
+// mix64 is the splitmix64 finalizer, a cheap full-avalanche bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // emitFunction emits the records of one function. Each day's invocation
