@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json check
+.PHONY: build test race vet bench bench-json chaos check
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,17 @@ test:
 # Race-run the packages with lock-free hot paths and shared counters,
 # including the parallel substrate (emission workers, shard aggregators).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/probe/... ./internal/dnssim/... ./internal/pdns/... ./internal/workload/...
+	$(GO) test -race ./internal/obs/... ./internal/probe/... ./internal/dnssim/... ./internal/pdns/... ./internal/workload/... ./internal/fault/...
 
 vet:
 	$(GO) vet ./...
+
+# Tier-1 suite under the heavy fault-injection profile with the race detector:
+# every pipeline test runs against a seeded schedule of DNS failures, resets,
+# flapping/truncating endpoints, latency spikes, and feed corruption. Loosened
+# chaos-aware gates apply automatically (the tests read SCF_CHAOS).
+chaos:
+	SCF_CHAOS=heavy $(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

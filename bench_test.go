@@ -10,6 +10,8 @@ package divecloud_test
 import (
 	"context"
 	"fmt"
+	"io"
+	"log"
 	"math/rand"
 	"net"
 	"net/http/httptest"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnssim"
 	"repro/internal/faas"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pdns"
 	"repro/internal/probe"
@@ -603,6 +606,40 @@ func BenchmarkProberConcurrency(b *testing.B) {
 	}
 }
 
+// Ablation: probe throughput under the heavy chaos profile with bounded
+// retries, across chaos seeds. Different seeds fault different FQDNs, so the
+// spread across sub-benchmarks shows how much campaign cost the fault
+// schedule itself moves; retries/op makes the absorbed failures visible.
+func BenchmarkProbeChaosRetries(b *testing.B) {
+	r := pipelineResults(b)
+	targets := r.Population.ProbeTargets()
+	if len(targets) > 64 {
+		targets = targets[:64]
+	}
+	_, servers := liveEdge(b, r.Population)
+	defer servers.Close()
+	for _, seed := range []int64{1, 2} {
+		b.Run(fmt.Sprintf("seed=%d", seed), func(b *testing.B) {
+			in := fault.New(fault.Heavy().WithSeed(seed))
+			in.SetSpikeDelay(100 * time.Millisecond)
+			p := probe.New(probe.Config{
+				Timeout: time.Second, Concurrency: 32,
+				Resolve:      in.WrapResolve(nil),
+				DialContext:  in.WrapDial(dialBoth(servers)),
+				Retries:      2,
+				RetryBackoff: time.Millisecond,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.ProbeAll(context.Background(), targets)
+			}
+			st := p.Stats()
+			b.ReportMetric(float64(len(targets)), "probes/op")
+			b.ReportMetric(float64(st.Retried)/float64(b.N), "retries/op")
+		})
+	}
+}
+
 // BenchmarkPipelineEndToEnd runs the whole study at a tiny scale per op.
 func BenchmarkPipelineEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -653,7 +690,11 @@ func liveEdge(b *testing.B, pop *workload.Population) (*faas.Platform, *edgeServ
 	gw := faas.NewGateway(platform)
 	gw.Clock = workload.DeployWindowClock()
 	gw.UnreachableDelay = 2 * time.Second
-	tlsSrv := httptest.NewTLSServer(gw)
+	tlsSrv := httptest.NewUnstartedServer(gw)
+	// Chaos benchmarks abort TLS handshakes by design; keep the server's
+	// complaints out of the bench output.
+	tlsSrv.Config.ErrorLog = log.New(io.Discard, "", 0)
+	tlsSrv.StartTLS()
 	plainSrv := httptest.NewServer(gw)
 	e := &edgeServers{
 		plainAddr: strings.TrimPrefix(plainSrv.URL, "http://"),

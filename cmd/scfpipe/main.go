@@ -9,6 +9,13 @@
 //	scfpipe -probe-concurrency 128           # widen the probe sweep
 //	scfpipe -metrics-addr :6060              # live JSON metrics + trace + pprof
 //	scfpipe -manifest run.json               # machine-readable run provenance
+//	scfpipe -chaos heavy                     # deterministic fault injection
+//	scfpipe -chaos light,seed=7 -probe-retries 3
+//
+// With -chaos the run injects a seeded, reproducible fault schedule (DNS
+// failures, connection resets, flapping and truncating endpoints, latency
+// spikes, PDNS feed corruption) and reports the degradations it absorbed;
+// the schedule depends only on (chaos seed, FQDN), never on -workers.
 //
 // With -metrics-addr the run serves live introspection while it executes:
 // /metrics (JSON metric snapshot), /trace (the stage span tree so far), and
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -47,8 +55,19 @@ func main() {
 		workers     = flag.Int("workers", 0, "CPU-bound fan-out for generation, PDNS emission+aggregation, sanitisation, and classification (0 = GOMAXPROCS; results are identical for every value)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live JSON metrics, trace, and pprof on this address (e.g. :6060)")
 		manifest    = flag.String("manifest", "", "write the run manifest (stage timings + metrics) to this JSON file")
+		chaos       = flag.String("chaos", "", "fault-injection profile: none, light, or heavy, optionally ,seed=N (default: $SCF_CHAOS or none)")
+		retries     = flag.Int("probe-retries", 0, "extra probe attempts per scheme after connection failures (0 = auto: 2 under chaos; negative = off)")
+		breaker     = flag.Int("breaker-threshold", 0, "consecutive failures opening a provider's probe circuit (0 = auto: 50 under chaos; negative = off)")
 	)
 	flag.Parse()
+
+	var chaosProf fault.Profile
+	if *chaos != "" {
+		var err error
+		if chaosProf, err = fault.ParseProfile(*chaos); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(obsContext(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -70,6 +89,9 @@ func main() {
 		ProbeTimeout:     *timeout,
 		ProbeConcurrency: *probeConc,
 		Workers:          *workers,
+		Chaos:            chaosProf,
+		ProbeRetries:     *retries,
+		BreakerThreshold: *breaker,
 		Metrics:          metrics,
 	})
 	manifestFailed := false
@@ -96,6 +118,9 @@ func main() {
 	fmt.Println(res.RenderFigure7())
 	fmt.Println(res.RenderDisclosures())
 	fmt.Println(res.RenderStageTimings())
+	if deg := res.RenderDegradations(); deg != "" {
+		fmt.Println(deg)
+	}
 	fmt.Println(res.RenderMetrics())
 	if manifestFailed {
 		os.Exit(1)

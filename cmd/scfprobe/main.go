@@ -11,6 +11,15 @@
 //
 //	scfprobe -f domains.txt
 //	pdnsgen -scale 0.001 | cut -f1 | sort -u | scfprobe
+//	scfprobe -f domains.txt -retries 2 -breaker 20   # resilient campaign
+//	scfprobe -f domains.txt -chaos heavy,seed=3      # rehearse a bad day
+//
+// -retries adds bounded exponential-backoff retries after connection-class
+// failures, and -breaker opens a per-provider circuit after that many
+// consecutive endpoint failures, so one cloud's outage cannot consume the
+// whole campaign's politeness budget. -chaos injects a deterministic fault
+// schedule in front of the real network — a dress rehearsal for the
+// resilience controls without needing the network to misbehave.
 package main
 
 import (
@@ -20,10 +29,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/probe"
 	"repro/internal/providers"
 )
@@ -37,8 +48,19 @@ func main() {
 		concurrency = flag.Int("c", 16, "concurrent probes")
 		verifyOnly  = flag.Bool("identify-only", false, "only classify domains against provider patterns; no network contact")
 		optOutFile  = flag.String("opt-out", "", "file of FQDNs that must never be contacted")
+		retries     = flag.Int("retries", 0, "extra attempts per scheme after connection-class failures")
+		breakerThr  = flag.Int("breaker", 0, "consecutive failures opening a provider's circuit (0 = no breaker)")
+		chaos       = flag.String("chaos", "", "inject a deterministic fault schedule: none, light, or heavy, optionally ,seed=N")
 	)
 	flag.Parse()
+
+	var chaosProf fault.Profile
+	if *chaos != "" {
+		var err error
+		if chaosProf, err = fault.ParseProfile(*chaos); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	fqdns, err := readLines(*file)
 	if err != nil {
@@ -57,7 +79,31 @@ func main() {
 		return
 	}
 
-	p := probe.New(probe.Config{Timeout: *timeout, Concurrency: *concurrency})
+	cfg := probe.Config{
+		Timeout:     *timeout,
+		Concurrency: *concurrency,
+		Retries:     *retries,
+	}
+	if *breakerThr > 0 {
+		cfg.Breaker = fault.NewBreaker(*breakerThr, 0)
+		cfg.BreakerKey = func(fqdn string) string {
+			if in, ok := matcher.Identify(fqdn); ok {
+				return in.Name
+			}
+			return fqdn
+		}
+	}
+	if chaosProf.Enabled() {
+		injector := fault.New(chaosProf)
+		injector.SetSpikeDelay(3 * *timeout)
+		cfg.Resolve = injector.WrapResolve(nil)
+		var d net.Dialer
+		cfg.DialContext = injector.WrapDial(d.DialContext)
+		// The injector only wraps the real dialer; certificates must still
+		// verify like any production campaign.
+		cfg.KeepTLSVerify = true
+	}
+	p := probe.New(cfg)
 	if *optOutFile != "" {
 		outs, err := readLines(*optOutFile)
 		if err != nil {
@@ -95,6 +141,10 @@ func main() {
 	st := p.Stats()
 	fmt.Fprintf(os.Stderr, "scfprobe: probed %d, reachable %d, unreachable %d (dns %d)\n",
 		st.Probed, st.Reachable, st.Unreachable, st.DNSFailures)
+	if st.Retried > 0 || st.BreakerSkips > 0 {
+		fmt.Fprintf(os.Stderr, "scfprobe: degraded: %d conn retries, %d breaker skips\n",
+			st.Retried, st.BreakerSkips)
+	}
 }
 
 func readLines(path string) ([]string, error) {

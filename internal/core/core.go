@@ -31,6 +31,7 @@ import (
 	"repro/internal/disclosure"
 	"repro/internal/dnssim"
 	"repro/internal/faas"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pdns"
 	"repro/internal/probe"
@@ -66,6 +67,29 @@ type Config struct {
 	// request (the simulation shortens the paper's 60s).
 	ProbeConcurrency int
 	ProbeTimeout     time.Duration
+
+	// Chaos selects the fault-injection profile for the run. The zero
+	// profile defers to the SCF_CHAOS environment variable (so `make
+	// chaos` exercises the whole suite); fault.None() disables injection
+	// explicitly. A profile without a pinned seed inherits Seed, so fault
+	// schedules are as reproducible as the substrate itself.
+	Chaos fault.Profile
+	// ProbeRetries is how many extra attempts each probe scheme gets after
+	// a connection-class failure. 0 selects the default: 2 under an
+	// enabled chaos profile, none otherwise (keeping chaos-free runs
+	// byte-identical to the seed behavior).
+	ProbeRetries int
+	// ProbeRetryBackoff is the base backoff before a probe retry; defaults
+	// to ProbeTimeout/20 so a full retry ladder stays well inside a
+	// handful of probe budgets.
+	ProbeRetryBackoff time.Duration
+	// BreakerThreshold is how many consecutive endpoint failures open a
+	// provider's probe circuit. 0 selects the default (50 under chaos,
+	// disabled otherwise); negative disables the breaker outright.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rests before a half-open
+	// trial; defaults to 5×ProbeTimeout.
+	BreakerCooldown time.Duration
 
 	// C2Concurrency bounds concurrent fingerprint scans; C2Timeout bounds
 	// each probe connection (stalling unreachable hosts dominate sweep
@@ -160,6 +184,11 @@ type Results struct {
 	Metrics *obs.Registry
 	Stages  []obs.SpanRecord
 
+	// Degradations is the per-stage record of what the run absorbed
+	// instead of aborting on — injected faults survived, probes retried,
+	// feed records quarantined, breakers opened. Empty for a clean run.
+	Degradations []obs.Degradation
+
 	Elapsed time.Duration
 }
 
@@ -178,9 +207,12 @@ func (r *Results) Manifest(tool string) *obs.Manifest {
 		"c2_concurrency":    fmt.Sprint(r.Config.C2Concurrency),
 		"c2_timeout":        r.Config.C2Timeout.String(),
 		"skip_c2_scan":      fmt.Sprint(r.Config.SkipC2Scan),
+		"chaos":             r.Config.Chaos.String(),
 		"elapsed":           r.Elapsed.String(),
 	}
-	return obs.BuildManifest(tool, r.Trace, r.Metrics, meta)
+	m := obs.BuildManifest(tool, r.Trace, r.Metrics, meta)
+	m.Degradations = r.Degradations
+	return m
 }
 
 // Run executes the full pipeline with a background context.
@@ -197,6 +229,33 @@ func Run(cfg Config) (*Results, error) { return RunContext(context.Background(),
 // metrics registry end up on the Results.
 func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
+	// Resolve the chaos profile: an unset profile defers to SCF_CHAOS, and
+	// a profile without a pinned seed inherits the substrate seed so fault
+	// schedules reproduce exactly like the population does.
+	if cfg.Chaos.IsZero() {
+		prof, err := fault.FromEnv()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		cfg.Chaos = prof
+	}
+	cfg.Chaos = cfg.Chaos.WithSeed(cfg.Seed)
+	chaos := cfg.Chaos.Enabled()
+	if chaos && cfg.ProbeRetries == 0 {
+		cfg.ProbeRetries = 2
+	}
+	if cfg.ProbeRetries < 0 {
+		cfg.ProbeRetries = 0
+	}
+	if cfg.ProbeRetryBackoff <= 0 {
+		cfg.ProbeRetryBackoff = cfg.ProbeTimeout / 20
+	}
+	if cfg.BreakerThreshold == 0 && chaos {
+		cfg.BreakerThreshold = 50
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * cfg.ProbeTimeout
+	}
 	start := time.Now()
 	res := &Results{Config: cfg}
 
@@ -210,8 +269,16 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		reg = obs.NewRegistry()
 	}
 	res.Trace, res.Metrics = tr, reg
+
+	injector := fault.New(cfg.Chaos)
+	injector.Instrument(reg)
+	// Latency spikes must outlast the probe client's timeout so they
+	// classify as timeouts rather than hanging the sweep.
+	injector.SetSpikeDelay(3 * cfg.ProbeTimeout)
+
 	defer func() {
 		res.Stages = tr.Records()
+		res.Degradations = collectDegradations(reg)
 		res.Elapsed = time.Since(start)
 	}()
 
@@ -246,7 +313,14 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	// serial pass produces (see workload.AggregateParallel).
 	sctx, sp := obs.StartSpan(ctx, "identify")
 	w := workload.Window()
-	agg, err := workload.AggregateParallel(sctx, pop, resolver, nil, cfg.Workers, reg)
+	// Under chaos a deterministic fraction of the feed is corrupted before
+	// aggregation; mangled records fail validation inside the aggregator
+	// and count as dropped, like a real feed's garbage rows.
+	var mutate []func(*pdns.Record)
+	if cfg.Chaos.FeedCorrupt > 0 {
+		mutate = append(mutate, func(r *pdns.Record) { injector.CorruptRecord(r) })
+	}
+	agg, err := workload.AggregateParallel(sctx, pop, resolver, nil, cfg.Workers, reg, mutate...)
 	if err != nil {
 		err = fmt.Errorf("core: pdns: %w", err)
 		sp.SetError(err)
@@ -275,16 +349,34 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 			httpOnly[f.FQDN] = true
 		}
 	}
+	var breaker probe.Breaker
+	if cfg.BreakerThreshold > 0 {
+		br := fault.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		br.Instrument(reg)
+		breaker = br
+	}
+	matcher := providers.NewMatcher(nil)
 	prober := probe.New(probe.Config{
-		Timeout:     cfg.ProbeTimeout,
-		Concurrency: cfg.ProbeConcurrency,
-		Metrics:     reg,
-		Resolve: func(fqdn string) error {
+		Timeout:      cfg.ProbeTimeout,
+		Concurrency:  cfg.ProbeConcurrency,
+		Retries:      cfg.ProbeRetries,
+		RetryBackoff: cfg.ProbeRetryBackoff,
+		Breaker:      breaker,
+		BreakerKey: func(fqdn string) string {
+			// Circuit per provider: one cloud's outage must not stop the
+			// sweep of the other eight.
+			if info, ok := matcher.Identify(fqdn); ok {
+				return info.Name
+			}
+			return fqdn
+		},
+		Metrics: reg,
+		Resolve: injector.WrapResolve(func(fqdn string) error {
 			rng := rand.New(rand.NewSource(int64(pdns.HashFQDN(fqdn))))
 			_, err := resolver.Resolve(fqdn, rng)
 			return err
-		},
-		DialContext: simDialer(servers, httpOnly),
+		}),
+		DialContext: injector.WrapDial(simDialer(servers, httpOnly)),
 	})
 	targets := pop.ProbeTargets()
 	res.ProbeResults = prober.ProbeAll(sctx, targets)
@@ -448,6 +540,39 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	sp.End()
 
 	return res, nil
+}
+
+// degradationMetrics maps the resilience counters to (stage, kind) rows;
+// declaration order is the report order.
+var degradationMetrics = []struct {
+	metric, stage, kind string
+}{
+	{"fault_corrupt_records_total", "identify", "injected-corrupt-records"},
+	{"pdns_reader_quarantined_total", "identify", "quarantined-lines"},
+	{"pdns_records_dropped_total", "identify", "dropped-records"},
+	{"fault_dns_injected_total", "probe", "injected-dns-failures"},
+	{"fault_resets_injected_total", "probe", "injected-resets"},
+	{"fault_flaps_injected_total", "probe", "injected-flaps"},
+	{"fault_truncations_injected_total", "probe", "injected-truncations"},
+	{"fault_latency_injected_total", "probe", "injected-latency-spikes"},
+	{"probe_conn_retries_total", "probe", "conn-retries"},
+	{"probe_breaker_skips_total", "probe", "breaker-skips"},
+	{"fault_breaker_opens_total", "probe", "breaker-opens"},
+	{"probe_body_aborts_total", "probe", "body-drain-aborts"},
+}
+
+// collectDegradations snapshots the resilience counters into per-stage
+// degradation records, keeping only the non-zero ones: a clean run reports
+// an empty list, a degraded run reports exactly what it absorbed.
+func collectDegradations(reg *obs.Registry) []obs.Degradation {
+	snap := reg.Snapshot()
+	var out []obs.Degradation
+	for _, dm := range degradationMetrics {
+		if v := snap.Counters[dm.metric]; v > 0 {
+			out = append(out, obs.Degradation{Stage: dm.stage, Kind: dm.kind, Count: v})
+		}
+	}
+	return out
 }
 
 // seedTI mirrors Finding 10: threat intelligence knows about (at most) four

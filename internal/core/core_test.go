@@ -32,7 +32,14 @@ func sharedRun(t *testing.T) *Results {
 
 func TestPipelineIdentification(t *testing.T) {
 	r := sharedRun(t)
-	if r.Aggregate.TotalDomains() != len(r.Population.Functions) {
+	if chaosActive() {
+		// Feed corruption quarantines a few percent of records, so
+		// single-record domains can vanish entirely; the bulk must survive.
+		got, want := r.Aggregate.TotalDomains(), len(r.Population.Functions)
+		if got > want || float64(got) < 0.9*float64(want) {
+			t.Errorf("identified %d domains under chaos, population %d", got, want)
+		}
+	} else if r.Aggregate.TotalDomains() != len(r.Population.Functions) {
 		t.Errorf("identified %d domains, population %d", r.Aggregate.TotalDomains(), len(r.Population.Functions))
 	}
 	if r.Aggregate.TotalRequests() == 0 {
@@ -49,8 +56,14 @@ func TestPipelineProbing(t *testing.T) {
 		t.Fatal("nothing reachable")
 	}
 	unreachFrac := float64(r.ProbeStats.Unreachable) / float64(r.ProbeStats.Probed)
-	if unreachFrac < 0.001 || unreachFrac > 0.08 {
-		t.Errorf("unreachable fraction = %.4f, want ≈ 2%%", unreachFrac)
+	maxUnreach := 0.08
+	if chaosActive() {
+		// Injected DNS failures, resets, and latency spikes add a few
+		// percent of unreachable endpoints on top of the substrate's ≈2%.
+		maxUnreach = 0.16
+	}
+	if unreachFrac < 0.001 || unreachFrac > maxUnreach {
+		t.Errorf("unreachable fraction = %.4f, want ≈ 2%% (cap %.2f)", unreachFrac, maxUnreach)
 	}
 	if r.ProbeStats.DNSFailures == 0 {
 		t.Error("no DNS failures; deleted Tencent functions should fail resolution")
@@ -130,9 +143,15 @@ func TestPipelineAbuseDetection(t *testing.T) {
 	if fp > tp/10 {
 		t.Errorf("false positives %d vs true positives %d", fp, tp)
 	}
+	minRecall := 0.85
+	if chaosActive() {
+		// Faulted endpoints hide some abuse hosts from the prober; the
+		// classifiers must still recover the clear majority.
+		minRecall = 0.72
+	}
 	recall := float64(tp) / float64(len(truth))
-	if recall < 0.85 {
-		t.Errorf("recall = %.3f (tp %d of %d)", recall, tp, len(truth))
+	if recall < minRecall {
+		t.Errorf("recall = %.3f (tp %d of %d, floor %.2f)", recall, tp, len(truth), minRecall)
 	}
 }
 
@@ -231,7 +250,13 @@ func TestRenderExperiments(t *testing.T) {
 	if rows == 0 {
 		t.Fatal("no comparison rows rendered")
 	}
-	if fails > rows/4 {
+	budget := rows / 4
+	if chaosActive() {
+		// Chaos deliberately shifts measured numbers; the run must still
+		// hold the majority of the paper's shapes.
+		budget = rows / 2
+	}
+	if fails > budget {
 		t.Errorf("%d of %d comparisons failed at small scale:\n%s", fails, rows, out)
 	}
 }

@@ -209,6 +209,22 @@ func (r *Results) RenderMetrics() string {
 	return report.MetricsSummary(r.Metrics.Snapshot())
 }
 
+// RenderDegradations prints what the run absorbed instead of aborting on —
+// one row per (stage, failure kind). Empty string for a clean run, so
+// callers can print it unconditionally.
+func (r *Results) RenderDegradations() string {
+	if len(r.Degradations) == 0 {
+		return ""
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Degradations absorbed (chaos profile %s)", r.Config.Chaos.String()),
+		"Stage", "Kind", "Count")
+	for _, d := range r.Degradations {
+		t.AddRow(d.Stage, d.Kind, report.Count(d.Count))
+	}
+	return t.String()
+}
+
 func dedupHosts(r *Results) map[string]struct{} {
 	m := map[string]struct{}{}
 	for _, d := range r.C2Detections {

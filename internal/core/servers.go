@@ -8,6 +8,8 @@ import (
 	"crypto/x509"
 	"crypto/x509/pkix"
 	"fmt"
+	"io"
+	"log"
 	"math/big"
 	"net"
 	"net/http"
@@ -53,7 +55,10 @@ func startServers(handler http.Handler) (*gatewayServers, error) {
 		tlsAddr:   rawTLS.Addr().String(),
 		plainLn:   plainLn,
 		tlsLn:     tlsLn,
-		srv:       &http.Server{Handler: handler},
+		// The chaos layer aborts handshakes and resets connections by
+		// design; the server's complaints about them are expected noise,
+		// not signal, so they are dropped rather than spammed to stderr.
+		srv: &http.Server{Handler: handler, ErrorLog: log.New(io.Discard, "", 0)},
 	}
 	g.wg.Add(2)
 	go func() { defer g.wg.Done(); g.srv.Serve(plainLn) }()

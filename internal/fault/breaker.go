@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Breaker is a per-key circuit breaker for the prober. Keys are typically
+// provider names, so a provider whose edge is down stops burning probe
+// attempts (and the campaign's politeness budget) on every one of its
+// thousands of functions.
+//
+// Per key the breaker is a classic three-state machine:
+//
+//	closed    — requests flow; Threshold consecutive failures trip it open
+//	open      — requests are short-circuited until Cooldown elapses
+//	half-open — one trial request is let through; success closes the
+//	            breaker, failure re-opens it for another Cooldown
+//
+// A nil *Breaker is a valid no-op that allows everything, so consumers can
+// hold one unconditionally.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu    sync.Mutex
+	state map[string]*breakerState
+
+	mOpens  *obs.Counter // fault_breaker_opens_total
+	mShorts *obs.Counter // fault_breaker_short_circuits_total
+}
+
+type breakerState struct {
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // zero while closed
+	trial    bool      // half-open probe in flight
+}
+
+// NewBreaker builds a breaker that opens a key after threshold consecutive
+// failures and re-tries it after cooldown. Non-positive threshold disables
+// tripping (the breaker still counts, never opens); non-positive cooldown
+// defaults to 30s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		state:     make(map[string]*breakerState),
+	}
+}
+
+// Instrument points the breaker's telemetry at reg.
+func (b *Breaker) Instrument(reg *obs.Registry) {
+	if b == nil {
+		return
+	}
+	b.mOpens = reg.Counter("fault_breaker_opens_total")
+	b.mShorts = reg.Counter("fault_breaker_short_circuits_total")
+}
+
+// Allow reports whether a request for key may proceed. In the open state it
+// returns false until the cooldown elapses, then admits exactly one
+// half-open trial at a time.
+func (b *Breaker) Allow(key string) bool {
+	if b == nil || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.state[key]
+	if st == nil || st.openedAt.IsZero() {
+		return true
+	}
+	if b.now().Sub(st.openedAt) < b.cooldown {
+		b.mShorts.Inc()
+		return false
+	}
+	if st.trial {
+		// Another goroutine already holds the half-open slot.
+		b.mShorts.Inc()
+		return false
+	}
+	st.trial = true
+	return true
+}
+
+// Record feeds the outcome of a request back into key's state machine.
+func (b *Breaker) Record(key string, success bool) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.state[key]
+	if st == nil {
+		st = &breakerState{}
+		b.state[key] = st
+	}
+	if success {
+		*st = breakerState{}
+		return
+	}
+	if !st.openedAt.IsZero() {
+		// Half-open trial failed (or a pre-open request drained late):
+		// restart the cooldown window.
+		st.openedAt = b.now()
+		st.trial = false
+		return
+	}
+	st.fails++
+	if st.fails >= b.threshold {
+		st.openedAt = b.now()
+		st.trial = false
+		b.mOpens.Inc()
+	}
+}
+
+// Opens returns how many keys are currently open — degraded-state
+// reporting, not control flow.
+func (b *Breaker) Opens() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, st := range b.state {
+		if !st.openedAt.IsZero() {
+			n++
+		}
+	}
+	return n
+}

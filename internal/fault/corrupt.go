@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"bytes"
+	"io"
+	"time"
+
+	"repro/internal/pdns"
+)
+
+// CorruptRecord deterministically mangles a fraction of PDNS records so they
+// fail pdns.Record.Validate, modelling the malformed rows a real
+// 600 B-queries/day feed carries. The decision and the mangle mode derive
+// only from identity fields (seed, fqdn, pdate, rtype, rdata) — never from
+// RequestCnt — so a record is corrupted consistently whether or not the
+// resolver-cache model rescaled its counts, and the cache-model ablation
+// still compares identical domain sets.
+//
+// Reports whether the record was mangled.
+func (in *Injector) CorruptRecord(rec *pdns.Record) bool {
+	if in == nil || in.prof.FeedCorrupt <= 0 {
+		return false
+	}
+	h := pdns.HashFQDN(rec.FQDN)
+	h = mix64(h ^ uint64(rec.PDate)*0x9e3779b97f4a7c15)
+	h = mix64(h ^ uint64(rec.RType)<<32 ^ hashString(rec.RData))
+	s := newStream(uint64(in.prof.Seed), h, streamRecord)
+	if !s.hit(in.prof.FeedCorrupt) {
+		return false
+	}
+	in.mCorrupt.Inc()
+	switch s.next() % 3 {
+	case 0:
+		rec.FQDN = "" // Validate: empty fqdn
+	case 1:
+		rec.RequestCnt = -rec.RequestCnt - 1 // Validate: negative request_cnt
+	default:
+		rec.LastSeen = rec.FirstSeen.Add(-time.Hour) // Validate: last before first
+	}
+	return true
+}
+
+// hashString is FNV-1a over the raw bytes (no canonicalisation — rdata is
+// case-sensitive payload, unlike FQDNs).
+func hashString(s string) uint64 {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// CorruptingWriter sits between a pdns.Writer and the output file and
+// mangles a deterministic fraction of the encoded lines: truncating them
+// mid-column, deleting a tab so the column count is wrong, or prefixing
+// binary garbage. It lets pdnsgen emit datasets that exercise the reader's
+// quarantine path. The decision per line is a pure function of
+// (seed, line bytes), so the same dataset corrupts identically on every run.
+type CorruptingWriter struct {
+	w    io.Writer
+	in   *Injector
+	buf  bytes.Buffer
+	n    int64 // lines seen
+	hits int64 // lines corrupted
+}
+
+// NewCorruptingWriter wraps w with the injector's FeedCorrupt rate. With a
+// nil injector or zero rate it degrades to a plain line-buffered pass-through.
+func NewCorruptingWriter(w io.Writer, in *Injector) *CorruptingWriter {
+	return &CorruptingWriter{w: w, in: in}
+}
+
+// Write buffers until newline boundaries and corrupts whole lines; partial
+// trailing lines wait in the buffer for the next Write or Flush.
+func (cw *CorruptingWriter) Write(p []byte) (int, error) {
+	cw.buf.Write(p)
+	for {
+		b := cw.buf.Bytes()
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		line := make([]byte, i+1)
+		copy(line, b[:i+1])
+		cw.buf.Next(i + 1)
+		if err := cw.emit(line); err != nil {
+			return len(p), err
+		}
+	}
+}
+
+// Flush drains any partial trailing line.
+func (cw *CorruptingWriter) Flush() error {
+	if cw.buf.Len() == 0 {
+		return nil
+	}
+	line := append([]byte(nil), cw.buf.Bytes()...)
+	cw.buf.Reset()
+	return cw.emit(line)
+}
+
+// Corrupted returns how many lines were mangled.
+func (cw *CorruptingWriter) Corrupted() int64 { return cw.hits }
+
+func (cw *CorruptingWriter) emit(line []byte) error {
+	cw.n++
+	rate := 0.0
+	if cw.in != nil {
+		rate = cw.in.prof.FeedCorrupt
+	}
+	trimmed := bytes.TrimRight(line, "\n")
+	if rate <= 0 || len(trimmed) == 0 {
+		_, err := cw.w.Write(line)
+		return err
+	}
+	s := newStream(uint64(cw.in.prof.Seed), hashString(string(trimmed)), streamLine)
+	if !s.hit(rate) {
+		_, err := cw.w.Write(line)
+		return err
+	}
+	cw.hits++
+	cw.in.mCorrupt.Inc()
+	switch s.next() % 3 {
+	case 0:
+		// Half-written line: the writer died mid-record.
+		cut := 1 + int(s.next()%uint64(len(trimmed)))
+		line = append(trimmed[:cut:cut], '\n')
+	case 1:
+		// Drop the first tab: wrong column count for TSV, broken JSON
+		// spacing is harmless so also flip a brace if present.
+		if j := bytes.IndexByte(trimmed, '\t'); j >= 0 {
+			line = append(append(trimmed[:j:j], trimmed[j+1:]...), '\n')
+		} else if j := bytes.IndexByte(trimmed, '{'); j >= 0 {
+			mut := append([]byte(nil), trimmed...)
+			mut[j] = '['
+			line = append(mut, '\n')
+		}
+	default:
+		// Binary garbage prefix, as a torn gzip block would leave.
+		line = append([]byte{0x1f, 0x8b, 0x00, 0xff}, line...)
+	}
+	_, err := cw.w.Write(line)
+	return err
+}

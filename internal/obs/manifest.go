@@ -22,6 +22,20 @@ type Manifest struct {
 	Stages []SpanRecord `json:"stages"`
 	// Metrics is the registry snapshot at completion.
 	Metrics Snapshot `json:"metrics"`
+	// Degradations records what the run survived rather than aborted on —
+	// retried probes, quarantined feed lines, opened breakers. Empty for a
+	// clean run; a resilient run is only trustworthy if it also says
+	// exactly how degraded it was.
+	Degradations []Degradation `json:"degradations,omitempty"`
+}
+
+// Degradation is one class of absorbed failure within one pipeline stage:
+// Count occurrences of Kind (e.g. "conn-retries", "quarantined-lines")
+// during Stage ("probe", "identify", ...).
+type Degradation struct {
+	Stage string `json:"stage"`
+	Kind  string `json:"kind"`
+	Count int64  `json:"count"`
 }
 
 // BuildManifest assembles a manifest from a finished trace and registry,

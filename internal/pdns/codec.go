@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Format selects the on-disk encoding of a PDNS dataset.
@@ -78,11 +80,34 @@ func (w *Writer) Count() int64 { return w.n }
 func (w *Writer) Flush() error { return w.bw.Flush() }
 
 // Reader streams records from an io.Reader.
+//
+// By default a malformed line is a hard error, which suits trusted local
+// files. Real feeds carry garbage, so Quarantine switches the reader to
+// skip-and-count: bad lines are dropped, tallied (and obs-counted when
+// Instrument was called), and ingestion continues — aborting only when the
+// malformed fraction blows the error budget, because a feed that is mostly
+// garbage signals an upstream schema break, not line noise.
 type Reader struct {
 	sc     *bufio.Scanner
 	format Format
 	line   int
+
+	quarantine bool
+	maxErrRate float64
+	scanned    int64
+	skipped    int64
+	streamErr  error
+	mSkipped   *obs.Counter // pdns_reader_quarantined_total
 }
+
+// quarantineGrace is how many lines a quarantining reader ingests before it
+// starts enforcing the error budget; a tiny prefix of bad lines should not
+// abort a billion-line feed.
+const quarantineGrace = 100
+
+// ErrErrorBudget is returned (wrapped) when a quarantining reader's
+// malformed fraction exceeds its budget.
+var ErrErrorBudget = errors.New("pdns: malformed-line budget exceeded")
 
 // NewReader wraps r.
 func NewReader(r io.Reader, format Format) *Reader {
@@ -91,11 +116,45 @@ func NewReader(r io.Reader, format Format) *Reader {
 	return &Reader{sc: sc, format: format}
 }
 
-// Read returns the next record, or io.EOF at end of stream.
+// Quarantine switches the reader to skip-and-count mode with the given
+// error budget: ingestion aborts with ErrErrorBudget only once more than
+// maxErrRate of scanned lines were malformed (after a short grace period).
+// A non-positive rate defaults to 5%. Returns the reader for chaining.
+func (r *Reader) Quarantine(maxErrRate float64) *Reader {
+	if maxErrRate <= 0 {
+		maxErrRate = 0.05
+	}
+	r.quarantine = true
+	r.maxErrRate = maxErrRate
+	return r
+}
+
+// Instrument counts quarantined lines in reg as pdns_reader_quarantined_total.
+func (r *Reader) Instrument(reg *obs.Registry) *Reader {
+	r.mSkipped = reg.Counter("pdns_reader_quarantined_total")
+	return r
+}
+
+// Skipped returns how many malformed lines were quarantined.
+func (r *Reader) Skipped() int64 { return r.skipped }
+
+// StreamErr returns the underlying stream error a quarantining reader
+// tolerated at end of input (e.g. a truncated gzip member), nil if the
+// stream ended cleanly.
+func (r *Reader) StreamErr() error { return r.streamErr }
+
+// Read returns the next record, or io.EOF at end of stream. In quarantine
+// mode malformed lines are skipped (see Quarantine) and an underlying
+// stream error — a truncated gzip transfer — ends the stream early with
+// io.EOF instead of failing the ingest; StreamErr reports it.
 func (r *Reader) Read(rec *Record) error {
 	for {
 		if !r.sc.Scan() {
 			if err := r.sc.Err(); err != nil {
+				if r.quarantine {
+					r.streamErr = err
+					return io.EOF
+				}
 				return err
 			}
 			return io.EOF
@@ -105,19 +164,29 @@ func (r *Reader) Read(rec *Record) error {
 		if len(line) == 0 {
 			continue
 		}
+		r.scanned++
+		var err error
 		switch r.format {
 		case JSONL:
-			if err := json.Unmarshal(line, rec); err != nil {
-				return fmt.Errorf("pdns: line %d: %w", r.line, err)
-			}
+			err = json.Unmarshal(line, rec)
 		case TSV:
-			if err := parseTSV(string(line), rec); err != nil {
-				return fmt.Errorf("pdns: line %d: %w", r.line, err)
-			}
+			err = parseTSV(string(line), rec)
 		default:
 			return fmt.Errorf("pdns: unknown format %d", r.format)
 		}
-		return nil
+		if err == nil {
+			return nil
+		}
+		if !r.quarantine {
+			return fmt.Errorf("pdns: line %d: %w", r.line, err)
+		}
+		r.skipped++
+		r.mSkipped.Inc()
+		if r.scanned > quarantineGrace &&
+			float64(r.skipped) > r.maxErrRate*float64(r.scanned) {
+			return fmt.Errorf("pdns: line %d: %d/%d lines malformed (budget %.1f%%): %w",
+				r.line, r.skipped, r.scanned, r.maxErrRate*100, ErrErrorBudget)
+		}
 	}
 }
 

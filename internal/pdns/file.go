@@ -2,6 +2,7 @@ package pdns
 
 import (
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -25,8 +26,11 @@ func OpenFile(path string) (*Reader, io.Closer, error) {
 	if gzipped {
 		gz, err := gzip.NewReader(f)
 		if err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("pdns: %s: %w", path, err)
+			err = fmt.Errorf("pdns: %s: %w", path, err)
+			if cerr := f.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+			return nil, nil, err
 		}
 		r = gz
 		closer = multiCloser{gz, f}
@@ -74,16 +78,23 @@ func sniffPath(path string) (format Format, gzipped bool, err error) {
 	}
 }
 
+// multiCloser closes in slice order, which callers arrange innermost-first:
+// the gzip stream must close before the file beneath it, because on the
+// write side gzip's Close flushes the final block and footer into the file,
+// and on the read side it is what detects a truncated stream. Every closer
+// runs even if an earlier one fails, and every error is reported (joined),
+// not just the first — a swallowed close error here is a silently truncated
+// dataset.
 type multiCloser []io.Closer
 
 func (m multiCloser) Close() error {
-	var first error
+	var errs []error
 	for _, c := range m {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
+		if err := c.Close(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 type flushCloser struct {
@@ -91,10 +102,12 @@ type flushCloser struct {
 	c io.Closer
 }
 
+// Close flushes the record writer's buffer, then closes the stream stack.
+// The stack is closed even when the flush fails, and both errors surface.
 func (f flushCloser) Close() error {
-	if err := f.w.Flush(); err != nil {
-		f.c.Close()
-		return err
+	err := f.w.Flush()
+	if cerr := f.c.Close(); cerr != nil {
+		err = errors.Join(err, cerr)
 	}
-	return f.c.Close()
+	return err
 }

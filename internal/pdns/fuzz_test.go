@@ -2,6 +2,8 @@ package pdns
 
 import (
 	"bytes"
+	"compress/gzip"
+	"errors"
 	"io"
 	"testing"
 )
@@ -13,6 +15,10 @@ func FuzzTSVReader(f *testing.F) {
 	f.Add("bad line\n")
 	f.Add("\t\t\t\t\t\t\n")
 	f.Add("a\t1\tb\tx\ty\tz\tw\n")
+	// Quarantine-path seeds: a line the writer died on mid-record, and a
+	// torn-gzip garbage prefix glued to a healthy line.
+	f.Add("f.on.aws\t1\t1.2.")
+	f.Add("\x1f\x8b\x00\xfff.on.aws\t1\t1.2.3.4\t1650000000\t1650000600\t12\t19083\n")
 	f.Fuzz(func(t *testing.T, line string) {
 		r := NewReader(bytes.NewBufferString(line), TSV)
 		var rec Record
@@ -36,6 +42,78 @@ func FuzzTSVReader(f *testing.F) {
 			}
 			if rec2.FQDN != rec.FQDN || rec2.RequestCnt != rec.RequestCnt || rec2.PDate != rec.PDate {
 				t.Fatalf("round trip changed record: %+v vs %+v", rec, rec2)
+			}
+		}
+	})
+}
+
+// FuzzQuarantineReader checks that a quarantining reader never panics and
+// never hard-fails on arbitrary input: every outcome is a delivered record,
+// a quarantined line, or a blown error budget — nothing else.
+func FuzzQuarantineReader(f *testing.F) {
+	f.Add("f.on.aws\t1\t1.2.3.4\t1650000000\t1650000600\t12\t19083\n")
+	f.Add("f.on.aws\t1\t1.2.") // half-written line, writer died mid-record
+	f.Add("\x1f\x8b\x00\xffgarbage\n")
+	f.Add("junk\njunk\njunk\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		r := NewReader(bytes.NewBufferString(input), TSV).Quarantine(0.5)
+		var rec Record
+		var delivered int64
+		for {
+			err := r.Read(&rec)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrErrorBudget) {
+					t.Fatalf("quarantining reader hard-failed: %v", err)
+				}
+				return
+			}
+			delivered++
+		}
+		if r.StreamErr() != nil {
+			t.Fatalf("in-memory stream reported a stream error: %v", r.StreamErr())
+		}
+		_ = delivered
+	})
+}
+
+// FuzzQuarantineTruncatedGzip compresses the input, cuts the stream at an
+// arbitrary point, and checks a quarantining reader ends with a clean EOF and
+// the truncation surfaced via StreamErr rather than a hard failure.
+func FuzzQuarantineTruncatedGzip(f *testing.F) {
+	f.Add("f.on.aws\t1\t1.2.3.4\t1650000000\t1650000600\t12\t19083\n", 10)
+	f.Add("junk\n", 3)
+	f.Fuzz(func(t *testing.T, line string, cut int) {
+		var buf bytes.Buffer
+		gz := gzip.NewWriter(&buf)
+		for i := 0; i < 50; i++ {
+			gz.Write([]byte(line))
+		}
+		gz.Close()
+		if cut < 0 {
+			cut = -cut
+		}
+		if n := buf.Len(); n > 0 {
+			cut = cut % n
+		}
+		gzr, err := gzip.NewReader(bytes.NewReader(buf.Bytes()[:cut]))
+		if err != nil {
+			return // header itself truncated; OpenFile rejects this upfront
+		}
+		r := NewReader(gzr, TSV).Quarantine(0.99)
+		var rec Record
+		for {
+			err := r.Read(&rec)
+			if err == io.EOF {
+				return
+			}
+			if err != nil && !errors.Is(err, ErrErrorBudget) {
+				t.Fatalf("truncated gzip hard-failed a quarantining reader: %v", err)
+			}
+			if err != nil {
+				return
 			}
 		}
 	})

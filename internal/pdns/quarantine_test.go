@@ -1,0 +1,234 @@
+package pdns
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func goodLine(i int) string {
+	first := time.Date(2024, 4, 1, 9, 0, 0, 0, time.UTC)
+	return fmt.Sprintf("fn-%d.on.aws\t1\t52.1.2.%d\t%d\t%d\t%d\t%d\n",
+		i, i%250, first.Unix(), first.Add(time.Hour).Unix(), 10+i, DateOf(first))
+}
+
+func TestReaderQuarantineSkipsAndCounts(t *testing.T) {
+	var in strings.Builder
+	for i := 0; i < 10; i++ {
+		in.WriteString(goodLine(i))
+		if i%3 == 0 {
+			in.WriteString("torn gar\tbage line\n")
+		}
+	}
+	reg := obs.NewRegistry()
+	r := NewReader(strings.NewReader(in.String()), TSV).Quarantine(0.9).Instrument(reg)
+	var got int
+	n, err := CopyAll(r, func(rec *Record) error {
+		if rec.Validate() != nil {
+			t.Fatalf("quarantining reader surfaced an invalid record: %+v", rec)
+		}
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 || got != 10 {
+		t.Errorf("delivered %d records, want 10", n)
+	}
+	if r.Skipped() != 4 {
+		t.Errorf("Skipped() = %d, want 4", r.Skipped())
+	}
+	if c := reg.Snapshot().Counters["pdns_reader_quarantined_total"]; c != 4 {
+		t.Errorf("pdns_reader_quarantined_total = %d, want 4", c)
+	}
+	if r.StreamErr() != nil {
+		t.Errorf("StreamErr() = %v on a clean stream", r.StreamErr())
+	}
+}
+
+func TestReaderWithoutQuarantineStillHardFails(t *testing.T) {
+	in := goodLine(1) + "garbage\n" + goodLine(2)
+	r := NewReader(strings.NewReader(in), TSV)
+	var rec Record
+	if err := r.Read(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Read(&rec); err == nil {
+		t.Fatal("default reader accepted a malformed line")
+	}
+}
+
+func TestReaderQuarantineErrorBudget(t *testing.T) {
+	// Past the grace period, make more than 10% of lines malformed.
+	var in strings.Builder
+	for i := 0; i < 300; i++ {
+		in.WriteString(goodLine(i))
+		if i%5 == 0 {
+			in.WriteString("malformed\n")
+		}
+	}
+	r := NewReader(strings.NewReader(in.String()), TSV).Quarantine(0.1)
+	_, err := CopyAll(r, func(*Record) error { return nil })
+	if !errors.Is(err, ErrErrorBudget) {
+		t.Fatalf("err = %v, want ErrErrorBudget", err)
+	}
+
+	// The same stream under a generous budget ingests fully.
+	r = NewReader(strings.NewReader(in.String()), TSV).Quarantine(0.5)
+	n, err := CopyAll(r, func(*Record) error { return nil })
+	if err != nil || n != 300 {
+		t.Fatalf("generous budget: n=%d err=%v", n, err)
+	}
+
+	// A short bad prefix within the grace period must not abort.
+	var prefix strings.Builder
+	for i := 0; i < 20; i++ {
+		prefix.WriteString("junk\n")
+	}
+	prefix.WriteString(goodLine(0))
+	r = NewReader(strings.NewReader(prefix.String()), TSV).Quarantine(0.05)
+	n, err = CopyAll(r, func(*Record) error { return nil })
+	if err != nil || n != 1 {
+		t.Fatalf("grace period: n=%d err=%v", n, err)
+	}
+}
+
+// writeTruncatedGzip writes a valid gzip stream of lines to path, then cuts
+// the file short so decompression dies mid-stream — the classic interrupted
+// feed transfer.
+func writeTruncatedGzip(t *testing.T, path string, lines int) {
+	t.Helper()
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	for i := 0; i < lines; i++ {
+		if _, err := gz.Write([]byte(goodLine(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Len() * 2 / 3
+	if err := os.WriteFile(path, buf.Bytes()[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderQuarantineTruncatedGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "feed.tsv.gz")
+	writeTruncatedGzip(t, path, 2000)
+
+	// Default mode: the truncation is a hard error.
+	r, c, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CopyAll(r, func(*Record) error { return nil })
+	if err == nil {
+		t.Fatal("default reader ingested a truncated gzip without error")
+	}
+	c.Close()
+
+	// Quarantine mode: ingest what decompressed, surface the stream error.
+	r, c, err = OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r.Quarantine(0.05)
+	n, err := CopyAll(r, func(rec *Record) error {
+		return rec.Validate()
+	})
+	if err != nil {
+		t.Fatalf("quarantining ingest failed: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("no records recovered from the intact prefix")
+	}
+	if r.StreamErr() == nil {
+		t.Fatal("StreamErr() = nil, want the gzip truncation surfaced")
+	}
+}
+
+// errCloser records close order and optionally fails.
+type errCloser struct {
+	name  string
+	err   error
+	order *[]string
+}
+
+func (e *errCloser) Close() error {
+	*e.order = append(*e.order, e.name)
+	return e.err
+}
+
+// TestMultiCloserOrderAndErrors pins the close contract: innermost (gzip)
+// first, every closer runs even after a failure, and all errors surface.
+func TestMultiCloserOrderAndErrors(t *testing.T) {
+	var order []string
+	gzErr := errors.New("gzip: truncated")
+	fileErr := errors.New("file: io error")
+	m := multiCloser{
+		&errCloser{name: "gzip", err: gzErr, order: &order},
+		&errCloser{name: "file", err: fileErr, order: &order},
+	}
+	err := m.Close()
+	if len(order) != 2 || order[0] != "gzip" || order[1] != "file" {
+		t.Fatalf("close order = %v, want [gzip file]", order)
+	}
+	if !errors.Is(err, gzErr) || !errors.Is(err, fileErr) {
+		t.Fatalf("err = %v, want both close errors joined", err)
+	}
+}
+
+func TestOpenFileBadGzipClosesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.tsv.gz")
+	if err := os.WriteFile(path, []byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFile(path); err == nil {
+		t.Fatal("OpenFile accepted a non-gzip .gz file")
+	}
+}
+
+func TestCreateFileFlushesThroughGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.tsv.gz")
+	w, c, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{FQDN: "f.on.aws", RType: TypeA, RData: "1.2.3.4",
+		FirstSeen: time.Unix(1650000000, 0).UTC(), LastSeen: time.Unix(1650000600, 0).UTC(),
+		RequestCnt: 5, PDate: DateOf(time.Unix(1650000000, 0))}
+	if err := w.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, rc, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	var got Record
+	if err := r.Read(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.FQDN != rec.FQDN || got.RequestCnt != rec.RequestCnt {
+		t.Fatalf("round trip changed record: %+v", got)
+	}
+	if err := r.Read(&got); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}

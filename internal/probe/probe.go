@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pdns"
 )
 
 // FailureReason classifies why a domain was unreachable.
@@ -33,7 +34,18 @@ const (
 	FailConn    FailureReason = "conn"    // connection refused / reset
 	FailOptOut  FailureReason = "opt-out" // owner opted out; never contacted
 	FailBudget  FailureReason = "budget"  // per-function request cap exhausted
+	FailBreaker FailureReason = "breaker" // provider circuit open; never contacted
 )
+
+// Breaker short-circuits probes to keys (typically providers) that are
+// failing consistently. It is satisfied by fault.Breaker; the tiny local
+// interface keeps probe decoupled from the chaos layer.
+type Breaker interface {
+	// Allow reports whether a request for key may proceed.
+	Allow(key string) bool
+	// Record feeds back the outcome of an allowed request.
+	Record(key string, success bool)
+}
 
 // Result is the recorded outcome of probing one function domain.
 type Result struct {
@@ -79,6 +91,27 @@ type Config struct {
 	// RatePerSecond caps the campaign-wide request rate, a politeness
 	// control on top of the per-function caps; 0 disables.
 	RatePerSecond float64
+	// Retries is how many extra attempts each scheme gets after a
+	// connection-class failure (resets and refusals — not timeouts, which
+	// already consumed the full request budget of time, and not DNS
+	// failures, which fail before any contact). 0 keeps the seed behavior
+	// of exactly one try per scheme.
+	Retries int
+	// RetryBackoff is the base delay before the first retry; each further
+	// retry doubles it, plus deterministic per-FQDN jitter. Defaults to
+	// 50ms when Retries > 0.
+	RetryBackoff time.Duration
+	// Breaker, when non-nil, short-circuits probes whose BreakerKey is
+	// tripped open; skipped probes record FailBreaker with zero attempts.
+	Breaker Breaker
+	// BreakerKey maps an FQDN to its breaker key (typically the provider
+	// name); nil uses the FQDN itself.
+	BreakerKey func(fqdn string) string
+	// KeepTLSVerify retains certificate verification even with a custom
+	// DialContext. Fault-injection wrappers around the real dialer set
+	// this; the in-process simulation (which presents a self-signed test
+	// certificate) leaves it false.
+	KeepTLSVerify bool
 	// Metrics, when non-nil, receives the campaign's live telemetry:
 	// per-request latency histogram, in-flight gauge, and retry/fallback/
 	// failure counters. A nil registry costs one nil check per event.
@@ -96,7 +129,14 @@ func (c Config) withDefaults() Config {
 		c.Concurrency = 16
 	}
 	if c.MaxAttempts <= 0 {
-		c.MaxAttempts = 2 // one HTTPS try + one HTTP fallback
+		// One HTTPS try + one HTTP fallback, each with its retries. With
+		// Retries == 0 this is the seed's cap of 2 (Appendix A limits
+		// probes to fewer than three per function); retry campaigns
+		// consciously raise the cap to match their configured attempts.
+		c.MaxAttempts = 2 * (1 + c.Retries)
+	}
+	if c.Retries > 0 && c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
 	}
 	if c.UserAgent == "" {
 		c.UserAgent = "serverless-measurement-research/1.0 (opt-out: see probe host port 80)"
@@ -111,14 +151,17 @@ type Prober struct {
 	limiter chan struct{}
 
 	// Live telemetry; every field is a no-op when Config.Metrics is nil.
-	mLatency   *obs.Histogram // probe_request_seconds: per-request wall time
-	mInflight  *obs.Gauge     // probe_inflight: probes currently executing
-	mRequests  *obs.Counter   // probe_requests_total: HTTP requests issued
-	mRetries   *obs.Counter   // probe_retries_total: attempts beyond the first
-	mFallbacks *obs.Counter   // probe_fallbacks_total: reached only via HTTP
-	mDNSFail   *obs.Counter   // probe_dns_failures_total
-	mTimeouts  *obs.Counter   // probe_timeouts_total
-	mOptOuts   *obs.Counter   // probe_optouts_total
+	mLatency    *obs.Histogram // probe_request_seconds: per-request wall time
+	mInflight   *obs.Gauge     // probe_inflight: probes currently executing
+	mRequests   *obs.Counter   // probe_requests_total: HTTP requests issued
+	mRetries    *obs.Counter   // probe_retries_total: attempts beyond the first
+	mConnRetry  *obs.Counter   // probe_conn_retries_total: backoff retries after conn failures
+	mFallbacks  *obs.Counter   // probe_fallbacks_total: reached only via HTTP
+	mDNSFail    *obs.Counter   // probe_dns_failures_total
+	mTimeouts   *obs.Counter   // probe_timeouts_total
+	mOptOuts    *obs.Counter   // probe_optouts_total
+	mBreakerSk  *obs.Counter   // probe_breaker_skips_total: short-circuited by the breaker
+	mBodyAborts *obs.Counter   // probe_body_aborts_total: body drains cut by cancellation
 
 	mu     sync.Mutex
 	optOut map[string]struct{}
@@ -127,13 +170,15 @@ type Prober struct {
 
 // Stats aggregates a probing campaign.
 type Stats struct {
-	Probed      int
-	Reachable   int
-	Unreachable int
-	DNSFailures int
-	HTTPSOnly   int // reached via HTTPS
-	Fallbacks   int // needed the HTTP fallback
-	Requests    int // total HTTP requests issued
+	Probed       int
+	Reachable    int
+	Unreachable  int
+	DNSFailures  int
+	HTTPSOnly    int // reached via HTTPS
+	Fallbacks    int // needed the HTTP fallback
+	Requests     int // total HTTP requests issued
+	Retried      int // backoff retries after connection-class failures
+	BreakerSkips int // probes short-circuited by an open breaker
 }
 
 // New builds a Prober.
@@ -146,7 +191,9 @@ func New(cfg Config) *Prober {
 	}
 	if cfg.DialContext != nil {
 		tr.DialContext = cfg.DialContext
-		tr.TLSClientConfig = &tls.Config{InsecureSkipVerify: true}
+		if !cfg.KeepTLSVerify {
+			tr.TLSClientConfig = &tls.Config{InsecureSkipVerify: true}
+		}
 	}
 	var limiter chan struct{}
 	if cfg.RatePerSecond > 0 {
@@ -164,16 +211,19 @@ func New(cfg Config) *Prober {
 		}()
 	}
 	return &Prober{
-		cfg:        cfg,
-		limiter:    limiter,
-		mLatency:   cfg.Metrics.Histogram("probe_request_seconds", nil),
-		mInflight:  cfg.Metrics.Gauge("probe_inflight"),
-		mRequests:  cfg.Metrics.Counter("probe_requests_total"),
-		mRetries:   cfg.Metrics.Counter("probe_retries_total"),
-		mFallbacks: cfg.Metrics.Counter("probe_fallbacks_total"),
-		mDNSFail:   cfg.Metrics.Counter("probe_dns_failures_total"),
-		mTimeouts:  cfg.Metrics.Counter("probe_timeouts_total"),
-		mOptOuts:   cfg.Metrics.Counter("probe_optouts_total"),
+		cfg:         cfg,
+		limiter:     limiter,
+		mLatency:    cfg.Metrics.Histogram("probe_request_seconds", nil),
+		mInflight:   cfg.Metrics.Gauge("probe_inflight"),
+		mRequests:   cfg.Metrics.Counter("probe_requests_total"),
+		mRetries:    cfg.Metrics.Counter("probe_retries_total"),
+		mConnRetry:  cfg.Metrics.Counter("probe_conn_retries_total"),
+		mFallbacks:  cfg.Metrics.Counter("probe_fallbacks_total"),
+		mDNSFail:    cfg.Metrics.Counter("probe_dns_failures_total"),
+		mTimeouts:   cfg.Metrics.Counter("probe_timeouts_total"),
+		mOptOuts:    cfg.Metrics.Counter("probe_optouts_total"),
+		mBreakerSk:  cfg.Metrics.Counter("probe_breaker_skips_total"),
+		mBodyAborts: cfg.Metrics.Counter("probe_body_aborts_total"),
 		client: &http.Client{
 			Transport: tr,
 			Timeout:   cfg.Timeout,
@@ -211,10 +261,14 @@ func (p *Prober) Stats() Stats {
 	return p.stats
 }
 
-// Probe contacts one function domain: HTTPS first, HTTP on failure.
+// Probe contacts one function domain: HTTPS first, HTTP on failure. With
+// Retries configured, connection-class failures (resets, refusals) earn up
+// to Retries extra attempts per scheme with exponential backoff and
+// deterministic per-FQDN jitter; timeouts and DNS failures never retry.
 func (p *Prober) Probe(ctx context.Context, fqdn string) Result {
 	start := time.Now()
 	res := Result{FQDN: fqdn}
+	connRetries := 0
 	p.mInflight.Add(1)
 	defer func() {
 		res.Elapsed = time.Since(start)
@@ -229,6 +283,8 @@ func (p *Prober) Probe(ctx context.Context, fqdn string) Result {
 			p.mTimeouts.Inc()
 		case FailOptOut:
 			p.mOptOuts.Inc()
+		case FailBreaker:
+			p.mBreakerSk.Inc()
 		}
 		if res.Reachable && !res.HTTPS {
 			p.mFallbacks.Inc()
@@ -236,6 +292,10 @@ func (p *Prober) Probe(ctx context.Context, fqdn string) Result {
 		p.mu.Lock()
 		p.stats.Probed++
 		p.stats.Requests += res.Attempts
+		p.stats.Retried += connRetries
+		if res.Failure == FailBreaker {
+			p.stats.BreakerSkips++
+		}
 		if res.Reachable {
 			p.stats.Reachable++
 			if res.HTTPS {
@@ -262,25 +322,80 @@ func (p *Prober) Probe(ctx context.Context, fqdn string) Result {
 			return res
 		}
 	}
+	breakerKey := fqdn
+	if p.cfg.BreakerKey != nil {
+		breakerKey = p.cfg.BreakerKey(fqdn)
+	}
+	if p.cfg.Breaker != nil && !p.cfg.Breaker.Allow(breakerKey) {
+		res.Failure = FailBreaker
+		return res
+	}
 
 	var lastErr error
 	for _, scheme := range []string{"https", "http"} {
-		if res.Attempts >= p.cfg.MaxAttempts {
-			res.Failure = FailBudget
-			return res
+		for try := 0; ; try++ {
+			if res.Attempts >= p.cfg.MaxAttempts {
+				res.Failure = FailBudget
+				p.recordBreaker(breakerKey, false)
+				return res
+			}
+			res.Attempts++
+			ok, err := p.tryScheme(ctx, scheme, fqdn, &res)
+			if ok {
+				res.Reachable = true
+				res.HTTPS = scheme == "https"
+				res.Failure = FailNone
+				p.recordBreaker(breakerKey, true)
+				return res
+			}
+			lastErr = err
+			if try >= p.cfg.Retries || ctx.Err() != nil || classifyError(err) != FailConn {
+				break
+			}
+			connRetries++
+			p.mConnRetry.Inc()
+			if !p.backoff(ctx, fqdn, try) {
+				break
+			}
 		}
-		res.Attempts++
-		ok, err := p.tryScheme(ctx, scheme, fqdn, &res)
-		if ok {
-			res.Reachable = true
-			res.HTTPS = scheme == "https"
-			res.Failure = FailNone
-			return res
-		}
-		lastErr = err
 	}
 	res.Failure = classifyError(lastErr)
+	// The breaker tracks endpoint-health failures only: connection resets
+	// and timeouts trip it; DNS and budget outcomes never contacted (or
+	// deliberately stopped contacting) the provider's edge.
+	p.recordBreaker(breakerKey, res.Failure != FailConn && res.Failure != FailTimeout)
 	return res
+}
+
+func (p *Prober) recordBreaker(key string, success bool) {
+	if p.cfg.Breaker != nil {
+		p.cfg.Breaker.Record(key, success)
+	}
+}
+
+// backoff sleeps before retry number try: RetryBackoff doubled per retry,
+// plus up to 50% jitter drawn from a per-FQDN deterministic stream so
+// identically-seeded campaigns pace identically. Returns false if the
+// context was cancelled while waiting.
+func (p *Prober) backoff(ctx context.Context, fqdn string, try int) bool {
+	d := p.cfg.RetryBackoff << uint(try)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	// splitmix64 over (fqdn hash, try): cheap, allocation-free jitter.
+	h := pdns.HashFQDN(fqdn) + uint64(try)*0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	jitter := time.Duration(h % uint64(d/2+1))
+	t := time.NewTimer(d + jitter)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // tryScheme issues one parameter-free GET, honouring the campaign rate cap.
@@ -305,8 +420,8 @@ func (p *Prober) tryScheme(ctx context.Context, scheme, fqdn string, res *Result
 		return false, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, p.cfg.MaxBody))
-	if err != nil && len(body) == 0 {
+	body, err := p.drainBody(ctx, resp.Body)
+	if err != nil && (len(body) == 0 || ctx.Err() != nil) {
 		return false, err
 	}
 	res.Status = resp.StatusCode
@@ -314,6 +429,32 @@ func (p *Prober) tryScheme(ctx context.Context, scheme, fqdn string, res *Result
 	res.Location = resp.Header.Get("Location")
 	res.Body = body
 	return true, nil
+}
+
+// drainBody reads up to MaxBody bytes, honouring context cancellation while
+// the read is in flight: a stalled or slow body (an endpoint trickling bytes
+// past the run's deadline) cannot outlive the campaign's cancellation. On
+// cancel the body is closed to unblock the reader and whatever arrived so
+// far is returned with ctx's error.
+func (p *Prober) drainBody(ctx context.Context, body io.ReadCloser) ([]byte, error) {
+	type drained struct {
+		b   []byte
+		err error
+	}
+	ch := make(chan drained, 1)
+	go func() {
+		b, err := io.ReadAll(io.LimitReader(body, p.cfg.MaxBody))
+		ch <- drained{b, err}
+	}()
+	select {
+	case d := <-ch:
+		return d.b, d.err
+	case <-ctx.Done():
+		p.mBodyAborts.Inc()
+		body.Close() // unblocks the pending Read
+		d := <-ch
+		return d.b, ctx.Err()
+	}
 }
 
 func classifyError(err error) FailureReason {

@@ -161,7 +161,14 @@ func EmitPDNSOrdered(pop *Population, resolver *dnssim.Resolver, workers int, si
 // "emit-shard-<i>" span with its function and record counts. reg receives
 // the aggregators' shared throughput counters; both may be nil. A nil
 // matcher selects all collected providers.
-func AggregateParallel(ctx context.Context, pop *Population, resolver *dnssim.Resolver, matcher *providers.Matcher, workers int, reg *obs.Registry) (*pdns.Aggregate, error) {
+//
+// mutate hooks, if given, run on each record before aggregation — the
+// fault-injection layer uses one to corrupt a deterministic fraction of the
+// feed (mangled records then fail validation inside the aggregator and are
+// counted as dropped, exactly as a real feed's garbage rows would be). A
+// hook must be safe for concurrent calls; each record it sees is a fresh
+// value owned by the current worker.
+func AggregateParallel(ctx context.Context, pop *Population, resolver *dnssim.Resolver, matcher *providers.Matcher, workers int, reg *obs.Registry, mutate ...func(*pdns.Record)) (*pdns.Aggregate, error) {
 	workers = normWorkers(workers)
 	w := Window()
 	aggs := make([]*pdns.Aggregator, workers)
@@ -174,6 +181,9 @@ func AggregateParallel(ctx context.Context, pop *Population, resolver *dnssim.Re
 		aggs[i] = agg
 		i := i
 		sinks[i] = func(r *pdns.Record) error {
+			for _, m := range mutate {
+				m(r)
+			}
 			agg.Add(r)
 			counts[i]++
 			return nil

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/dnssim"
+	"repro/internal/fault"
 	"repro/internal/pdns"
 )
 
@@ -149,5 +150,50 @@ func TestEmitPDNSParallelSinkContract(t *testing.T) {
 	}
 	if err := EmitPDNSOrdered(pop, res, 2, func(*pdns.Record) error { return boom }); !errors.Is(err, boom) {
 		t.Errorf("ordered sink error: got %v, want %v", err, boom)
+	}
+}
+
+// TestAggregateParallelMutateHook checks the fault-injection seam: a mutate
+// hook corrupting a deterministic fraction of records yields identical
+// dropped/matched counts and identical surviving aggregates for every worker
+// count — corruption is part of the schedule, not of the interleaving.
+func TestAggregateParallelMutateHook(t *testing.T) {
+	pop := testPop(t, 0.004)
+	in := fault.New(fault.Profile{Name: "t", Seed: 7, FeedCorrupt: 0.05})
+	mutate := func(r *pdns.Record) { in.CorruptRecord(r) }
+
+	type outcome struct {
+		scanned, matched, dropped int64
+		domains                   int
+	}
+	var want outcome
+	for i, workers := range []int{1, 2, 8} {
+		got, err := AggregateParallel(context.Background(), pop, dnssim.NewResolver(), nil, workers, nil, mutate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := outcome{got.Scanned, got.Matched, got.Dropped, got.TotalDomains()}
+		if i == 0 {
+			want = o
+			if o.dropped == 0 {
+				t.Fatal("corrupting mutate hook dropped no records")
+			}
+			continue
+		}
+		if o != want {
+			t.Errorf("workers=%d outcome %+v, want %+v", workers, o, want)
+		}
+	}
+
+	// The clean aggregate must not see any of this: the hook is opt-in.
+	clean, err := AggregateParallel(context.Background(), pop, dnssim.NewResolver(), nil, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Dropped != 0 {
+		t.Errorf("clean run dropped %d records", clean.Dropped)
+	}
+	if clean.TotalDomains() < want.domains {
+		t.Errorf("clean domains %d < corrupted domains %d", clean.TotalDomains(), want.domains)
 	}
 }
