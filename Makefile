@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json chaos check
+.PHONY: build test race vet bench bench-json chaos gate check
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ test:
 # Race-run the packages with lock-free hot paths and shared counters,
 # including the parallel substrate (emission workers, shard aggregators).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/probe/... ./internal/dnssim/... ./internal/pdns/... ./internal/workload/... ./internal/fault/...
+	$(GO) test -race ./internal/obs/... ./internal/runs/... ./internal/probe/... ./internal/dnssim/... ./internal/pdns/... ./internal/workload/... ./internal/fault/...
 
 vet:
 	$(GO) vet ./...
@@ -28,12 +28,24 @@ chaos:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# Benchstat-friendly snapshot of the parallel-substrate benchmarks: the raw
-# `go test -bench` text (which benchstat consumes directly) is teed to
-# BENCH_pipeline.json. Compare two snapshots with
-# `benchstat old.json BENCH_pipeline.json`.
+# Snapshot of the parallel-substrate benchmarks in both formats: the raw
+# `go test -bench` text lands in BENCH_pipeline.txt (benchstat consumes it
+# directly: `benchstat old.txt BENCH_pipeline.txt`), and scfruns parses it
+# into structured BENCH_pipeline.json (`scfruns gate -bench-base old.json
+# -bench-new BENCH_pipeline.json` gates on mean ns/op drift).
 bench-json:
 	$(GO) test -bench 'EmitPDNS|AggregateParallel|Top10Share|Table2Resolution' \
-		-benchmem -count=5 -run=^$$ ./... 2>&1 | tee BENCH_pipeline.json
+		-benchmem -count=5 -run=^$$ ./... 2>&1 | tee BENCH_pipeline.txt
+	$(GO) run ./cmd/scfruns bench -i BENCH_pipeline.txt -o BENCH_pipeline.json
 
-check: build vet test race
+# Regression gate: archive a fresh run of the golden configuration and diff
+# it against the committed baseline (internal/runs/testdata/golden). The
+# deterministic dimensions — artifact fingerprints, calibration bands,
+# degradation drift — gate at full strictness; the wall-clock tolerance is
+# widened to 4x so slower machines don't fail on honest hardware differences.
+gate: test
+	$(GO) run ./cmd/scfpipe -seed 1 -scale 0.01 -workers 4 -chaos none -skip-c2 \
+		-run-dir .runs > /dev/null
+	$(GO) run ./cmd/scfruns gate -dir .runs -baseline internal/runs/testdata/golden -wall-tol 3 -quiet
+
+check: build vet test race gate

@@ -11,6 +11,8 @@
 //	scfpipe -manifest run.json               # machine-readable run provenance
 //	scfpipe -chaos heavy                     # deterministic fault injection
 //	scfpipe -chaos light,seed=7 -probe-retries 3
+//	scfpipe -run-dir .runs                   # archive the run for scfruns
+//	scfpipe -no-archive                      # skip the run archive
 //
 // With -chaos the run injects a seeded, reproducible fault schedule (DNS
 // failures, connection resets, flapping and truncating endpoints, latency
@@ -18,13 +20,21 @@
 // the schedule depends only on (chaos seed, FQDN), never on -workers.
 //
 // With -metrics-addr the run serves live introspection while it executes:
-// /metrics (JSON metric snapshot), /trace (the stage span tree so far), and
-// /debug/pprof/ (standard profiles). With -manifest the finished run's
-// RunManifest — config, per-stage wall/CPU time, final metrics — is written
-// as JSON, so every benchmark entry has a provenance record. Interrupting
-// the run (SIGINT/SIGTERM) aborts the probe and C2 sweeps cleanly; the
-// manifest is still written, with the cancellation recorded on the
-// interrupted stage.
+// /metrics (JSON metric snapshot), /trace (the stage span tree so far),
+// /trace.json (Chrome trace-event export for Perfetto / chrome://tracing),
+// /events (the structured event log as JSONL), and /debug/pprof/ (standard
+// profiles). With -manifest the finished run's RunManifest — config,
+// per-stage wall/CPU time, final metrics — is written as JSON, so every
+// benchmark entry has a provenance record. Interrupting the run
+// (SIGINT/SIGTERM) aborts the probe and C2 sweeps cleanly; the manifest is
+// still written, with the cancellation recorded on the interrupted stage.
+//
+// Every completed run is also archived under <run-dir>/<run-id>/ (default
+// .runs, or $SCF_RUN_DIR; disable with -no-archive): summary + calibration
+// shares, stage timings, manifest, event log, Chrome trace, and the
+// rendered tables/figures with SHA-256 fingerprints. The run ID derives
+// from seed+config, so re-running the same experiment overwrites its slot.
+// `scfruns list|show|diff|gate` reads these archives.
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/runs"
 )
 
 func main() {
@@ -53,11 +64,13 @@ func main() {
 		timeout     = flag.Duration("probe-timeout", 2*time.Second, "per-request probe timeout")
 		probeConc   = flag.Int("probe-concurrency", 0, "max in-flight probes (0 = default 32)")
 		workers     = flag.Int("workers", 0, "CPU-bound fan-out for generation, PDNS emission+aggregation, sanitisation, and classification (0 = GOMAXPROCS; results are identical for every value)")
-		metricsAddr = flag.String("metrics-addr", "", "serve live JSON metrics, trace, and pprof on this address (e.g. :6060)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live JSON metrics, trace, events, and pprof on this address (e.g. :6060)")
 		manifest    = flag.String("manifest", "", "write the run manifest (stage timings + metrics) to this JSON file")
 		chaos       = flag.String("chaos", "", "fault-injection profile: none, light, or heavy, optionally ,seed=N (default: $SCF_CHAOS or none)")
 		retries     = flag.Int("probe-retries", 0, "extra probe attempts per scheme after connection failures (0 = auto: 2 under chaos; negative = off)")
 		breaker     = flag.Int("breaker-threshold", 0, "consecutive failures opening a provider's probe circuit (0 = auto: 50 under chaos; negative = off)")
+		runDir      = flag.String("run-dir", "", "archive the run under this directory (default: $SCF_RUN_DIR or .runs)")
+		noArchive   = flag.Bool("no-archive", false, "do not archive the run")
 	)
 	flag.Parse()
 
@@ -73,12 +86,12 @@ func main() {
 	defer stop()
 
 	if *metricsAddr != "" {
-		srv, err := obs.Serve(*metricsAddr, metrics, trace)
+		srv, err := obs.Serve(*metricsAddr, metrics, trace, events)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		log.Printf("serving metrics on http://%s/metrics (trace: /trace, pprof: /debug/pprof/)", srv.Addr())
+		log.Printf("serving metrics on http://%s/metrics (trace: /trace, /trace.json; events: /events; pprof: /debug/pprof/)", srv.Addr())
 	}
 
 	res, err := core.RunContext(ctx, core.Config{
@@ -94,13 +107,32 @@ func main() {
 		BreakerThreshold: *breaker,
 		Metrics:          metrics,
 	})
-	manifestFailed := false
+	exitCode := 0
 	if res != nil && *manifest != "" {
 		if werr := res.Manifest("scfpipe").WriteFile(*manifest); werr != nil {
 			log.Print(werr)
-			manifestFailed = true
+			exitCode = 1
 		} else {
 			log.Printf("wrote manifest to %s", *manifest)
+		}
+	}
+	// Only completed runs are archived: a partial run would overwrite its
+	// config's slot with truncated calibration/artifacts (the manifest above
+	// still records the aborted run's provenance).
+	if res != nil && err == nil && !*noArchive {
+		root := *runDir
+		if root == "" {
+			root = os.Getenv("SCF_RUN_DIR")
+		}
+		if root == "" {
+			root = ".runs"
+		}
+		arch := res.BuildArchive("scfpipe", events)
+		if dir, aerr := runs.Write(root, arch); aerr != nil {
+			log.Print(aerr)
+			exitCode = 1
+		} else {
+			log.Printf("archived run %s to %s", arch.Summary.ID, dir)
 		}
 	}
 	if err != nil {
@@ -122,18 +154,19 @@ func main() {
 		fmt.Println(deg)
 	}
 	fmt.Println(res.RenderMetrics())
-	if manifestFailed {
-		os.Exit(1)
-	}
+	os.Exit(exitCode)
 }
 
 // Shared observability state: created up front so the introspection endpoint
-// serves live data for the whole run, not a post-hoc copy.
+// serves live data for the whole run, not a post-hoc copy, and so the event
+// log covers the run from its first span to the final metric snapshot.
 var (
 	metrics = obs.NewRegistry()
 	trace   = obs.NewTrace()
+	events  = obs.NewEventLog()
 )
 
 func obsContext() context.Context {
-	return obs.ContextWithTrace(context.Background(), trace)
+	ctx := obs.ContextWithTrace(context.Background(), trace)
+	return obs.ContextWithEventLog(ctx, events)
 }

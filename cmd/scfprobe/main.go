@@ -13,6 +13,7 @@
 //	pdnsgen -scale 0.001 | cut -f1 | sort -u | scfprobe
 //	scfprobe -f domains.txt -retries 2 -breaker 20   # resilient campaign
 //	scfprobe -f domains.txt -chaos heavy,seed=3      # rehearse a bad day
+//	scfprobe -f domains.txt -manifest run.json -events run.jsonl
 //
 // -retries adds bounded exponential-backoff retries after connection-class
 // failures, and -breaker opens a per-provider circuit after that many
@@ -20,6 +21,10 @@
 // whole campaign's politeness budget. -chaos injects a deterministic fault
 // schedule in front of the real network — a dress rehearsal for the
 // resilience controls without needing the network to misbehave.
+//
+// -manifest writes the campaign's provenance record (span timing plus the
+// final metric snapshot) as JSON, and -events writes the structured event
+// log as JSONL — the same formats a pipeline run archives under .runs/.
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/providers"
 )
@@ -51,6 +57,8 @@ func main() {
 		retries     = flag.Int("retries", 0, "extra attempts per scheme after connection-class failures")
 		breakerThr  = flag.Int("breaker", 0, "consecutive failures opening a provider's circuit (0 = no breaker)")
 		chaos       = flag.String("chaos", "", "inject a deterministic fault schedule: none, light, or heavy, optionally ,seed=N")
+		manifest    = flag.String("manifest", "", "write the campaign manifest (timing + metrics) to this JSON file")
+		eventsFile  = flag.String("events", "", "write the campaign's structured event log to this JSONL file")
 	)
 	flag.Parse()
 
@@ -79,10 +87,20 @@ func main() {
 		return
 	}
 
+	// Campaign observability: one span covers the whole sweep, and the
+	// prober reports latency/outcome metrics into the registry, so a
+	// campaign leaves the same provenance trail a pipeline run does.
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace()
+	elog := obs.NewEventLog()
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	ctx = obs.ContextWithEventLog(ctx, elog)
+
 	cfg := probe.Config{
 		Timeout:     *timeout,
 		Concurrency: *concurrency,
 		Retries:     *retries,
+		Metrics:     reg,
 	}
 	if *breakerThr > 0 {
 		cfg.Breaker = fault.NewBreaker(*breakerThr, 0)
@@ -123,7 +141,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "scfprobe: skipping %s (not a known function domain)\n", fqdn)
 		}
 	}
-	results := p.ProbeAll(context.Background(), targets)
+	sctx, sp := obs.StartSpan(ctx, "campaign")
+	results := p.ProbeAll(sctx, targets)
+	sp.SetAttr("targets", len(targets))
+	sp.End()
 	for i := range results {
 		r := &results[i]
 		scheme := "http"
@@ -144,6 +165,30 @@ func main() {
 	if st.Retried > 0 || st.BreakerSkips > 0 {
 		fmt.Fprintf(os.Stderr, "scfprobe: degraded: %d conn retries, %d breaker skips\n",
 			st.Retried, st.BreakerSkips)
+	}
+	elog.EmitMetrics("final", reg)
+	if *manifest != "" {
+		m := obs.BuildManifest("scfprobe", tr, reg, map[string]string{
+			"targets": fmt.Sprint(len(targets)),
+			"timeout": timeout.String(),
+			"chaos":   chaosProf.String(),
+		})
+		if err := m.WriteFile(*manifest); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *eventsFile != "" {
+		f, err := os.Create(*eventsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		werr := elog.WriteJSONL(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Fatal(werr)
+		}
 	}
 }
 

@@ -1,0 +1,374 @@
+// Command scfruns audits the pipeline's run-history archives. Every scfpipe
+// run archives itself under .runs/<run-id>/ (summary, calibration shares,
+// stage timings, manifest, event log, Chrome trace, artifact fingerprints);
+// scfruns reads those archives back, compares them, and turns the
+// comparison into a CI verdict.
+//
+// Usage:
+//
+//	scfruns list                          # archives under -dir, newest first
+//	scfruns show r-1a2b3c4d5e6f           # one run in full
+//	scfruns diff r-aaaa r-bbbb            # every dimension, side by side
+//	scfruns diff -json r-aaaa r-bbbb      # the same, machine-readable
+//	scfruns gate -baseline internal/runs/testdata/golden
+//	scfruns gate -baseline old/ new/ -wall-tol 3
+//	scfruns bench -i BENCH.txt -o BENCH.json
+//
+// A run argument is either a directory containing summary.json or a run ID
+// resolved under -dir (default .runs, or $SCF_RUN_DIR). gate diffs the
+// candidate (default: the baseline's run ID under -dir, since identical
+// configs share an ID) against the baseline and exits 1 on any thresholded
+// regression: stage wall time past ratio+floor, histogram p99 drift,
+// new/grown degradations, deterministic-artifact fingerprint changes, or
+// calibration shares leaving the paper's acceptance bands. bench converts
+// `go test -bench` text into the structured JSON BENCH_pipeline.json holds,
+// and gate's -bench-base/-bench-new compare two such files.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/runs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scfruns: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "gate":
+		err = cmdGate(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		log.Printf("unknown subcommand %q", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: scfruns <list|show|diff|gate|bench> [flags] [args]
+
+  list                     list archived runs under -dir, newest first
+  show <run>               print one archive: config, stages, calibration
+  diff <a> <b>             compare two archives dimension by dimension
+  gate -baseline <run> [candidate]
+                           diff + thresholds; exit 1 on regression
+  bench -i in.txt -o out.json
+                           parse 'go test -bench' text into structured JSON
+
+run arguments are directories holding summary.json, or run IDs under -dir
+(default .runs, or $SCF_RUN_DIR). See 'scfruns <cmd> -h' for flags.`)
+}
+
+// dirFlag registers the shared -dir flag on a subcommand's flag set.
+func dirFlag(fs *flag.FlagSet) *string {
+	def := os.Getenv("SCF_RUN_DIR")
+	if def == "" {
+		def = ".runs"
+	}
+	return fs.String("dir", def, "run archive root (default: $SCF_RUN_DIR or .runs)")
+}
+
+// resolve turns a run argument into an archive directory: a path that holds
+// summary.json wins, otherwise the argument is a run ID under root.
+func resolve(root, arg string) (string, error) {
+	if _, err := os.Stat(filepath.Join(arg, runs.SummaryFile)); err == nil {
+		return arg, nil
+	}
+	dir := filepath.Join(root, arg)
+	if _, err := os.Stat(filepath.Join(dir, runs.SummaryFile)); err == nil {
+		return dir, nil
+	}
+	return "", fmt.Errorf("no run archive at %s or %s (need %s)", arg, dir, runs.SummaryFile)
+}
+
+func load(root, arg string) (*runs.Record, error) {
+	dir, err := resolve(root, arg)
+	if err != nil {
+		return nil, err
+	}
+	return runs.Read(dir)
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	dir := dirFlag(fs)
+	fs.Parse(args)
+	recs, err := runs.List(*dir)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Printf("no runs under %s\n", *dir)
+		return nil
+	}
+	t := report.NewTable("Archived runs ("+*dir+")", "Run", "Tool", "Created", "Elapsed", "Seed", "Scale", "Chaos", "Degr")
+	for _, r := range recs {
+		t.AddRow(r.Summary.ID, r.Summary.Tool, r.Timings.CreatedAt,
+			time.Duration(r.Timings.ElapsedNS).Round(time.Millisecond).String(),
+			r.Summary.Meta["seed"], r.Summary.Meta["scale"], r.Summary.Meta["chaos"],
+			len(r.Summary.Degradations))
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	dir := dirFlag(fs)
+	asJSON := fs.Bool("json", false, "print the raw summary and timings as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("show: want exactly one run argument")
+	}
+	rec, err := load(*dir, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec.Summary); err != nil {
+			return err
+		}
+		return enc.Encode(rec.Timings)
+	}
+	fmt.Printf("run %s (%s) — %s, elapsed %v\n", rec.Summary.ID, rec.Summary.Tool,
+		rec.Timings.CreatedAt, time.Duration(rec.Timings.ElapsedNS).Round(time.Millisecond))
+	fmt.Printf("config %s\n\n", rec.Summary.ConfigHash[:12])
+
+	mt := report.NewTable("Config", "Key", "Value")
+	for _, k := range sortedKeys(rec.Summary.Meta) {
+		mt.AddRow(k, rec.Summary.Meta[k])
+	}
+	fmt.Println(mt.String())
+
+	fmt.Println(report.StageTimingsFlat(rec.Timings.Stages))
+
+	if len(rec.Summary.Calibration) > 0 {
+		ct := report.NewTable("Calibration vs paper", "Metric", "Paper", "Measured", "Holds")
+		for _, k := range sortedKeys(rec.Summary.Calibration) {
+			v := rec.Summary.Calibration[k]
+			paper, holds := "-", "-"
+			if t, ok := runs.TargetFor(k); ok {
+				paper = fmt.Sprintf("%.4f", t.Paper)
+				holds = "yes"
+				if !t.Contains(v) {
+					holds = "**NO**"
+				}
+			}
+			ct.AddRow(k, paper, fmt.Sprintf("%.4f", v), holds)
+		}
+		fmt.Println(ct.String())
+	}
+
+	if len(rec.Summary.Degradations) > 0 {
+		dt := report.NewTable("Degradations absorbed", "Stage", "Kind", "Count")
+		for _, d := range rec.Summary.Degradations {
+			dt.AddRow(d.Stage, d.Kind, d.Count)
+		}
+		fmt.Println(dt.String())
+	}
+
+	if len(rec.Summary.Artifacts) > 0 {
+		at := report.NewTable("Artifacts", "File", "SHA-256", "Gated")
+		for _, k := range sortedKeys(rec.Summary.Artifacts) {
+			gated := ""
+			if runs.DeterministicArtifacts[k] {
+				gated = "yes"
+			}
+			at.AddRow(k, rec.Summary.Artifacts[k][:12], gated)
+		}
+		fmt.Println(at.String())
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	dir := dirFlag(fs)
+	asJSON := fs.Bool("json", false, "print the diff report as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: want exactly two run arguments (baseline, candidate)")
+	}
+	a, err := load(*dir, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := load(*dir, fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rep := runs.Diff(a, b)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Println(rep.Render())
+	return nil
+}
+
+func cmdGate(args []string) error {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	dir := dirFlag(fs)
+	def := runs.DefaultGateOptions()
+	var (
+		baseline   = fs.String("baseline", "", "baseline run (directory or run ID; required unless only benching)")
+		wallTol    = fs.Float64("wall-tol", def.WallTol, "stage wall regression tolerance as a ratio above 1 (negative disables)")
+		wallFloor  = fs.Duration("wall-floor", def.WallFloor, "minimum absolute wall delta before the ratio check applies")
+		p99Tol     = fs.Float64("p99-tol", def.P99Tol, "histogram p99 regression tolerance as a ratio above 1 (negative disables)")
+		minSamples = fs.Int64("min-samples", def.MinSamples, "histogram observations required on both sides before p99 gating")
+		noDegr     = fs.Bool("no-degradations", false, "skip degradation-drift gating")
+		noArt      = fs.Bool("no-artifacts", false, "skip deterministic-artifact fingerprint gating")
+		noCal      = fs.Bool("no-calibration", false, "skip paper-calibration gating")
+		benchBase  = fs.String("bench-base", "", "baseline bench JSON (from 'scfruns bench')")
+		benchNew   = fs.String("bench-new", "", "candidate bench JSON to gate against -bench-base")
+		benchTol   = fs.Float64("bench-tol", 0.5, "mean ns/op regression tolerance as a ratio above 1")
+		quiet      = fs.Bool("quiet", false, "suppress the full diff; print only violations")
+	)
+	fs.Parse(args)
+
+	var violations []string
+
+	if *baseline != "" {
+		a, err := load(*dir, *baseline)
+		if err != nil {
+			return err
+		}
+		// Identical configs share a run ID, so the candidate defaults to the
+		// baseline's slot under -dir: "did the same experiment regress?"
+		candArg := a.Summary.ID
+		if fs.NArg() > 0 {
+			candArg = fs.Arg(0)
+		}
+		b, err := load(*dir, candArg)
+		if err != nil {
+			return fmt.Errorf("candidate: %w", err)
+		}
+		rep := runs.Diff(a, b)
+		if !*quiet {
+			fmt.Println(rep.Render())
+			fmt.Println()
+		}
+		violations = append(violations, rep.Gate(runs.GateOptions{
+			WallTol:      *wallTol,
+			WallFloor:    *wallFloor,
+			P99Tol:       *p99Tol,
+			MinSamples:   *minSamples,
+			Degradations: !*noDegr,
+			Artifacts:    !*noArt,
+			Calibration:  !*noCal,
+		})...)
+	} else if fs.NArg() > 0 {
+		return fmt.Errorf("gate: candidate given without -baseline")
+	}
+
+	if (*benchBase == "") != (*benchNew == "") {
+		return fmt.Errorf("gate: -bench-base and -bench-new must be given together")
+	}
+	if *benchBase != "" {
+		ba, err := readBenchFile(*benchBase)
+		if err != nil {
+			return err
+		}
+		bb, err := readBenchFile(*benchNew)
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Println(runs.RenderBenchDiff(runs.DiffBench(ba, bb)))
+		}
+		violations = append(violations, runs.GateBench(ba, bb, *benchTol)...)
+	}
+
+	if *baseline == "" && *benchBase == "" {
+		return fmt.Errorf("gate: nothing to gate (need -baseline and/or -bench-base/-bench-new)")
+	}
+
+	if len(violations) > 0 {
+		fmt.Printf("GATE FAILED: %d violation(s)\n", len(violations))
+		for _, v := range violations {
+			fmt.Printf("  - %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("GATE PASSED")
+	return nil
+}
+
+func readBenchFile(path string) (*runs.BenchSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return runs.ReadBenchJSON(f)
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	in := fs.String("i", "", "bench text input file (default: stdin)")
+	out := fs.String("o", "", "JSON output file (default: stdout)")
+	fs.Parse(args)
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	set, err := runs.ParseBench(r)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return set.WriteJSON(w)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

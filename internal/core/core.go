@@ -192,10 +192,11 @@ type Results struct {
 	Elapsed time.Duration
 }
 
-// Manifest assembles the run's machine-readable provenance record: config,
-// per-stage wall/CPU time, and the final metric snapshot.
-func (r *Results) Manifest(tool string) *obs.Manifest {
-	meta := map[string]string{
+// configMeta flattens the run's configuration to the flat fact map shared
+// by the manifest and the run archive. Only configuration belongs here —
+// outcomes like elapsed time would poison the archive's config hash.
+func (r *Results) configMeta() map[string]string {
+	return map[string]string{
 		"seed":              fmt.Sprint(r.Config.Seed),
 		"scale":             fmt.Sprintf("%g", r.Config.Scale),
 		"workers":           fmt.Sprint(r.Config.Workers),
@@ -208,8 +209,14 @@ func (r *Results) Manifest(tool string) *obs.Manifest {
 		"c2_timeout":        r.Config.C2Timeout.String(),
 		"skip_c2_scan":      fmt.Sprint(r.Config.SkipC2Scan),
 		"chaos":             r.Config.Chaos.String(),
-		"elapsed":           r.Elapsed.String(),
 	}
+}
+
+// Manifest assembles the run's machine-readable provenance record: config,
+// per-stage wall/CPU time, and the final metric snapshot.
+func (r *Results) Manifest(tool string) *obs.Manifest {
+	meta := r.configMeta()
+	meta["elapsed"] = r.Elapsed.String()
 	m := obs.BuildManifest(tool, r.Trace, r.Metrics, meta)
 	m.Degradations = r.Degradations
 	return m
@@ -276,10 +283,17 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	// classify as timeouts rather than hanging the sweep.
 	injector.SetSpikeDelay(3 * cfg.ProbeTimeout)
 
+	elog := obs.EventLogFrom(ctx)
 	defer func() {
 		res.Stages = tr.Records()
 		res.Degradations = collectDegradations(reg)
 		res.Elapsed = time.Since(start)
+		// Close the event log's story: what the run absorbed, then the
+		// final metric state. Stage boundaries were logged by the spans.
+		for _, d := range res.Degradations {
+			elog.EmitDegradation(d)
+		}
+		elog.EmitMetrics("final", reg)
 	}()
 
 	// ---- Substrate: population, DNS, platform, edge servers. ----

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// TraceEvent is one entry of the Chrome trace-event JSON Array Format, the
+// interchange form understood by Perfetto and chrome://tracing. Spans export
+// as complete events (ph "X"), point-in-time log entries as instants (ph
+// "i"), and lane names as metadata (ph "M").
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"` // microseconds
+	Dur  int64             `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTraceEvents flattens a span tree (and, optionally, the non-span
+// entries of an event log) into trace events. Each root span gets its own
+// lane (tid), children share their root's lane; instants land on lane 0.
+// Timestamps are microseconds relative to the earliest span start, so the
+// trace opens at t=0 in any viewer.
+func ChromeTraceEvents(recs []SpanRecord, log *EventLog) []TraceEvent {
+	var out []TraceEvent
+	base := int64(0)
+	// The base is the earliest absolute instant we know about: the first
+	// span start, or the log's birth if that precedes it.
+	first := true
+	consider := func(us int64) {
+		if first || us < base {
+			base, first = us, false
+		}
+	}
+	for _, r := range recs {
+		if ts, ok := parseStartUS(r.Start); ok {
+			consider(ts)
+		}
+	}
+	var logStart int64
+	if log != nil && !log.StartTime().IsZero() {
+		logStart = log.StartTime().UTC().UnixMicro()
+		consider(logStart)
+	}
+
+	for i, r := range recs {
+		tid := i + 1
+		out = append(out, TraceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]string{"name": r.Name},
+		})
+		out = appendSpanEvents(out, r, base, tid, 0)
+	}
+	if log != nil {
+		for _, e := range log.Events() {
+			switch e.Type {
+			case EventSpanStart, EventSpanEnd, EventStageStart, EventStageEnd:
+				continue // already present as complete events
+			}
+			args := map[string]string{"type": e.Type}
+			for _, a := range e.Attrs {
+				args[a.Key] = a.Value
+			}
+			out = append(out, TraceEvent{
+				Name: e.Type + ":" + e.Name, Ph: "i", S: "p",
+				TS: logStart + e.TUS - base, PID: 1, TID: 0, Args: args,
+			})
+		}
+	}
+	return out
+}
+
+// appendSpanEvents emits r and its subtree as complete events on tid. Spans
+// whose start did not parse (hand-built records) inherit their parent's
+// timestamp, preserving duration and nesting if not absolute placement.
+func appendSpanEvents(out []TraceEvent, r SpanRecord, base int64, tid int, parentTS int64) []TraceEvent {
+	ts := parentTS
+	if abs, ok := parseStartUS(r.Start); ok {
+		ts = abs - base
+	}
+	args := map[string]string{}
+	for _, a := range r.Attrs {
+		args[a.Key] = a.Value
+	}
+	if r.CPUNS > 0 {
+		args["cpu"] = time.Duration(r.CPUNS).String()
+	}
+	if r.Err != "" {
+		args["err"] = r.Err
+	}
+	if len(args) == 0 {
+		args = nil
+	}
+	out = append(out, TraceEvent{
+		Name: r.Name, Ph: "X", TS: ts, Dur: r.WallNS / 1e3,
+		PID: 1, TID: tid, Args: args,
+	})
+	for _, c := range r.Children {
+		out = appendSpanEvents(out, c, base, tid, ts)
+	}
+	return out
+}
+
+func parseStartUS(s string) (int64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return 0, false
+	}
+	return t.UTC().UnixMicro(), true
+}
+
+// WriteChromeTrace renders the span tree (plus optional event-log instants)
+// as a Chrome trace-event JSON array, the format Perfetto's "Open trace
+// file" accepts directly. log may be nil.
+func WriteChromeTrace(w io.Writer, recs []SpanRecord, log *EventLog) error {
+	events := ChromeTraceEvents(recs, log)
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(events); err != nil {
+		return fmt.Errorf("obs: chrome trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func sampleRecords() []SpanRecord {
+	return []SpanRecord{
+		{
+			Name: "identify", Start: "2026-01-02T03:04:05Z",
+			WallNS: 150e6, CPUNS: 100e6,
+			Attrs: []Attr{{Key: "records", Value: "1234"}},
+		},
+		{
+			Name: "probe", Start: "2026-01-02T03:04:05.15Z",
+			WallNS: 2e9, CPUNS: 12e8, Err: "context canceled",
+			Children: []SpanRecord{
+				{Name: "sweep", Start: "2026-01-02T03:04:05.25Z", WallNS: 19e8},
+			},
+		},
+	}
+}
+
+func TestChromeTraceEvents(t *testing.T) {
+	events := ChromeTraceEvents(sampleRecords(), nil)
+	byName := map[string]TraceEvent{}
+	var completes int
+	for _, e := range events {
+		if e.Ph == "X" {
+			completes++
+			byName[e.Name] = e
+		}
+	}
+	if completes != 3 {
+		t.Fatalf("complete events = %d, want 3", completes)
+	}
+	id, probe, sweep := byName["identify"], byName["probe"], byName["sweep"]
+	if id.TS != 0 {
+		t.Fatalf("earliest span must open at ts 0, got %d", id.TS)
+	}
+	if probe.TS != 150_000 {
+		t.Fatalf("probe ts = %d, want 150000us after base", probe.TS)
+	}
+	if sweep.TS != 250_000 || sweep.TID != probe.TID {
+		t.Fatalf("sweep = %+v, want ts 250000 on probe's lane %d", sweep, probe.TID)
+	}
+	if probe.Dur != 2_000_000 {
+		t.Fatalf("probe dur = %d us", probe.Dur)
+	}
+	if probe.Args["err"] != "context canceled" {
+		t.Fatalf("probe args = %v", probe.Args)
+	}
+	if id.Args["records"] != "1234" || id.Args["cpu"] != "100ms" {
+		t.Fatalf("identify args = %v", id.Args)
+	}
+	if id.TID == probe.TID {
+		t.Fatal("root spans must get distinct lanes")
+	}
+}
+
+func TestChromeTraceInstantsFromLog(t *testing.T) {
+	l := NewEventLog()
+	ctx := ContextWithEventLog(context.Background(), l)
+	_, sp := StartSpan(ctx, "stage")
+	l.EmitDegradation(Degradation{Stage: "probe", Kind: "conn-retries", Count: 2})
+	sp.End()
+
+	tr := NewTrace()
+	events := ChromeTraceEvents(tr.Records(), l)
+	var instants, spans int
+	for _, e := range events {
+		switch e.Ph {
+		case "i":
+			instants++
+			if e.TS < 0 {
+				t.Fatalf("instant before trace base: %+v", e)
+			}
+		case "X":
+			spans++
+		}
+	}
+	// span-start/stage-end events are excluded (they duplicate spans);
+	// only the degradation becomes an instant.
+	if instants != 1 {
+		t.Fatalf("instants = %d, want 1", instants)
+	}
+}
+
+func TestWriteChromeTraceValidArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleRecords(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not a JSON array of events: %v", err)
+	}
+	for i, e := range back {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, e)
+			}
+		}
+	}
+
+	// Empty input must still be a valid (empty) array, not "null".
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); s[0] != '[' {
+		t.Fatalf("empty trace = %q, want a JSON array", s)
+	}
+}

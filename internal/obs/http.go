@@ -13,12 +13,15 @@ import (
 //
 //	/metrics        registry snapshot as indented JSON (expvar-style)
 //	/trace          current span tree as JSON
+//	/trace.json     current span tree as a Chrome trace-event array
+//	                (open it in Perfetto or chrome://tracing)
+//	/events         structured event log so far, as JSON Lines
 //	/debug/pprof/*  the standard net/http/pprof profiles
 //	/               a plain-text index of the above
 //
-// Either reg or tr may be nil; the corresponding endpoint then serves an
+// Any of reg, tr, elog may be nil; the corresponding endpoint then serves an
 // empty document.
-func Handler(reg *Registry, tr *Trace) http.Handler {
+func Handler(reg *Registry, tr *Trace, elog *EventLog) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -30,6 +33,14 @@ func Handler(reg *Registry, tr *Trace) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(tr.Records())
 	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteChromeTrace(w, tr.Records(), elog)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		elog.WriteJSONL(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -40,7 +51,7 @@ func Handler(reg *Registry, tr *Trace) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "pipeline introspection:\n  /metrics\n  /trace\n  /debug/pprof/")
+		fmt.Fprintln(w, "pipeline introspection:\n  /metrics\n  /trace\n  /trace.json\n  /events\n  /debug/pprof/")
 	})
 	return mux
 }
@@ -64,13 +75,13 @@ func (s *Server) Close() error {
 }
 
 // Serve starts the introspection endpoint on addr (e.g. ":6060") in a
-// background goroutine and returns immediately.
-func Serve(addr string, reg *Registry, tr *Trace) (*Server, error) {
+// background goroutine and returns immediately. elog may be nil.
+func Serve(addr string, reg *Registry, tr *Trace, elog *EventLog) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{srv: &http.Server{Handler: Handler(reg, tr)}, ln: ln}
+	s := &Server{srv: &http.Server{Handler: Handler(reg, tr, elog)}, ln: ln}
 	go s.srv.Serve(ln)
 	return s, nil
 }

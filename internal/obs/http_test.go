@@ -18,7 +18,9 @@ func TestHandlerEndpoints(t *testing.T) {
 	_, sp := StartSpan(ctx, "identify")
 	sp.End()
 
-	srv := httptest.NewServer(Handler(reg, tr))
+	elog := NewEventLog()
+	elog.Emit(EventNote, "hello")
+	srv := httptest.NewServer(Handler(reg, tr, elog))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {
@@ -46,6 +48,24 @@ func TestHandlerEndpoints(t *testing.T) {
 	if code, body := get("/trace"); code != 200 || !strings.Contains(body, `"identify"`) {
 		t.Fatalf("/trace = %d %q", code, body)
 	}
+	if code, body := get("/trace.json"); code != 200 {
+		t.Fatalf("/trace.json = %d", code)
+	} else {
+		var events []TraceEvent
+		if err := json.Unmarshal([]byte(body), &events); err != nil {
+			t.Fatalf("/trace.json not a trace-event array: %v", err)
+		}
+		var haveX bool
+		for _, e := range events {
+			haveX = haveX || (e.Ph == "X" && e.Name == "identify")
+		}
+		if !haveX {
+			t.Fatalf("/trace.json missing the identify span: %v", events)
+		}
+	}
+	if code, body := get("/events"); code != 200 || !strings.Contains(body, `"note"`) {
+		t.Fatalf("/events = %d %q", code, body)
+	}
 	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/ = %d", code)
 	}
@@ -59,7 +79,7 @@ func TestHandlerEndpoints(t *testing.T) {
 
 func TestServe(t *testing.T) {
 	reg := NewRegistry()
-	s, err := Serve("127.0.0.1:0", reg, nil)
+	s, err := Serve("127.0.0.1:0", reg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -146,15 +146,20 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	s.Overflow = s.Counts[len(s.Counts)-1]
 	return s
 }
 
-// HistogramSnapshot is a point-in-time copy of a Histogram.
+// HistogramSnapshot is a point-in-time copy of a Histogram. Overflow repeats
+// the +Inf bucket's count so consumers of the serialised form can tell when
+// a quantile estimate was clamped to the last finite bound without
+// re-deriving it from Counts.
 type HistogramSnapshot struct {
-	Bounds []float64 `json:"bounds"`
-	Counts []int64   `json:"counts"` // len(Bounds)+1; last bucket is +Inf
-	Count  int64     `json:"count"`
-	Sum    float64   `json:"sum"`
+	Bounds   []float64 `json:"bounds"`
+	Counts   []int64   `json:"counts"` // len(Bounds)+1; last bucket is +Inf
+	Count    int64     `json:"count"`
+	Sum      float64   `json:"sum"`
+	Overflow int64     `json:"overflow,omitempty"` // samples above the last finite bound
 }
 
 // Mean returns the average observation, or 0 with no samples.
@@ -169,8 +174,17 @@ func (s HistogramSnapshot) Mean() float64 {
 // within the bucket containing the target rank, the standard fixed-bucket
 // estimate. Samples in the +Inf bucket report the last finite bound.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
+	v, _ := s.QuantileClamped(q)
+	return v
+}
+
+// QuantileClamped is Quantile plus a flag reporting whether the target rank
+// landed in the +Inf overflow bucket — i.e. the returned value is the last
+// finite bound, a floor on the true quantile rather than an estimate of it.
+// Regression tooling should treat clamped quantiles as lower bounds.
+func (s HistogramSnapshot) QuantileClamped(q float64) (float64, bool) {
 	if s.Count == 0 || len(s.Bounds) == 0 {
-		return 0
+		return 0, false
 	}
 	if q < 0 {
 		q = 0
@@ -186,7 +200,7 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 		}
 		if seen+float64(c) >= rank {
 			if i >= len(s.Bounds) { // +Inf bucket
-				return s.Bounds[len(s.Bounds)-1]
+				return s.Bounds[len(s.Bounds)-1], true
 			}
 			lo := 0.0
 			if i > 0 {
@@ -194,11 +208,11 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 			}
 			hi := s.Bounds[i]
 			frac := (rank - seen) / float64(c)
-			return lo + (hi-lo)*frac
+			return lo + (hi-lo)*frac, false
 		}
 		seen += float64(c)
 	}
-	return s.Bounds[len(s.Bounds)-1]
+	return s.Bounds[len(s.Bounds)-1], true
 }
 
 // Registry hands out named metrics, get-or-create, and snapshots them. It is

@@ -90,6 +90,83 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestQuantileEmptySnapshot(t *testing.T) {
+	var s HistogramSnapshot
+	if v, clamped := s.QuantileClamped(0.99); v != 0 || clamped {
+		t.Fatalf("empty snapshot quantile = %v clamped=%v, want 0,false", v, clamped)
+	}
+	// Bounds present but zero observations.
+	s2 := NewHistogram([]float64{1, 2}).Snapshot()
+	if v := s2.Quantile(0.5); v != 0 {
+		t.Fatalf("no-sample quantile = %v, want 0", v)
+	}
+	// Pathological hand-built snapshot: count but no bounds must not panic.
+	s3 := HistogramSnapshot{Count: 5}
+	if v, clamped := s3.QuantileClamped(0.5); v != 0 || clamped {
+		t.Fatalf("boundless snapshot = %v,%v, want 0,false", v, clamped)
+	}
+}
+
+func TestQuantileAllOverflow(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1})
+	for i := 0; i < 50; i++ {
+		h.Observe(99)
+	}
+	s := h.Snapshot()
+	if s.Overflow != 50 {
+		t.Fatalf("Overflow = %d, want 50", s.Overflow)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		v, clamped := s.QuantileClamped(q)
+		if v != 1 || !clamped {
+			t.Fatalf("q=%v = %v clamped=%v, want last finite bound 1, clamped", q, v, clamped)
+		}
+	}
+	// Round-trip: the serialised snapshot carries the overflow count.
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Overflow != 50 {
+		t.Fatalf("round-tripped Overflow = %d, want 50", back.Overflow)
+	}
+}
+
+func TestQuantileBoundaryRank(t *testing.T) {
+	// 10 samples in (0,1], 10 in (1,2]: rank for q=0.5 is exactly 10, the
+	// last rank of bucket one, so p50 interpolates to that bucket's upper
+	// bound rather than crossing into bucket two.
+	h := NewHistogram([]float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	s := h.Snapshot()
+	if v := s.Quantile(0.5); v != 1 {
+		t.Fatalf("boundary p50 = %v, want exactly 1", v)
+	}
+	if v := s.Quantile(1); v != 2 {
+		t.Fatalf("q=1 = %v, want top bound 2", v)
+	}
+	if v := s.Quantile(0); v != 0 {
+		t.Fatalf("q=0 = %v, want first bucket's lower edge 0", v)
+	}
+	// Out-of-range q clamps to [0,1] instead of extrapolating.
+	if v := s.Quantile(-3); v != s.Quantile(0) {
+		t.Fatalf("q<0 = %v, want same as q=0", v)
+	}
+	if v := s.Quantile(7); v != s.Quantile(1) {
+		t.Fatalf("q>1 = %v, want same as q=1", v)
+	}
+	if s.Overflow != 0 {
+		t.Fatalf("Overflow = %d, want 0", s.Overflow)
+	}
+}
+
 func TestNilSafety(t *testing.T) {
 	var r *Registry
 	c := r.Counter("x")

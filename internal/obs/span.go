@@ -25,6 +25,7 @@ type ctxKey int
 const (
 	traceKey ctxKey = iota
 	spanKey
+	eventLogKey
 )
 
 // ContextWithTrace attaches tr to ctx; spans started from descendants of the
@@ -58,8 +59,19 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	}
 	if parent := SpanFrom(ctx); parent != nil {
 		parent.addChild(sp)
-	} else if tr := TraceFrom(ctx); tr != nil {
-		tr.addRoot(sp)
+	} else {
+		sp.root = true
+		if tr := TraceFrom(ctx); tr != nil {
+			tr.addRoot(sp)
+		}
+	}
+	if l := EventLogFrom(ctx); l != nil {
+		sp.log = l
+		typ := EventSpanStart
+		if sp.root {
+			typ = EventStageStart
+		}
+		l.Emit(typ, name)
 	}
 	return context.WithValue(ctx, spanKey, sp), sp
 }
@@ -97,6 +109,8 @@ type Span struct {
 	name     string
 	start    time.Time
 	cpuStart time.Duration
+	root     bool      // started with no parent span: a pipeline stage
+	log      *EventLog // event sink from the start context, or nil
 
 	mu       sync.Mutex
 	attrs    []Attr
@@ -159,6 +173,7 @@ func (s *Span) End() {
 	wall := time.Since(s.start)
 	cpu := processCPUTime() - s.cpuStart
 	s.mu.Lock()
+	ended := s.ended
 	if !s.ended {
 		s.ended = true
 		s.wall = wall
@@ -166,7 +181,21 @@ func (s *Span) End() {
 			s.cpu = cpu
 		}
 	}
+	wall, cpu = s.wall, s.cpu
+	errStr := s.err
+	attrs := append([]Attr(nil), s.attrs...)
 	s.mu.Unlock()
+	if s.log != nil && !ended {
+		typ := EventSpanEnd
+		if s.root {
+			typ = EventStageEnd
+		}
+		s.log.emit(Event{
+			Type: typ, Name: s.name,
+			WallNS: int64(wall), CPUNS: int64(cpu),
+			Err: errStr, Attrs: attrs,
+		})
+	}
 }
 
 func (s *Span) addChild(c *Span) {

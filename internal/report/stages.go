@@ -38,6 +38,40 @@ func StageTimings(recs []obs.SpanRecord) string {
 	return t.String()
 }
 
+// StageTimingsFlat renders archived stage rows (the obs.FlattenStages form
+// stored in a run's timings.json) with the same table shape StageTimings
+// produces from a live span tree: depth recovered from the slash-joined
+// path, root-stage share of total wall time, errors in the notes column.
+// `scfruns show` prints this, so the archive and the live run read alike.
+func StageTimingsFlat(stages []obs.StageTiming) string {
+	t := NewTable("Stage timings", "Stage", "Wall", "CPU", "Share", "Notes")
+	var total time.Duration
+	for _, s := range stages {
+		if !strings.Contains(s.Path, "/") {
+			total += time.Duration(s.WallNS)
+		}
+	}
+	for _, s := range stages {
+		depth := strings.Count(s.Path, "/")
+		name := s.Path
+		if i := strings.LastIndex(s.Path, "/"); i >= 0 {
+			name = s.Path[i+1:]
+		}
+		share := ""
+		if depth == 0 && total > 0 {
+			share = Pct(float64(s.WallNS) / float64(total))
+		}
+		notes := ""
+		if s.Err != "" {
+			notes = "ERR: " + s.Err
+		}
+		t.AddRow(strings.Repeat("  ", depth)+name,
+			fmtDur(time.Duration(s.WallNS)), fmtDur(time.Duration(s.CPUNS)), share, notes)
+	}
+	t.AddRow("total", fmtDur(total), "", "", "")
+	return t.String()
+}
+
 // stageNotes flattens a span's attributes (and error, if any) to one cell.
 func stageNotes(r obs.SpanRecord) string {
 	parts := make([]string, 0, len(r.Attrs)+1)

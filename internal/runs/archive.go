@@ -1,0 +1,279 @@
+// Package runs is the pipeline's persistent run-history layer: every
+// instrumented run archives its provenance (manifest, event log, Chrome
+// trace, per-stage timings, metric snapshots, calibration shares, artifact
+// fingerprints) under .runs/<run-id>/, and the package's differ and gate
+// turn two archives into a regression verdict. The archive splits into a
+// deterministic half (summary.json and artifacts/ — a pure function of
+// seed, config, and workers) and a machine-varying half (timings.json,
+// manifest.json, events.jsonl, trace.json), so "did the measurement change?"
+// and "did the measurement get slower?" are separately answerable.
+package runs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Archive file names inside a run directory.
+const (
+	SummaryFile  = "summary.json"
+	TimingsFile  = "timings.json"
+	ManifestFile = "manifest.json"
+	EventsFile   = "events.jsonl"
+	TraceFile    = "trace.json"
+	ArtifactsDir = "artifacts"
+)
+
+// DeterministicArtifacts names the emitted artifacts that are bit-identical
+// for a fixed (seed, config, workers) triple — the worker-invariance tests
+// of internal/workload pin them. Only these participate in fingerprint
+// gating; the rest are recorded and diffed but never fail a gate.
+var DeterministicArtifacts = map[string]bool{
+	"table2.txt": true,
+	"fig3.txt":   true,
+	"fig4.txt":   true,
+	"fig5.txt":   true,
+}
+
+// Summary is the deterministic half of a run archive: identity, config,
+// what the run absorbed, the paper-calibration shares it measured, and the
+// SHA-256 fingerprint of every emitted artifact. Two runs with identical
+// seed/config/workers produce byte-identical summaries.
+type Summary struct {
+	// ID is derived from ConfigHash, so identical configs collide
+	// intentionally: re-running the same experiment overwrites its
+	// archive slot instead of accreting near-duplicates.
+	ID         string            `json:"id"`
+	Tool       string            `json:"tool"`
+	ConfigHash string            `json:"config_hash"`
+	Meta       map[string]string `json:"meta,omitempty"`
+	// Degradations is the per-stage absorbed-failure record (empty for a
+	// clean run). Deterministic: fault schedules derive from the seed.
+	Degradations []obs.Degradation `json:"degradations,omitempty"`
+	// Calibration maps scale-invariant measured shares (unreachable rate,
+	// 404 share, single-day lifespan, ...) to their values, for comparison
+	// against the paper's published targets (see PaperTargets).
+	Calibration map[string]float64 `json:"calibration,omitempty"`
+	// Artifacts maps artifact file name to the SHA-256 hex digest of its
+	// content as stored under artifacts/.
+	Artifacts map[string]string `json:"artifacts,omitempty"`
+}
+
+// Timings is the machine-varying half of a run archive: wall/CPU per stage,
+// the final metric snapshot, and the completion instant.
+type Timings struct {
+	CreatedAt string            `json:"created_at,omitempty"`
+	ElapsedNS int64             `json:"elapsed_ns"`
+	Stages    []obs.StageTiming `json:"stages"`
+	Metrics   obs.Snapshot      `json:"metrics"`
+}
+
+// Archive is everything a finishing run hands to Write. Manifest, Events,
+// and Trace are optional; Artifacts maps file name to rendered content.
+type Archive struct {
+	Summary   Summary
+	Timings   Timings
+	Manifest  *obs.Manifest
+	Events    *obs.EventLog
+	Trace     []obs.SpanRecord
+	Artifacts map[string]string
+}
+
+// Record is an archive read back from disk.
+type Record struct {
+	Dir     string
+	Summary Summary
+	Timings Timings
+}
+
+// ConfigHash hashes the flat config meta (sorted key=value lines) to a
+// stable hex digest. Keys that record outcomes rather than configuration
+// ("elapsed") must not be in meta; the caller strips them.
+func ConfigHash(meta map[string]string) string {
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%s\n", k, meta[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RunID derives the run directory name from a config hash.
+func RunID(configHash string) string {
+	if len(configHash) < 12 {
+		return "r-" + configHash
+	}
+	return "r-" + configHash[:12]
+}
+
+// Fingerprint returns the SHA-256 hex digest of an artifact's content.
+func Fingerprint(content string) string {
+	sum := sha256.Sum256([]byte(content))
+	return hex.EncodeToString(sum[:])
+}
+
+// Write persists a into root/<run-id>/, filling in the summary's
+// ConfigHash, ID, and artifact fingerprints if unset, and returns the run
+// directory. An existing directory for the same ID is overwritten file by
+// file — identical configs collide by design.
+func Write(root string, a *Archive) (string, error) {
+	if a.Summary.ConfigHash == "" {
+		a.Summary.ConfigHash = ConfigHash(a.Summary.Meta)
+	}
+	if a.Summary.ID == "" {
+		a.Summary.ID = RunID(a.Summary.ConfigHash)
+	}
+	if a.Summary.Artifacts == nil && len(a.Artifacts) > 0 {
+		a.Summary.Artifacts = make(map[string]string, len(a.Artifacts))
+		for name, content := range a.Artifacts {
+			a.Summary.Artifacts[name] = Fingerprint(content)
+		}
+	}
+	dir := filepath.Join(root, a.Summary.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("runs: %w", err)
+	}
+	if err := writeJSON(filepath.Join(dir, SummaryFile), a.Summary); err != nil {
+		return "", err
+	}
+	if err := writeJSON(filepath.Join(dir, TimingsFile), a.Timings); err != nil {
+		return "", err
+	}
+	if a.Manifest != nil {
+		if err := a.Manifest.WriteFile(filepath.Join(dir, ManifestFile)); err != nil {
+			return "", err
+		}
+	}
+	if a.Events != nil {
+		f, err := os.Create(filepath.Join(dir, EventsFile))
+		if err != nil {
+			return "", fmt.Errorf("runs: %w", err)
+		}
+		werr := a.Events.WriteJSONL(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return "", fmt.Errorf("runs: events: %w", werr)
+		}
+	}
+	if a.Trace != nil {
+		f, err := os.Create(filepath.Join(dir, TraceFile))
+		if err != nil {
+			return "", fmt.Errorf("runs: %w", err)
+		}
+		werr := obs.WriteChromeTrace(f, a.Trace, a.Events)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return "", fmt.Errorf("runs: trace: %w", werr)
+		}
+	}
+	if len(a.Artifacts) > 0 {
+		adir := filepath.Join(dir, ArtifactsDir)
+		if err := os.MkdirAll(adir, 0o755); err != nil {
+			return "", fmt.Errorf("runs: %w", err)
+		}
+		for name, content := range a.Artifacts {
+			if err := os.WriteFile(filepath.Join(adir, name), []byte(content), 0o644); err != nil {
+				return "", fmt.Errorf("runs: artifact %s: %w", name, err)
+			}
+		}
+	}
+	return dir, nil
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runs: %s: %w", filepath.Base(path), err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("runs: %w", err)
+	}
+	return nil
+}
+
+// Read loads the summary and timings of one run directory.
+func Read(dir string) (*Record, error) {
+	rec := &Record{Dir: dir}
+	if err := readJSON(filepath.Join(dir, SummaryFile), &rec.Summary); err != nil {
+		return nil, err
+	}
+	if err := readJSON(filepath.Join(dir, TimingsFile), &rec.Timings); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+func readJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("runs: %w", err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("runs: %s: %w", path, err)
+	}
+	return nil
+}
+
+// List loads every archive under root, newest first (by CreatedAt, then ID).
+// Directories without a readable summary are skipped.
+func List(root string) ([]*Record, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("runs: %w", err)
+	}
+	var out []*Record
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rec, err := Read(filepath.Join(root, e.Name()))
+		if err != nil {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Timings.CreatedAt != out[j].Timings.CreatedAt {
+			return out[i].Timings.CreatedAt > out[j].Timings.CreatedAt
+		}
+		return out[i].Summary.ID < out[j].Summary.ID
+	})
+	return out, nil
+}
+
+// ReadArtifact returns the stored content of one artifact of a run.
+func (r *Record) ReadArtifact(name string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(r.Dir, ArtifactsDir, name))
+	if err != nil {
+		return "", fmt.Errorf("runs: %w", err)
+	}
+	return string(b), nil
+}
+
+// Stage returns the stage timing with the given path, or nil.
+func (t *Timings) Stage(path string) *obs.StageTiming {
+	for i := range t.Stages {
+		if t.Stages[i].Path == path {
+			return &t.Stages[i]
+		}
+	}
+	return nil
+}

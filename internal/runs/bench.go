@@ -1,0 +1,223 @@
+package runs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one `go test -bench` result line in structured form. With
+// -count=N the same benchmark appears N times; every repetition is kept so
+// downstream tooling can compute its own spread.
+type BenchResult struct {
+	// Name is the full benchmark name including the -GOMAXPROCS suffix
+	// (e.g. "BenchmarkEmitPDNS/workers=4-8"); Base strips the suffix.
+	Name        string             `json:"name"`
+	Base        string             `json:"base"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// BenchSet is the structured form of one `go test -bench` invocation — what
+// BENCH_pipeline.json holds instead of raw benchmark text.
+type BenchSet struct {
+	Goos    string        `json:"goos,omitempty"`
+	Goarch  string        `json:"goarch,omitempty"`
+	CPU     string        `json:"cpu,omitempty"`
+	Results []BenchResult `json:"results"`
+}
+
+// ParseBench reads `go test -bench` text output (benchstat's input format)
+// into a BenchSet. Non-benchmark lines (PASS, ok, test log noise) are
+// skipped; a stream with no benchmark lines at all is an error, catching
+// the easy mistake of feeding it a failed test run.
+func ParseBench(r io.Reader) (*BenchSet, error) {
+	set := &BenchSet{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			set.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			set.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			set.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		res, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		res.Pkg = pkg
+		set.Results = append(set.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runs: bench parse: %w", err)
+	}
+	if len(set.Results) == 0 {
+		return nil, fmt.Errorf("runs: bench parse: no benchmark result lines found")
+	}
+	return set, nil
+}
+
+// parseBenchLine parses one "BenchmarkName-8  N  V unit  V unit ..." line.
+func parseBenchLine(line string) (BenchResult, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return BenchResult{}, false
+	}
+	f := strings.Fields(line)
+	// Name, iterations, and at least one value+unit pair.
+	if len(f) < 4 || len(f)%2 != 0 {
+		return BenchResult{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false
+	}
+	res := BenchResult{Name: f[0], Base: benchBase(f[0]), Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return BenchResult{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[f[i+1]] = v
+		}
+	}
+	if !sawNs {
+		return BenchResult{}, false
+	}
+	return res, true
+}
+
+// benchBase strips the trailing -GOMAXPROCS suffix go test appends, so
+// repeats of the same benchmark group together across machines.
+func benchBase(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// WriteJSON renders the set as indented JSON with a trailing newline.
+func (s *BenchSet) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runs: bench: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("runs: bench: %w", err)
+	}
+	return nil
+}
+
+// ReadBenchJSON loads a BenchSet previously written by WriteJSON.
+func ReadBenchJSON(r io.Reader) (*BenchSet, error) {
+	var s BenchSet
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("runs: bench json: %w", err)
+	}
+	return &s, nil
+}
+
+// MeanNsPerOp averages ns/op per base benchmark name over -count repeats.
+func (s *BenchSet) MeanNsPerOp() map[string]float64 {
+	sums := map[string]float64{}
+	ns := map[string]int{}
+	for _, r := range s.Results {
+		sums[r.Base] += r.NsPerOp
+		ns[r.Base]++
+	}
+	out := make(map[string]float64, len(sums))
+	for k, sum := range sums {
+		out[k] = sum / float64(ns[k])
+	}
+	return out
+}
+
+// BenchDelta compares one benchmark's mean ns/op across two sets.
+type BenchDelta struct {
+	Name string  `json:"name"`
+	ANs  float64 `json:"a_ns,omitempty"`
+	BNs  float64 `json:"b_ns,omitempty"`
+}
+
+// Ratio returns B as a multiple of A, or 0 when either side is missing.
+func (d BenchDelta) Ratio() float64 {
+	if d.ANs <= 0 || d.BNs <= 0 {
+		return 0
+	}
+	return d.BNs / d.ANs
+}
+
+// DiffBench compares mean ns/op per benchmark, sorted by name.
+func DiffBench(a, b *BenchSet) []BenchDelta {
+	ma, mb := a.MeanNsPerOp(), b.MeanNsPerOp()
+	var out []BenchDelta
+	for _, name := range unionKeys(ma, mb) {
+		out = append(out, BenchDelta{Name: name, ANs: ma[name], BNs: mb[name]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// GateBench returns one violation per benchmark whose mean ns/op grew past
+// (1+tol)× the baseline. Benchmarks present on only one side are reported
+// but do not fail the gate — suites evolve.
+func GateBench(a, b *BenchSet, tol float64) []string {
+	var v []string
+	for _, d := range DiffBench(a, b) {
+		if r := d.Ratio(); r > 1+tol {
+			v = append(v, fmt.Sprintf("bench %s regressed: %.0f ns/op -> %.0f ns/op (%.2fx, tol %.2fx)",
+				d.Name, d.ANs, d.BNs, r, 1+tol))
+		}
+	}
+	return v
+}
+
+// RenderBenchDiff formats a bench comparison for humans.
+func RenderBenchDiff(deltas []BenchDelta) string {
+	var b strings.Builder
+	b.WriteString("Benchmark diff (mean ns/op over repeats)\n")
+	for _, d := range deltas {
+		ratio := "-"
+		if r := d.Ratio(); r > 0 {
+			ratio = fmt.Sprintf("%.2fx", r)
+		}
+		fmt.Fprintf(&b, "  %-50s %14.0f %14.0f  %s\n", d.Name, d.ANs, d.BNs, ratio)
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package runs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: AMD EPYC 7B13
+BenchmarkPipeline/scale=0.002-8         	       2	 512345678 ns/op	12345678 B/op	   98765 allocs/op
+BenchmarkPipeline/scale=0.002-8         	       2	 498765432 ns/op	12345600 B/op	   98700 allocs/op
+BenchmarkAggregate/workers=4-8          	      10	 103456789 ns/op	  934567 records/s
+BenchmarkQuantile                       	 5000000	       251.3 ns/op
+PASS
+ok  	repro/internal/core	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	set, err := ParseBench(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Goos != "linux" || set.Goarch != "amd64" || set.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header parse: %+v", set)
+	}
+	if len(set.Results) != 4 {
+		t.Fatalf("want 4 result rows (count repeats kept), got %d", len(set.Results))
+	}
+	r0 := set.Results[0]
+	if r0.Base != "BenchmarkPipeline/scale=0.002" || r0.Iterations != 2 || r0.NsPerOp != 512345678 {
+		t.Fatalf("row 0: %+v", r0)
+	}
+	if r0.Pkg != "repro/internal/core" || r0.BytesPerOp != 12345678 || r0.AllocsPerOp != 98765 {
+		t.Fatalf("row 0 units: %+v", r0)
+	}
+	if got := set.Results[2].Extra["records/s"]; got != 934567 {
+		t.Fatalf("extra unit: %v", got)
+	}
+	// A bare name with no -GOMAXPROCS suffix survives intact.
+	if set.Results[3].Base != "BenchmarkQuantile" || set.Results[3].NsPerOp != 251.3 {
+		t.Fatalf("row 3: %+v", set.Results[3])
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := ParseBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("a stream with no benchmark lines must error")
+	}
+}
+
+func TestBenchJSONRoundtrip(t *testing.T) {
+	set, err := ParseBench(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be plain parseable JSON (the `jq .` acceptance check).
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	back, err := ReadBenchJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(set.Results) || back.CPU != set.CPU {
+		t.Fatalf("roundtrip mismatch: %+v", back)
+	}
+}
+
+func TestMeanAndGate(t *testing.T) {
+	set, err := ParseBench(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := set.MeanNsPerOp()
+	want := (512345678.0 + 498765432.0) / 2
+	if got := means["BenchmarkPipeline/scale=0.002"]; math.Abs(got-want) > 1 {
+		t.Fatalf("mean = %f, want %f", got, want)
+	}
+
+	slow := &BenchSet{Results: []BenchResult{
+		{Name: "BenchmarkQuantile", Base: "BenchmarkQuantile", Iterations: 1, NsPerOp: 251.3 * 3},
+	}}
+	v := GateBench(set, slow, 0.5)
+	if len(v) != 1 || !strings.Contains(v[0], "BenchmarkQuantile") {
+		t.Fatalf("want one bench violation, got %v", v)
+	}
+	// One-sided benchmarks (suite evolved) never gate.
+	if v := GateBench(set, set, 0.5); len(v) != 0 {
+		t.Fatalf("identical sets must pass, got %v", v)
+	}
+}
