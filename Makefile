@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json chaos gate check
+.PHONY: build test race vet bench bench-json chaos gate health check
 
 build:
 	$(GO) build ./...
@@ -33,9 +33,14 @@ bench:
 # directly: `benchstat old.txt BENCH_pipeline.txt`), and scfruns parses it
 # into structured BENCH_pipeline.json (`scfruns gate -bench-base old.json
 # -bench-new BENCH_pipeline.json` gates on mean ns/op drift).
+# The text and JSON snapshots derive from ONE captured `go test` output (no
+# tee pipe, whose exit status would mask a bench failure), and the parse step
+# errors out when the capture contains zero benchmark lines.
 bench-json:
 	$(GO) test -bench 'EmitPDNS|AggregateParallel|Top10Share|Table2Resolution' \
-		-benchmem -count=5 -run=^$$ ./... 2>&1 | tee BENCH_pipeline.txt
+		-benchmem -count=5 -run=^$$ ./... > BENCH_pipeline.txt 2>&1 \
+		|| { cat BENCH_pipeline.txt; rm -f BENCH_pipeline.txt; exit 1; }
+	cat BENCH_pipeline.txt
 	$(GO) run ./cmd/scfruns bench -i BENCH_pipeline.txt -o BENCH_pipeline.json
 
 # Regression gate: archive a fresh run of the golden configuration and diff
@@ -47,5 +52,13 @@ gate: test
 	$(GO) run ./cmd/scfpipe -seed 1 -scale 0.01 -workers 4 -chaos none -skip-c2 \
 		-run-dir .runs > /dev/null
 	$(GO) run ./cmd/scfruns gate -dir .runs -baseline internal/runs/testdata/golden -wall-tol 3 -quiet
+
+# SLO health check: run the golden configuration with the streaming health
+# monitor in strict mode. Exits non-zero if any rule fires (per-provider
+# probe error rate or p99, breaker opens, feed drop/quarantine rates) — a
+# clean seeded run is expected to stay inside every bound.
+health:
+	$(GO) run ./cmd/scfpipe -seed 1 -scale 0.01 -workers 4 -chaos none -skip-c2 \
+		-no-archive -health-strict > /dev/null
 
 check: build vet test race gate

@@ -13,14 +13,23 @@
 //	scfpipe -chaos light,seed=7 -probe-retries 3
 //	scfpipe -run-dir .runs                   # archive the run for scfruns
 //	scfpipe -no-archive                      # skip the run archive
+//	scfpipe -health-strict                   # exit 1 if an SLO health rule fires
 //
 // With -chaos the run injects a seeded, reproducible fault schedule (DNS
 // failures, connection resets, flapping and truncating endpoints, latency
 // spikes, PDNS feed corruption) and reports the degradations it absorbed;
 // the schedule depends only on (chaos seed, FQDN), never on -workers.
 //
+// Every run evaluates the default SLO health rules (per-provider probe error
+// rate and p99 latency, breaker opens, feed drop/quarantine rates) over
+// rolling windows while it executes; firings land in the event log as
+// "health" events and the final per-provider health table prints after the
+// degradation report. -health-strict turns any firing into a non-zero exit.
+//
 // With -metrics-addr the run serves live introspection while it executes:
-// /metrics (JSON metric snapshot), /trace (the stage span tree so far),
+// /metrics (JSON metric snapshot), /metrics.prom (the same registry in
+// Prometheus text exposition format, labeled vectors included),
+// /trace (the stage span tree so far),
 // /trace.json (Chrome trace-event export for Perfetto / chrome://tracing),
 // /events (the structured event log as JSONL), and /debug/pprof/ (standard
 // profiles). With -manifest the finished run's RunManifest — config,
@@ -49,6 +58,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/runs"
 )
@@ -57,20 +67,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("scfpipe: ")
 	var (
-		seed        = flag.Int64("seed", 1, "substrate seed")
-		scale       = flag.Float64("scale", 0.01, "fraction of the paper's population")
-		skipC2      = flag.Bool("skip-c2", false, "skip the C2 fingerprint sweep")
-		cache       = flag.Bool("cache-model", false, "model resolver caching in PDNS counts")
-		timeout     = flag.Duration("probe-timeout", 2*time.Second, "per-request probe timeout")
-		probeConc   = flag.Int("probe-concurrency", 0, "max in-flight probes (0 = default 32)")
-		workers     = flag.Int("workers", 0, "CPU-bound fan-out for generation, PDNS emission+aggregation, sanitisation, and classification (0 = GOMAXPROCS; results are identical for every value)")
-		metricsAddr = flag.String("metrics-addr", "", "serve live JSON metrics, trace, events, and pprof on this address (e.g. :6060)")
-		manifest    = flag.String("manifest", "", "write the run manifest (stage timings + metrics) to this JSON file")
-		chaos       = flag.String("chaos", "", "fault-injection profile: none, light, or heavy, optionally ,seed=N (default: $SCF_CHAOS or none)")
-		retries     = flag.Int("probe-retries", 0, "extra probe attempts per scheme after connection failures (0 = auto: 2 under chaos; negative = off)")
-		breaker     = flag.Int("breaker-threshold", 0, "consecutive failures opening a provider's probe circuit (0 = auto: 50 under chaos; negative = off)")
-		runDir      = flag.String("run-dir", "", "archive the run under this directory (default: $SCF_RUN_DIR or .runs)")
-		noArchive   = flag.Bool("no-archive", false, "do not archive the run")
+		seed         = flag.Int64("seed", 1, "substrate seed")
+		scale        = flag.Float64("scale", 0.01, "fraction of the paper's population")
+		skipC2       = flag.Bool("skip-c2", false, "skip the C2 fingerprint sweep")
+		cache        = flag.Bool("cache-model", false, "model resolver caching in PDNS counts")
+		timeout      = flag.Duration("probe-timeout", 2*time.Second, "per-request probe timeout")
+		probeConc    = flag.Int("probe-concurrency", 0, "max in-flight probes (0 = default 32)")
+		workers      = flag.Int("workers", 0, "CPU-bound fan-out for generation, PDNS emission+aggregation, sanitisation, and classification (0 = GOMAXPROCS; results are identical for every value)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live JSON metrics, trace, events, and pprof on this address (e.g. :6060)")
+		manifest     = flag.String("manifest", "", "write the run manifest (stage timings + metrics) to this JSON file")
+		chaos        = flag.String("chaos", "", "fault-injection profile: none, light, or heavy, optionally ,seed=N (default: $SCF_CHAOS or none)")
+		retries      = flag.Int("probe-retries", 0, "extra probe attempts per scheme after connection failures (0 = auto: 2 under chaos; negative = off)")
+		breaker      = flag.Int("breaker-threshold", 0, "consecutive failures opening a provider's probe circuit (0 = auto: 50 under chaos; negative = off)")
+		runDir       = flag.String("run-dir", "", "archive the run under this directory (default: $SCF_RUN_DIR or .runs)")
+		noArchive    = flag.Bool("no-archive", false, "do not archive the run")
+		healthStrict = flag.Bool("health-strict", false, "exit non-zero when any SLO health rule fired during the run")
 	)
 	flag.Parse()
 
@@ -153,7 +164,16 @@ func main() {
 	if deg := res.RenderDegradations(); deg != "" {
 		fmt.Println(deg)
 	}
+	if ht := res.RenderHealth(); ht != "" {
+		fmt.Println(ht)
+	}
 	fmt.Println(res.RenderMetrics())
+	if *healthStrict && health.Fired(res.Health) {
+		log.Print("health-strict: one or more SLO health rules fired")
+		if exitCode == 0 {
+			exitCode = 1
+		}
+	}
 	os.Exit(exitCode)
 }
 

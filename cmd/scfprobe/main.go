@@ -101,6 +101,14 @@ func main() {
 		Concurrency: *concurrency,
 		Retries:     *retries,
 		Metrics:     reg,
+		// Label the outcome/latency vectors per provider, so the campaign
+		// manifest's snapshot answers "whose endpoints failed" directly.
+		Provider: func(fqdn string) string {
+			if in, ok := matcher.Identify(fqdn); ok {
+				return in.Name
+			}
+			return "unknown"
+		},
 	}
 	if *breakerThr > 0 {
 		cfg.Breaker = fault.NewBreaker(*breakerThr, 0)

@@ -19,8 +19,10 @@
 // candidate (default: the baseline's run ID under -dir, since identical
 // configs share an ID) against the baseline and exits 1 on any thresholded
 // regression: stage wall time past ratio+floor, histogram p99 drift,
-// new/grown degradations, deterministic-artifact fingerprint changes, or
-// calibration shares leaving the paper's acceptance bands. bench converts
+// per-provider probe error-rate growth or p99 drift (from the labeled
+// metric vectors the timings snapshot carries), new/grown degradations,
+// deterministic-artifact fingerprint changes, or calibration shares leaving
+// the paper's acceptance bands. bench converts
 // `go test -bench` text into the structured JSON BENCH_pipeline.json holds,
 // and gate's -bench-base/-bench-new compare two such files.
 package main
@@ -129,15 +131,40 @@ func cmdList(args []string) error {
 		fmt.Printf("no runs under %s\n", *dir)
 		return nil
 	}
-	t := report.NewTable("Archived runs ("+*dir+")", "Run", "Tool", "Created", "Elapsed", "Seed", "Scale", "Chaos", "Degr")
+	t := report.NewTable("Archived runs ("+*dir+")", "Run", "Tool", "Created", "Elapsed", "Seed", "Scale", "Chaos", "Degr", "Cal")
 	for _, r := range recs {
 		t.AddRow(r.Summary.ID, r.Summary.Tool, r.Timings.CreatedAt,
 			time.Duration(r.Timings.ElapsedNS).Round(time.Millisecond).String(),
 			r.Summary.Meta["seed"], r.Summary.Meta["scale"], r.Summary.Meta["chaos"],
-			len(r.Summary.Degradations))
+			len(r.Summary.Degradations), calVerdict(r.Summary.Calibration))
 	}
 	fmt.Println(t.String())
 	return nil
+}
+
+// calVerdict reduces a run's calibration shares to one list-column verdict:
+// "ok" when every share with a published paper target sits inside its band,
+// "FAIL(n)" counting the shares outside, "-" when nothing is auditable.
+func calVerdict(cal map[string]float64) string {
+	audited, failed := 0, 0
+	for k, v := range cal {
+		t, ok := runs.TargetFor(k)
+		if !ok {
+			continue
+		}
+		audited++
+		if !t.Contains(v) {
+			failed++
+		}
+	}
+	switch {
+	case audited == 0:
+		return "-"
+	case failed == 0:
+		return "ok"
+	default:
+		return fmt.Sprintf("FAIL(%d)", failed)
+	}
 }
 
 func cmdShow(args []string) error {
@@ -247,6 +274,7 @@ func cmdGate(args []string) error {
 		wallFloor  = fs.Duration("wall-floor", def.WallFloor, "minimum absolute wall delta before the ratio check applies")
 		p99Tol     = fs.Float64("p99-tol", def.P99Tol, "histogram p99 regression tolerance as a ratio above 1 (negative disables)")
 		minSamples = fs.Int64("min-samples", def.MinSamples, "histogram observations required on both sides before p99 gating")
+		errTol     = fs.Float64("err-tol", def.ErrRateTol, "per-provider probe error-rate growth tolerance, absolute (negative disables provider gating)")
 		noDegr     = fs.Bool("no-degradations", false, "skip degradation-drift gating")
 		noArt      = fs.Bool("no-artifacts", false, "skip deterministic-artifact fingerprint gating")
 		noCal      = fs.Bool("no-calibration", false, "skip paper-calibration gating")
@@ -284,6 +312,7 @@ func cmdGate(args []string) error {
 			WallFloor:    *wallFloor,
 			P99Tol:       *p99Tol,
 			MinSamples:   *minSamples,
+			ErrRateTol:   *errTol,
 			Degradations: !*noDegr,
 			Artifacts:    !*noArt,
 			Calibration:  !*noCal,

@@ -31,8 +31,11 @@ func (r *Results) Calibration() map[string]float64 {
 // BuildArchive assembles the run's persistent archive record: the
 // deterministic summary (config meta, degradations, calibration shares,
 // artifact contents), the machine-varying timings (flattened stage
-// wall/CPU, final metric snapshot), the full manifest, the span trace, and
-// the event log the run emitted into. runs.Write persists the result.
+// wall/CPU, final metric snapshot with its labeled vectors, SLO health
+// evaluation), the full manifest, the span trace, and the event log the run
+// emitted into. runs.Write persists the result. Labeled snapshots and
+// health stay strictly on the timings side: the summary — and therefore the
+// run ID and the golden baseline's fingerprints — is untouched by them.
 // It requires a completed run — partial Results from an aborted RunContext
 // are missing the analysis products the calibration and artifacts read.
 func (r *Results) BuildArchive(tool string, events *obs.EventLog) *runs.Archive {
@@ -48,6 +51,7 @@ func (r *Results) BuildArchive(tool string, events *obs.EventLog) *runs.Archive 
 			ElapsedNS: r.Elapsed.Nanoseconds(),
 			Stages:    obs.FlattenStages(r.Stages),
 			Metrics:   r.Metrics.Snapshot(),
+			Health:    r.Health,
 		},
 		Manifest: r.Manifest(tool),
 		Events:   events,

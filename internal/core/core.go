@@ -32,6 +32,7 @@ import (
 	"repro/internal/dnssim"
 	"repro/internal/faas"
 	"repro/internal/fault"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/pdns"
 	"repro/internal/probe"
@@ -189,6 +190,12 @@ type Results struct {
 	// feed records quarantined, breakers opened. Empty for a clean run.
 	Degradations []obs.Degradation
 
+	// Health is the final evaluation of the run's SLO rules, one row per
+	// (rule, provider/shard group); rules that fired mid-run stay fired.
+	// Like the metrics it derives from, it lives on the machine-varying
+	// side of the run archive, never in the deterministic summary.
+	Health []health.Result
+
 	Elapsed time.Duration
 }
 
@@ -284,8 +291,14 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	injector.SetSpikeDelay(3 * cfg.ProbeTimeout)
 
 	elog := obs.EventLogFrom(ctx)
+	// The SLO monitor samples the registry on an interval for the whole run;
+	// Finalize adds the cumulative whole-run evaluation, so short runs are
+	// covered even when no sampling tick fires.
+	mon := health.NewMonitor(reg, elog, health.DefaultRules(cfg.ProbeTimeout))
+	mon.Start()
 	defer func() {
 		res.Stages = tr.Records()
+		res.Health = mon.Finalize()
 		res.Degradations = collectDegradations(reg)
 		res.Elapsed = time.Since(start)
 		// Close the event log's story: what the run absorbed, then the
@@ -383,6 +396,12 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 				return info.Name
 			}
 			return fqdn
+		},
+		Provider: func(fqdn string) string {
+			if info, ok := matcher.Identify(fqdn); ok {
+				return info.Name
+			}
+			return "unknown"
 		},
 		Metrics: reg,
 		Resolve: injector.WrapResolve(func(fqdn string) error {

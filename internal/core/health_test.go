@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/health"
+	"repro/internal/obs"
+)
+
+// A seeded heavy-chaos run must breach at least one SLO health rule (feed
+// corruption alone pushes the drop rate two decades past its bound), and
+// each firing must land in the event log as a structured health event.
+func TestPipelineChaosHeavyFiresHealthRules(t *testing.T) {
+	if chaosActive() {
+		t.Skip("SCF_CHAOS overrides the pinned profile")
+	}
+	elog := obs.NewEventLog()
+	ctx := obs.ContextWithEventLog(context.Background(), elog)
+	res, err := RunContext(ctx, Config{
+		Seed: 11, Scale: 0.002,
+		Chaos:        fault.Heavy().WithSeed(7),
+		SkipC2Scan:   true,
+		ProbeTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !health.Fired(res.Health) {
+		t.Fatalf("heavy chaos fired no health rule:\n%+v", res.Health)
+	}
+	var events strings.Builder
+	if err := elog.WriteJSONL(&events); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for _, h := range res.Health {
+		if h.Fired {
+			fired++
+			if !strings.Contains(events.String(), `"type":"health","name":"`+h.Rule+`"`) {
+				t.Fatalf("firing %s/%s missing from the event log:\n%s", h.Rule, h.Group, events.String())
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("Fired true but no individual result fired")
+	}
+	if res.RenderHealth() == "" {
+		t.Fatal("fired run renders no health table")
+	}
+}
+
+// The chaos-free configuration must stay inside every default SLO bound:
+// its DNS failures and timeouts are measurement results, not breaches.
+func TestPipelineCleanRunFiresNoHealthRules(t *testing.T) {
+	if chaosActive() {
+		t.Skip("SCF_CHAOS makes the run legitimately unhealthy")
+	}
+	elog := obs.NewEventLog()
+	ctx := obs.ContextWithEventLog(context.Background(), elog)
+	res, err := RunContext(ctx, Config{
+		Seed: 11, Scale: 0.001,
+		Chaos:        fault.None(),
+		SkipC2Scan:   true,
+		ProbeTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Fired(res.Health) {
+		t.Fatalf("clean run fired a health rule:\n%s", res.RenderHealth())
+	}
+	var events strings.Builder
+	if err := elog.WriteJSONL(&events); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(events.String(), `"type":"health"`) {
+		t.Fatalf("clean run logged a health event:\n%s", events.String())
+	}
+	if len(res.Health) == 0 {
+		t.Fatal("clean run evaluated no health rules at all")
+	}
+}

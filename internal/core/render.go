@@ -225,6 +225,31 @@ func (r *Results) RenderDegradations() string {
 	return t.String()
 }
 
+// RenderHealth renders the final SLO evaluation: one row per (rule, group),
+// the groups being providers or shards depending on the rule. Rules whose
+// metrics never materialised (e.g. breaker counters on a chaos-free run)
+// have no rows.
+func (r *Results) RenderHealth() string {
+	if len(r.Health) == 0 {
+		return ""
+	}
+	t := report.NewTable("SLO health (per provider)", "Rule", "Group", "Value", "Bound", "Samples", "Window", "Status")
+	for _, h := range r.Health {
+		group := h.Group
+		if group == "" {
+			group = "-"
+		}
+		status := "ok"
+		if h.Fired {
+			status = "FIRED"
+		}
+		t.AddRow(h.Rule, group,
+			fmt.Sprintf("%.4g", h.Value), fmt.Sprintf("%.4g", h.Max),
+			report.Count(h.Samples), h.Window, status)
+	}
+	return t.String()
+}
+
 func dedupHosts(r *Results) map[string]struct{} {
 	m := map[string]struct{}{}
 	for _, d := range r.C2Detections {

@@ -55,6 +55,12 @@ type Resolver struct {
 	// Cache telemetry; populated by Instrument, no-ops otherwise.
 	mHits   *obs.Counter // dnssim_lookup_cache_hits_total
 	mMisses *obs.Counter // dnssim_lookup_cache_misses_total
+
+	// Dimensional telemetry. The per-provider series are resolved once per
+	// FQDN when its lookup is built and cached on the cachedLookup, so the
+	// per-query cost is one atomic increment, not a label-key join.
+	mLookupVec *obs.CounterVec // dnssim_lookups_total{provider,cache}
+	mAnswerVec *obs.CounterVec // dnssim_answers_total{provider,rrtype}
 }
 
 // NewResolver builds a resolver over all collected providers.
@@ -85,23 +91,31 @@ func (r *Resolver) Deleted(fqdn string) bool {
 // Resolve answers one query for fqdn, drawing the record type and ingress
 // node from the provider's policy using rng.
 func (r *Resolver) Resolve(fqdn string, rng *rand.Rand) (Answer, error) {
-	pol, region, err := r.lookup(fqdn)
+	cl, pol, region, err := r.lookup(fqdn)
 	if err != nil {
 		return Answer{}, err
 	}
 	t := pol.SampleRType(rng)
-	return pol.answer(t, region, rng)
+	a, err := pol.answer(t, region, rng)
+	if err == nil {
+		cl.countAnswer(t)
+	}
+	return a, err
 }
 
 // ResolveRType answers one query forcing the record type, for callers that
 // allocate request volume across types themselves (the workload generator
 // enforces the Table 2 type mix this way).
 func (r *Resolver) ResolveRType(fqdn string, t pdns.RType, rng *rand.Rand) (Answer, error) {
-	pol, region, err := r.lookup(fqdn)
+	cl, pol, region, err := r.lookup(fqdn)
 	if err != nil {
 		return Answer{}, err
 	}
-	return pol.answer(t, region, rng)
+	a, err := pol.answer(t, region, rng)
+	if err == nil {
+		cl.countAnswer(t)
+	}
+	return a, err
 }
 
 // Instrument points the resolver's cache telemetry at reg. Call before
@@ -109,6 +123,8 @@ func (r *Resolver) ResolveRType(fqdn string, t pdns.RType, rng *rand.Rand) (Answ
 func (r *Resolver) Instrument(reg *obs.Registry) {
 	r.mHits = reg.Counter("dnssim_lookup_cache_hits_total")
 	r.mMisses = reg.Counter("dnssim_lookup_cache_misses_total")
+	r.mLookupVec = reg.CounterVec("dnssim_lookups_total", "provider", "cache")
+	r.mAnswerVec = reg.CounterVec("dnssim_answers_total", "provider", "rrtype")
 }
 
 // cachedLookup is the immutable, deletion-independent part of one FQDN's
@@ -119,12 +135,32 @@ type cachedLookup struct {
 	name     string // provider display name, for error text
 	wildcard bool
 	err      error // non-nil: the FQDN never resolves (bad name / no policy)
+
+	// Interned per-provider series, resolved once when the lookup is built;
+	// all nil (and therefore no-op) on an un-instrumented resolver.
+	hit      *obs.Counter // dnssim_lookups_total{provider,hit}
+	ansA     *obs.Counter // dnssim_answers_total{provider,A}
+	ansAAAA  *obs.Counter
+	ansCNAME *obs.Counter
 }
 
-func (r *Resolver) lookup(fqdn string) (*Policy, string, error) {
+func (cl *cachedLookup) countAnswer(t pdns.RType) {
+	switch t {
+	case pdns.TypeA:
+		cl.ansA.Inc()
+	case pdns.TypeAAAA:
+		cl.ansAAAA.Inc()
+	case pdns.TypeCNAME:
+		cl.ansCNAME.Inc()
+	}
+}
+
+func (r *Resolver) lookup(fqdn string) (*cachedLookup, *Policy, string, error) {
 	if v, ok := r.lookups.Load(fqdn); ok {
+		cl := v.(*cachedLookup)
 		r.mHits.Inc()
-		return r.finish(fqdn, v.(*cachedLookup))
+		cl.hit.Inc()
+		return r.finish(fqdn, cl)
 	}
 	r.mMisses.Inc()
 	cl := r.buildLookup(fqdn)
@@ -133,30 +169,45 @@ func (r *Resolver) lookup(fqdn string) (*Policy, string, error) {
 }
 
 // finish applies the per-query deletion check on top of a cached lookup.
-func (r *Resolver) finish(fqdn string, cl *cachedLookup) (*Policy, string, error) {
+func (r *Resolver) finish(fqdn string, cl *cachedLookup) (*cachedLookup, *Policy, string, error) {
 	if cl.err != nil {
-		return nil, "", cl.err
+		return cl, nil, "", cl.err
 	}
 	if !cl.wildcard && r.Deleted(fqdn) {
-		return nil, "", fmt.Errorf("dnssim: %q deleted and %s has no wildcard: %w", fqdn, cl.name, ErrNXDomain)
+		return cl, nil, "", fmt.Errorf("dnssim: %q deleted and %s has no wildcard: %w", fqdn, cl.name, ErrNXDomain)
 	}
-	return cl.pol, cl.region, nil
+	return cl, cl.pol, cl.region, nil
 }
 
 func (r *Resolver) buildLookup(fqdn string) *cachedLookup {
 	info, ok := r.matcher.Identify(fqdn)
 	if !ok {
-		return &cachedLookup{err: fmt.Errorf("dnssim: %q is not a function domain: %w", fqdn, ErrNXDomain)}
+		cl := &cachedLookup{err: fmt.Errorf("dnssim: %q is not a function domain: %w", fqdn, ErrNXDomain)}
+		r.intern(cl, "unknown")
+		return cl
 	}
 	pol, ok := PolicyFor(info.ID)
 	if !ok {
-		return &cachedLookup{err: fmt.Errorf("dnssim: no policy for %s", info.Name)}
+		cl := &cachedLookup{err: fmt.Errorf("dnssim: no policy for %s", info.Name)}
+		r.intern(cl, info.Name)
+		return cl
 	}
 	region := ""
 	if p, ok := info.Parse(fqdn); ok {
 		region = p.Region
 	}
-	return &cachedLookup{pol: pol, region: region, name: info.Name, wildcard: info.WildcardDNS}
+	cl := &cachedLookup{pol: pol, region: region, name: info.Name, wildcard: info.WildcardDNS}
+	r.intern(cl, info.Name)
+	return cl
+}
+
+// intern resolves the lookup's dimensional series and counts its cache miss.
+func (r *Resolver) intern(cl *cachedLookup, provider string) {
+	r.mLookupVec.With(provider, "miss").Inc()
+	cl.hit = r.mLookupVec.With(provider, "hit")
+	cl.ansA = r.mAnswerVec.With(provider, "A")
+	cl.ansAAAA = r.mAnswerVec.With(provider, "AAAA")
+	cl.ansCNAME = r.mAnswerVec.With(provider, "CNAME")
 }
 
 // answer synthesises the rdata for one (rtype, region) draw.

@@ -17,11 +17,12 @@ type Platform struct {
 	funcs map[string]*Function // keyed by lowercase FQDN
 
 	// Telemetry; populated by Instrument, no-ops otherwise.
-	mInvocations *obs.Counter   // faas_invocations_total
-	mCold        *obs.Counter   // faas_cold_starts_total
-	mWarm        *obs.Counter   // faas_warm_starts_total
-	mThrottled   *obs.Counter   // faas_throttled_total
-	mDuration    *obs.Histogram // faas_exec_seconds: billed execution time
+	mInvocations *obs.Counter    // faas_invocations_total
+	mCold        *obs.Counter    // faas_cold_starts_total
+	mWarm        *obs.Counter    // faas_warm_starts_total
+	mThrottled   *obs.Counter    // faas_throttled_total
+	mDuration    *obs.Histogram  // faas_exec_seconds: billed execution time
+	mStarts      *obs.CounterVec // faas_starts_total{provider,start=cold|warm}
 }
 
 // Instrument points the platform's telemetry at reg. Call before serving; a
@@ -32,6 +33,7 @@ func (p *Platform) Instrument(reg *obs.Registry) {
 	p.mWarm = reg.Counter("faas_warm_starts_total")
 	p.mThrottled = reg.Counter("faas_throttled_total")
 	p.mDuration = reg.Histogram("faas_exec_seconds", nil)
+	p.mStarts = reg.CounterVec("faas_starts_total", "provider", "start")
 }
 
 // NewPlatform returns an empty platform.
@@ -145,8 +147,10 @@ func (p *Platform) Invoke(fqdn string, req Request) (Response, InvokeInfo, error
 	p.mInvocations.Inc()
 	if cold {
 		p.mCold.Inc()
+		p.mStarts.With(f.Provider.String(), "cold").Inc()
 	} else {
 		p.mWarm.Inc()
+		p.mStarts.With(f.Provider.String(), "warm").Inc()
 	}
 	startLatency := WarmStartLatency
 	if cold {

@@ -19,6 +19,7 @@ const (
 	EventSpanEnd     = "span-end"
 	EventMetrics     = "metrics"     // embedded registry snapshot
 	EventDegradation = "degradation" // one absorbed-failure record
+	EventHealth      = "health"      // one SLO health-rule firing
 	EventNote        = "note"        // freeform annotation
 )
 

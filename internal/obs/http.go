@@ -12,6 +12,7 @@ import (
 // Handler serves live introspection for a running pipeline:
 //
 //	/metrics        registry snapshot as indented JSON (expvar-style)
+//	/metrics.prom   registry in Prometheus text exposition format
 //	/trace          current span tree as JSON
 //	/trace.json     current span tree as a Chrome trace-event array
 //	                (open it in Perfetto or chrome://tracing)
@@ -26,6 +27,10 @@ func Handler(reg *Registry, tr *Trace, elog *EventLog) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -51,7 +56,7 @@ func Handler(reg *Registry, tr *Trace, elog *EventLog) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "pipeline introspection:\n  /metrics\n  /trace\n  /trace.json\n  /events\n  /debug/pprof/")
+		fmt.Fprintln(w, "pipeline introspection:\n  /metrics\n  /metrics.prom\n  /trace\n  /trace.json\n  /events\n  /debug/pprof/")
 	})
 	return mux
 }

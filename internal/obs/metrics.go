@@ -220,18 +220,24 @@ func (s HistogramSnapshot) QuantileClamped(q float64) (float64, bool) {
 // returns nil metrics whose methods do nothing, so substrates can be
 // instrumented unconditionally.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu            sync.Mutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		histograms:    make(map[string]*Histogram),
+		counterVecs:   make(map[string]*CounterVec),
+		gaugeVecs:     make(map[string]*GaugeVec),
+		histogramVecs: make(map[string]*HistogramVec),
 	}
 }
 
@@ -282,6 +288,66 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// counterLocked is Counter for callers already holding r.mu.
+func (r *Registry) counterLocked(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// CounterVec returns the named counter vector with the given label schema,
+// creating it on first use. Later callers get the existing vector
+// regardless of the labels they pass; the schema is fixed at creation.
+func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.counterVecs[name]
+	if v == nil {
+		v = &CounterVec{core: newVecCore(name, labels, r.counterLocked(DroppedSeriesMetric), func() *Counter { return &Counter{} })}
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named gauge vector, creating it on first use.
+func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.gaugeVecs[name]
+	if v == nil {
+		v = &GaugeVec{core: newVecCore(name, labels, r.counterLocked(DroppedSeriesMetric), func() *Gauge { return &Gauge{} })}
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram vector, creating it on first use
+// with the given bounds shared by every series (nil bounds selects
+// DefLatencyBuckets). Later callers get the existing vector regardless of
+// the bounds or labels they pass.
+func (r *Registry) HistogramVec(name string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.histogramVecs[name]
+	if v == nil {
+		v = &HistogramVec{core: newVecCore(name, labels, r.counterLocked(DroppedSeriesMetric), func() *Histogram { return NewHistogram(bounds) })}
+		r.histogramVecs[name] = v
+	}
+	return v
+}
+
 // Snapshot copies every metric's current value.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
@@ -303,6 +369,26 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.histograms {
 		s.Histograms[name] = h.Snapshot()
 	}
+	// Vector maps stay nil when no vectors exist, so registries that never
+	// use labels serialise exactly as before this layer existed.
+	if len(r.counterVecs) > 0 {
+		s.CounterVecs = make(map[string]VecSnapshot, len(r.counterVecs))
+		for name, v := range r.counterVecs {
+			s.CounterVecs[name] = v.Snapshot()
+		}
+	}
+	if len(r.gaugeVecs) > 0 {
+		s.GaugeVecs = make(map[string]VecSnapshot, len(r.gaugeVecs))
+		for name, v := range r.gaugeVecs {
+			s.GaugeVecs[name] = v.Snapshot()
+		}
+	}
+	if len(r.histogramVecs) > 0 {
+		s.HistogramVecs = make(map[string]HistVecSnapshot, len(r.histogramVecs))
+		for name, v := range r.histogramVecs {
+			s.HistogramVecs[name] = v.Snapshot()
+		}
+	}
 	return s
 }
 
@@ -314,9 +400,13 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
-// Snapshot is a point-in-time copy of a whole registry.
+// Snapshot is a point-in-time copy of a whole registry. The vector maps are
+// nil for registries without labeled metrics.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters"`
-	Gauges     map[string]int64             `json:"gauges"`
-	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Counters      map[string]int64             `json:"counters"`
+	Gauges        map[string]int64             `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms"`
+	CounterVecs   map[string]VecSnapshot       `json:"counter_vecs,omitempty"`
+	GaugeVecs     map[string]VecSnapshot       `json:"gauge_vecs,omitempty"`
+	HistogramVecs map[string]HistVecSnapshot   `json:"histogram_vecs,omitempty"`
 }

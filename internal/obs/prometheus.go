@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric family, then its
+// series — the unlabeled series first, labeled series in sorted label-value
+// order. Histograms emit cumulative _bucket series with le bounds plus
+// _sum and _count. Output is deterministic for a fixed registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WriteSnapshotPrometheus(w, r.Snapshot())
+}
+
+// WriteSnapshotPrometheus renders an already-taken Snapshot; see
+// (*Registry).WritePrometheus.
+func WriteSnapshotPrometheus(w io.Writer, s Snapshot) error {
+	for _, name := range sortedFamilies(s.Counters, s.CounterVecs) {
+		if err := writeFamily(w, name, "counter", func(w io.Writer) error {
+			if v, ok := s.Counters[name]; ok {
+				if _, err := fmt.Fprintf(w, "%s %d\n", name, v); err != nil {
+					return err
+				}
+			}
+			return writeVecSeries(w, name, s.CounterVecs[name])
+		}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedFamilies(s.Gauges, s.GaugeVecs) {
+		if err := writeFamily(w, name, "gauge", func(w io.Writer) error {
+			if v, ok := s.Gauges[name]; ok {
+				if _, err := fmt.Fprintf(w, "%s %d\n", name, v); err != nil {
+					return err
+				}
+			}
+			return writeVecSeries(w, name, s.GaugeVecs[name])
+		}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedFamilies(s.Histograms, s.HistogramVecs) {
+		if err := writeFamily(w, name, "histogram", func(w io.Writer) error {
+			if h, ok := s.Histograms[name]; ok {
+				if err := writeHistSeries(w, name, nil, nil, h); err != nil {
+					return err
+				}
+			}
+			hv, ok := s.HistogramVecs[name]
+			if !ok {
+				return nil
+			}
+			for _, key := range sortedKeys(hv.Series) {
+				if err := writeHistSeries(w, name, hv.Labels, SplitSeriesKey(key), hv.Series[key]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedFamilies merges the plain and vector name sets for one metric kind
+// into a sorted, deduplicated family list.
+func sortedFamilies[P, V any](plain map[string]P, vecs map[string]V) []string {
+	names := make([]string, 0, len(plain)+len(vecs))
+	seen := make(map[string]bool, len(plain)+len(vecs))
+	for name := range plain {
+		names = append(names, name)
+		seen[name] = true
+	}
+	for name := range vecs {
+		if !seen[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeFamily(w io.Writer, name, typ string, body func(io.Writer) error) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+		return err
+	}
+	return body(w)
+}
+
+func writeVecSeries(w io.Writer, name string, v VecSnapshot) error {
+	for _, key := range sortedKeys(v.Series) {
+		labels := promLabels(v.Labels, SplitSeriesKey(key), "", 0)
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, v.Series[key]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistSeries(w io.Writer, name string, labels, values []string, h HistogramSnapshot) error {
+	var cum int64
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		ls := promLabels(labels, values, "le", bound)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, ls, cum); err != nil {
+			return err
+		}
+	}
+	inf := promLabelsRaw(labels, values, "le", "+Inf")
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, inf, h.Count); err != nil {
+		return err
+	}
+	base := promLabels(labels, values, "", 0)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, base, promFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, base, h.Count)
+	return err
+}
+
+// promLabels renders a {k="v",...} label block from schema labels and their
+// values, optionally appending an le bound; it returns "" when empty.
+func promLabels(labels, values []string, le string, bound float64) string {
+	raw := ""
+	if le != "" {
+		raw = promFloat(bound)
+	}
+	return promLabelsRaw(labels, values, le, raw)
+}
+
+func promLabelsRaw(labels, values []string, le, leVal string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		val := ""
+		if i < len(values) {
+			val = values[i]
+		}
+		// %q escapes exactly the three characters the exposition format
+		// requires escaping in label values: \, ", and newline.
+		fmt.Fprintf(&b, "%s=%q", l, val)
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", le, leVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The exposition output is golden-tested byte for byte: families sorted by
+// name within counter→gauge→histogram kind order, the unlabeled series
+// first within its family, labeled series in sorted key order, cumulative
+// buckets with the +Inf bucket equal to _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(7)
+	cv := r.CounterVec("a_total", "provider", "outcome")
+	cv.With("aws", "ok").Add(3)
+	cv.With("aws", "conn").Add(1)
+	cv.With("gcp", "ok").Add(2)
+	r.Gauge("inflight").Add(4)
+	h := r.Histogram("lat_seconds", []float64{0.5, 1})
+	h.Observe(0.1)
+	h.Observe(0.7)
+	h.Observe(9) // overflow: lands only in +Inf
+	hv := r.HistogramVec("lat_seconds", nil, "provider")
+	_ = hv // same family as the plain histogram; left empty here
+
+	want := strings.Join([]string{
+		`# TYPE a_total counter`,
+		`a_total{provider="aws",outcome="conn"} 1`,
+		`a_total{provider="aws",outcome="ok"} 3`,
+		`a_total{provider="gcp",outcome="ok"} 2`,
+		`# TYPE b_total counter`,
+		`b_total 7`,
+		`# TYPE obs_dropped_series counter`, // materialised with the first vector
+		`obs_dropped_series 0`,
+		`# TYPE inflight gauge`,
+		`inflight 4`,
+		`# TYPE lat_seconds histogram`,
+		`lat_seconds_bucket{le="0.5"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		`lat_seconds_sum 9.8`,
+		`lat_seconds_count 3`,
+	}, "\n") + "\n"
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Fatalf("exposition output mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+
+	// Determinism: a second render is byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Fatal("two renders of the same registry differ")
+	}
+}
+
+func TestWritePrometheusHistogramVecSeries(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("req_seconds", []float64{1}, "provider")
+	hv.With("aws").Observe(0.5)
+	hv.With("aws").Observe(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`req_seconds_bucket{provider="aws",le="1"} 1`,
+		`req_seconds_bucket{provider="aws",le="+Inf"} 2`,
+		`req_seconds_sum{provider="aws"} 2.5`,
+		`req_seconds_count{provider="aws"} 2`,
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Fatalf("output missing %q:\n%s", line, b.String())
+		}
+	}
+}
+
+// Label values with the characters the format requires escaping (backslash,
+// quote, newline) must round-trip through %q-style escapes.
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("odd_total", "k").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `odd_total{k="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want+"\n") {
+		t.Fatalf("escaped series %q missing from:\n%s", want, b.String())
+	}
+}

@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labeled metric vectors. A vector is a family of metrics sharing one name
+// and a fixed label schema declared at creation; each distinct combination
+// of label values ("label set") owns an independent series. Label sets are
+// interned: the values are joined into a single key, so repeated With calls
+// for a hot series cost one read-locked map lookup.
+//
+// Cardinality is bounded. Each vector accepts at most MaxSeries distinct
+// label sets; once the cap is reached, With returns a nil metric (whose
+// methods no-op, like every nil metric in this package) and the update is
+// counted on the registry-wide DroppedSeriesMetric counter. The cap is a
+// hard memory bound, not sampling: existing series keep updating, only new
+// label sets are refused.
+
+const (
+	// MaxSeries is the hard per-vector cardinality cap. The instrumented
+	// substrates label by provider (9), outcome class (≤8), shard (≤GOMAXPROCS)
+	// and similar small enums, so 256 leaves an order of magnitude of slack
+	// while bounding worst-case memory if a caller ever labels by FQDN.
+	MaxSeries = 256
+
+	// DroppedSeriesMetric counts metric updates discarded because their
+	// vector was at its cardinality cap (or the With call passed the wrong
+	// number of label values). One registry-wide counter: a non-zero value
+	// means some vector's schema or cap needs attention.
+	DroppedSeriesMetric = "obs_dropped_series"
+
+	// labelSep joins label values into the interned series key. The
+	// instrumented label values (provider IDs, outcome classes, shard
+	// indices, record types) never contain it, so keys split back into
+	// values losslessly.
+	labelSep = "|"
+)
+
+// vecCore is the shared label-schema bookkeeping behind the three vector
+// types: key interning, get-or-create series, and the cardinality cap.
+type vecCore[M any] struct {
+	name    string
+	labels  []string
+	newM    func() *M
+	dropped *Counter // registry-wide DroppedSeriesMetric
+	lost    atomic.Int64
+
+	mu     sync.RWMutex
+	series map[string]*M
+}
+
+func newVecCore[M any](name string, labels []string, dropped *Counter, newM func() *M) *vecCore[M] {
+	return &vecCore[M]{
+		name:    name,
+		labels:  append([]string(nil), labels...),
+		newM:    newM,
+		dropped: dropped,
+		series:  make(map[string]*M),
+	}
+}
+
+// with returns the series for the given label values, creating it under the
+// cap. A wrong-arity call or a new label set past the cap returns nil and
+// counts the lost update.
+func (v *vecCore[M]) with(values []string) *M {
+	if len(values) != len(v.labels) {
+		v.lost.Add(1)
+		v.dropped.Inc()
+		return nil
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.RLock()
+	m := v.series[key]
+	v.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if m = v.series[key]; m != nil {
+		return m
+	}
+	if len(v.series) >= MaxSeries {
+		v.lost.Add(1)
+		v.dropped.Inc()
+		return nil
+	}
+	m = v.newM()
+	v.series[key] = m
+	return m
+}
+
+// snapshot copies the series map under the read lock and converts each
+// series with conv.
+func snapshotVec[M, S any](v *vecCore[M], conv func(*M) S) (map[string]S, int64) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]S, len(v.series))
+	for key, m := range v.series {
+		out[key] = conv(m)
+	}
+	return out, v.lost.Load()
+}
+
+// CounterVec is a family of Counters keyed by a fixed label schema. All
+// methods are safe on a nil receiver.
+type CounterVec struct {
+	core *vecCore[Counter]
+}
+
+// With returns the counter for the given label values (one per schema
+// label, in declaration order). Past the cardinality cap it returns nil,
+// which absorbs updates silently — check DroppedSeriesMetric.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.core.with(values)
+}
+
+// Labels returns the vector's label schema.
+func (v *CounterVec) Labels() []string {
+	if v == nil {
+		return nil
+	}
+	return append([]string(nil), v.core.labels...)
+}
+
+// Snapshot copies every series' current value.
+func (v *CounterVec) Snapshot() VecSnapshot {
+	if v == nil {
+		return VecSnapshot{}
+	}
+	series, lost := snapshotVec(v.core, func(c *Counter) int64 { return c.Value() })
+	return VecSnapshot{Labels: v.Labels(), Series: series, Dropped: lost}
+}
+
+// GaugeVec is a family of Gauges keyed by a fixed label schema. All methods
+// are safe on a nil receiver.
+type GaugeVec struct {
+	core *vecCore[Gauge]
+}
+
+// With returns the gauge for the given label values; nil past the cap.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.core.with(values)
+}
+
+// Labels returns the vector's label schema.
+func (v *GaugeVec) Labels() []string {
+	if v == nil {
+		return nil
+	}
+	return append([]string(nil), v.core.labels...)
+}
+
+// Snapshot copies every series' current value.
+func (v *GaugeVec) Snapshot() VecSnapshot {
+	if v == nil {
+		return VecSnapshot{}
+	}
+	series, lost := snapshotVec(v.core, func(g *Gauge) int64 { return g.Value() })
+	return VecSnapshot{Labels: v.Labels(), Series: series, Dropped: lost}
+}
+
+// HistogramVec is a family of Histograms keyed by a fixed label schema; all
+// series share the bounds the vector was created with. All methods are safe
+// on a nil receiver.
+type HistogramVec struct {
+	core *vecCore[Histogram]
+}
+
+// With returns the histogram for the given label values; nil past the cap.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.core.with(values)
+}
+
+// Labels returns the vector's label schema.
+func (v *HistogramVec) Labels() []string {
+	if v == nil {
+		return nil
+	}
+	return append([]string(nil), v.core.labels...)
+}
+
+// Snapshot copies every series' current state.
+func (v *HistogramVec) Snapshot() HistVecSnapshot {
+	if v == nil {
+		return HistVecSnapshot{}
+	}
+	series, lost := snapshotVec(v.core, func(h *Histogram) HistogramSnapshot { return h.Snapshot() })
+	return HistVecSnapshot{Labels: v.Labels(), Series: series, Dropped: lost}
+}
+
+// VecSnapshot is a point-in-time copy of a CounterVec or GaugeVec. Series
+// keys are the label values joined with "|" in schema order; Dropped counts
+// updates this vector lost to the cardinality cap.
+type VecSnapshot struct {
+	Labels  []string         `json:"labels"`
+	Series  map[string]int64 `json:"series"`
+	Dropped int64            `json:"dropped,omitempty"`
+}
+
+// HistVecSnapshot is a point-in-time copy of a HistogramVec.
+type HistVecSnapshot struct {
+	Labels  []string                     `json:"labels"`
+	Series  map[string]HistogramSnapshot `json:"series"`
+	Dropped int64                        `json:"dropped,omitempty"`
+}
+
+// SplitSeriesKey splits an interned series key back into its label values.
+func SplitSeriesKey(key string) []string {
+	return strings.Split(key, labelSep)
+}
+
+// JoinSeriesKey is the inverse of SplitSeriesKey.
+func JoinSeriesKey(values []string) string {
+	return strings.Join(values, labelSep)
+}
+
+func labelIndex(labels []string, name string) int {
+	for i, l := range labels {
+		if l == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// seriesFilter compiles a label→value match into positional form; ok is
+// false when a matched label is not in the schema (nothing can match).
+func seriesFilter(labels []string, match map[string]string) (map[int]string, bool) {
+	idx := make(map[int]string, len(match))
+	for name, want := range match {
+		i := labelIndex(labels, name)
+		if i < 0 {
+			return nil, false
+		}
+		idx[i] = want
+	}
+	return idx, true
+}
+
+func seriesMatches(values []string, filter map[int]string) bool {
+	for i, want := range filter {
+		if i >= len(values) || values[i] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// SumBy aggregates the vector's series: keep series whose labels equal every
+// entry of match (nil match keeps all), group by the value of the per label
+// ("" collapses everything into one group keyed ""), and sum within groups.
+// An unknown per or match label yields an empty result.
+func (v VecSnapshot) SumBy(per string, match map[string]string) map[string]int64 {
+	filter, ok := seriesFilter(v.Labels, match)
+	if !ok {
+		return nil
+	}
+	perIdx := -1
+	if per != "" {
+		if perIdx = labelIndex(v.Labels, per); perIdx < 0 {
+			return nil
+		}
+	}
+	out := make(map[string]int64)
+	for key, val := range v.Series {
+		values := SplitSeriesKey(key)
+		if !seriesMatches(values, filter) {
+			continue
+		}
+		group := ""
+		if perIdx >= 0 && perIdx < len(values) {
+			group = values[perIdx]
+		}
+		out[group] += val
+	}
+	return out
+}
+
+// MergeBy is SumBy for histogram vectors: matching series are merged
+// bucket-wise within each group. All series of a vector share bounds, so
+// the merge is exact.
+func (v HistVecSnapshot) MergeBy(per string, match map[string]string) map[string]HistogramSnapshot {
+	filter, ok := seriesFilter(v.Labels, match)
+	if !ok {
+		return nil
+	}
+	perIdx := -1
+	if per != "" {
+		if perIdx = labelIndex(v.Labels, per); perIdx < 0 {
+			return nil
+		}
+	}
+	out := make(map[string]HistogramSnapshot)
+	for key, hs := range v.Series {
+		values := SplitSeriesKey(key)
+		if !seriesMatches(values, filter) {
+			continue
+		}
+		group := ""
+		if perIdx >= 0 && perIdx < len(values) {
+			group = values[perIdx]
+		}
+		out[group] = mergeHist(out[group], hs)
+	}
+	return out
+}
+
+func mergeHist(into, from HistogramSnapshot) HistogramSnapshot {
+	if len(into.Counts) == 0 {
+		return HistogramSnapshot{
+			Bounds:   append([]float64(nil), from.Bounds...),
+			Counts:   append([]int64(nil), from.Counts...),
+			Count:    from.Count,
+			Sum:      from.Sum,
+			Overflow: from.Overflow,
+		}
+	}
+	for i := range into.Counts {
+		if i < len(from.Counts) {
+			into.Counts[i] += from.Counts[i]
+		}
+	}
+	into.Count += from.Count
+	into.Sum += from.Sum
+	into.Overflow += from.Overflow
+	return into
+}

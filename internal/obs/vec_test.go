@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Concurrent With+Inc across label sets must agree with the serial count for
+// every worker width — run under -race this is also the vector's data-race
+// proof.
+func TestCounterVecConcurrent(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			r := NewRegistry()
+			v := r.CounterVec("reqs_total", "provider", "outcome")
+			const perWorker = 2000
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						provider := fmt.Sprintf("p%d", (w+i)%3)
+						outcome := "ok"
+						if i%5 == 0 {
+							outcome = "conn"
+						}
+						v.With(provider, outcome).Inc()
+					}
+				}()
+			}
+			wg.Wait()
+			s := v.Snapshot()
+			var total int64
+			for _, n := range s.Series {
+				total += n
+			}
+			if want := int64(workers * perWorker); total != want {
+				t.Fatalf("total across series = %d, want %d", total, want)
+			}
+			if s.Dropped != 0 {
+				t.Fatalf("dropped = %d, want 0", s.Dropped)
+			}
+		})
+	}
+}
+
+func TestHistogramVecConcurrent(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			r := NewRegistry()
+			v := r.HistogramVec("lat_seconds", []float64{1, 2, 4}, "provider")
+			const perWorker = 1000
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						v.With(fmt.Sprintf("p%d", w%2)).Observe(float64(i%4) + 0.5)
+					}
+				}()
+			}
+			wg.Wait()
+			merged := v.Snapshot().MergeBy("", nil)
+			if got := merged[""].Count; got != int64(workers*perWorker) {
+				t.Fatalf("merged count = %d, want %d", got, workers*perWorker)
+			}
+		})
+	}
+}
+
+// Past MaxSeries, With returns nil (whose methods no-op), the lost update is
+// counted on the vector and on the registry-wide dropped-series counter, and
+// existing series keep working.
+func TestVecCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("wide_total", "key")
+	for i := 0; i < MaxSeries; i++ {
+		if c := v.With(fmt.Sprintf("k%d", i)); c == nil {
+			t.Fatalf("series %d refused below the cap", i)
+		}
+	}
+	over := v.With("overflow")
+	if over != nil {
+		t.Fatalf("With past the cap = %v, want nil", over)
+	}
+	over.Inc() // nil metric: must not panic
+	if got := r.Counter(DroppedSeriesMetric).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", DroppedSeriesMetric, got)
+	}
+	s := v.Snapshot()
+	if len(s.Series) != MaxSeries {
+		t.Fatalf("series count = %d, want %d", len(s.Series), MaxSeries)
+	}
+	if s.Dropped != 1 {
+		t.Fatalf("snapshot dropped = %d, want 1", s.Dropped)
+	}
+	// Existing series are unaffected by the cap.
+	v.With("k0").Add(5)
+	if got := v.Snapshot().Series["k0"]; got != 5 {
+		t.Fatalf("k0 = %d, want 5", got)
+	}
+}
+
+// A wrong-arity With call is a schema bug: it returns nil and counts as a
+// dropped update rather than polluting the series map.
+func TestVecWrongArity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("pairs_total", "a", "b")
+	if c := v.With("only-one"); c != nil {
+		t.Fatalf("wrong-arity With = %v, want nil", c)
+	}
+	if got := r.Counter(DroppedSeriesMetric).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", DroppedSeriesMetric, got)
+	}
+	if n := len(v.Snapshot().Series); n != 0 {
+		t.Fatalf("series created by wrong-arity call: %d", n)
+	}
+}
+
+func TestVecNilSafety(t *testing.T) {
+	var nilReg *Registry
+	cv := nilReg.CounterVec("x_total", "l")
+	gv := nilReg.GaugeVec("y", "l")
+	hv := nilReg.HistogramVec("z_seconds", nil, "l")
+	cv.With("a").Inc()
+	gv.With("a").Add(2)
+	hv.With("a").Observe(1)
+	if s := cv.Snapshot(); len(s.Series) != 0 || len(s.Labels) != 0 {
+		t.Fatalf("nil CounterVec snapshot = %+v", s)
+	}
+	if s := hv.Snapshot(); len(s.Series) != 0 {
+		t.Fatalf("nil HistogramVec snapshot = %+v", s)
+	}
+}
+
+func TestSumByAndMergeBy(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("outcomes_total", "provider", "outcome")
+	v.With("aws", "ok").Add(8)
+	v.With("aws", "conn").Add(2)
+	v.With("gcp", "ok").Add(5)
+	s := v.Snapshot()
+
+	byProvider := s.SumBy("provider", nil)
+	if byProvider["aws"] != 10 || byProvider["gcp"] != 5 {
+		t.Fatalf("SumBy provider = %v", byProvider)
+	}
+	connOnly := s.SumBy("provider", map[string]string{"outcome": "conn"})
+	if connOnly["aws"] != 2 || connOnly["gcp"] != 0 {
+		t.Fatalf("SumBy provider/conn = %v", connOnly)
+	}
+	all := s.SumBy("", nil)
+	if all[""] != 15 {
+		t.Fatalf("SumBy aggregate = %v", all)
+	}
+	if got := s.SumBy("no-such-label", nil); got != nil {
+		t.Fatalf("SumBy unknown label = %v, want nil", got)
+	}
+	if got := s.SumBy("provider", map[string]string{"nope": "x"}); got != nil {
+		t.Fatalf("SumBy unknown match label = %v, want nil", got)
+	}
+
+	hv := r.HistogramVec("lat_seconds", []float64{1, 4}, "provider", "rrtype")
+	hv.With("aws", "A").Observe(0.5)
+	hv.With("aws", "AAAA").Observe(2)
+	hv.With("gcp", "A").Observe(8)
+	merged := hv.Snapshot().MergeBy("provider", nil)
+	if merged["aws"].Count != 2 || merged["gcp"].Count != 1 {
+		t.Fatalf("MergeBy provider counts = %v/%v", merged["aws"].Count, merged["gcp"].Count)
+	}
+	if merged["gcp"].Overflow != 1 {
+		t.Fatalf("gcp overflow = %d, want 1 (8 > top bound)", merged["gcp"].Overflow)
+	}
+	aOnly := hv.Snapshot().MergeBy("", map[string]string{"rrtype": "A"})
+	if aOnly[""].Count != 2 {
+		t.Fatalf("MergeBy rrtype=A count = %d, want 2", aOnly[""].Count)
+	}
+}
+
+func TestSeriesKeyRoundTrip(t *testing.T) {
+	values := []string{"aws", "ok", "first"}
+	if got := SplitSeriesKey(JoinSeriesKey(values)); len(got) != 3 || got[0] != "aws" || got[2] != "first" {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+// Registry snapshots only carry vector maps when vectors exist, so the JSON
+// shape (and every archive digest built on it) is unchanged for vector-free
+// registries.
+func TestSnapshotVecOmission(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain_total").Inc()
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"counter_vecs", "gauge_vecs", "histogram_vecs"} {
+		if containsJSONKey(b, key) {
+			t.Fatalf("vector-free snapshot JSON contains %q: %s", key, b)
+		}
+	}
+	r.CounterVec("labeled_total", "l").With("x").Inc()
+	b, err = json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsJSONKey(b, "counter_vecs") {
+		t.Fatalf("snapshot with a vector lacks counter_vecs: %s", b)
+	}
+}
+
+func containsJSONKey(b []byte, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}

@@ -148,6 +148,15 @@ type Aggregator struct {
 	mScanned *obs.Counter // pdns_records_scanned_total
 	mMatched *obs.Counter // pdns_records_matched_total
 	mDropped *obs.Counter // pdns_records_dropped_total
+
+	// Per-shard ingest dispositions, interned from
+	// pdns_ingest_total{shard,disposition} by InstrumentShard so the
+	// per-record cost stays one atomic increment. All nil (no-op) unless
+	// InstrumentShard was called.
+	iMatched   *obs.Counter
+	iInvalid   *obs.Counter
+	iWindow    *obs.Counter
+	iUnmatched *obs.Counter
 }
 
 // Instrument points the aggregator's telemetry at reg. Call before the first
@@ -156,6 +165,19 @@ func (a *Aggregator) Instrument(reg *obs.Registry) {
 	a.mScanned = reg.Counter("pdns_records_scanned_total")
 	a.mMatched = reg.Counter("pdns_records_matched_total")
 	a.mDropped = reg.Counter("pdns_records_dropped_total")
+}
+
+// InstrumentShard is Instrument plus the dimensional ingest stream: every
+// record lands in pdns_ingest_total{shard,disposition} with disposition
+// matched, invalid, out-of-window, or unmatched. Shard is the caller's
+// partition label (the parallel aggregation path uses the worker index).
+func (a *Aggregator) InstrumentShard(reg *obs.Registry, shard string) {
+	a.Instrument(reg)
+	vec := reg.CounterVec("pdns_ingest_total", "shard", "disposition")
+	a.iMatched = vec.With(shard, "matched")
+	a.iInvalid = vec.With(shard, "invalid")
+	a.iWindow = vec.With(shard, "out-of-window")
+	a.iUnmatched = vec.With(shard, "unmatched")
 }
 
 // NewAggregator builds an aggregator over the [start, end] day window. The
@@ -185,17 +207,21 @@ func (a *Aggregator) Add(r *Record) {
 	if err := r.Validate(); err != nil {
 		a.dropped++
 		a.mDropped.Inc()
+		a.iInvalid.Inc()
 		return
 	}
 	if r.PDate < a.window.start || r.PDate > a.window.end {
+		a.iWindow.Inc()
 		return
 	}
 	info, ok := a.matcher.Identify(r.FQDN)
 	if !ok {
+		a.iUnmatched.Inc()
 		return
 	}
 	a.matched++
 	a.mMatched.Inc()
+	a.iMatched.Inc()
 
 	fs := a.byFQDN[r.FQDN]
 	if fs == nil {

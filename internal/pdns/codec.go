@@ -97,7 +97,9 @@ type Reader struct {
 	scanned    int64
 	skipped    int64
 	streamErr  error
-	mSkipped   *obs.Counter // pdns_reader_quarantined_total
+	mSkipped   *obs.Counter    // pdns_reader_quarantined_total
+	mQuarVec   *obs.CounterVec // pdns_quarantined_total{shard,reason}
+	shard      string
 }
 
 // quarantineGrace is how many lines a quarantining reader ingests before it
@@ -132,6 +134,17 @@ func (r *Reader) Quarantine(maxErrRate float64) *Reader {
 // Instrument counts quarantined lines in reg as pdns_reader_quarantined_total.
 func (r *Reader) Instrument(reg *obs.Registry) *Reader {
 	r.mSkipped = reg.Counter("pdns_reader_quarantined_total")
+	return r
+}
+
+// InstrumentShard is Instrument plus the dimensional quarantine stream:
+// each skipped line also lands in pdns_quarantined_total{shard,reason},
+// where reason classifies the decode failure (columns, json, field-rtype,
+// field-pdate, ...). Shard is the caller's partition label.
+func (r *Reader) InstrumentShard(reg *obs.Registry, shard string) *Reader {
+	r.Instrument(reg)
+	r.mQuarVec = reg.CounterVec("pdns_quarantined_total", "shard", "reason")
+	r.shard = shard
 	return r
 }
 
@@ -182,6 +195,9 @@ func (r *Reader) Read(rec *Record) error {
 		}
 		r.skipped++
 		r.mSkipped.Inc()
+		if r.mQuarVec != nil {
+			r.mQuarVec.With(r.shard, quarantineReason(r.format, err)).Inc()
+		}
 		if r.scanned > quarantineGrace &&
 			float64(r.skipped) > r.maxErrRate*float64(r.scanned) {
 			return fmt.Errorf("pdns: line %d: %d/%d lines malformed (budget %.1f%%): %w",
@@ -191,6 +207,23 @@ func (r *Reader) Read(rec *Record) error {
 }
 
 var errColumns = errors.New("wrong column count")
+
+// quarantineReason classifies a decode failure into a bounded label set:
+// "columns" (TSV arity), "json" (JSONL decode), or "field-<name>" for a TSV
+// field that failed to parse (parseTSV wraps errors with the field name).
+func quarantineReason(format Format, err error) string {
+	if errors.Is(err, errColumns) {
+		return "columns"
+	}
+	if format == JSONL {
+		return "json"
+	}
+	msg := err.Error()
+	if i := strings.IndexByte(msg, ':'); i > 0 {
+		return "field-" + msg[:i]
+	}
+	return "decode"
+}
 
 func parseTSV(line string, rec *Record) error {
 	// Manual split avoids the allocation of strings.Split for the hot path.

@@ -107,6 +107,10 @@ type Config struct {
 	// BreakerKey maps an FQDN to its breaker key (typically the provider
 	// name); nil uses the FQDN itself.
 	BreakerKey func(fqdn string) string
+	// Provider maps an FQDN to the provider label on the campaign's
+	// dimensional metrics (probe_outcomes_total, per-provider request
+	// latency). Nil, or an empty return, labels the probe "unknown".
+	Provider func(fqdn string) string
 	// KeepTLSVerify retains certificate verification even with a custom
 	// DialContext. Fault-injection wrappers around the real dialer set
 	// this; the in-process simulation (which presents a self-signed test
@@ -162,6 +166,10 @@ type Prober struct {
 	mOptOuts    *obs.Counter   // probe_optouts_total
 	mBreakerSk  *obs.Counter   // probe_breaker_skips_total: short-circuited by the breaker
 	mBodyAborts *obs.Counter   // probe_body_aborts_total: body drains cut by cancellation
+
+	// Dimensional telemetry (nil-safe like the rest).
+	mOutcomes   *obs.CounterVec   // probe_outcomes_total{provider,outcome,attempt_class}
+	mLatencyVec *obs.HistogramVec // probe_request_seconds{provider}: per-request wall time
 
 	mu     sync.Mutex
 	optOut map[string]struct{}
@@ -224,6 +232,8 @@ func New(cfg Config) *Prober {
 		mOptOuts:    cfg.Metrics.Counter("probe_optouts_total"),
 		mBreakerSk:  cfg.Metrics.Counter("probe_breaker_skips_total"),
 		mBodyAborts: cfg.Metrics.Counter("probe_body_aborts_total"),
+		mOutcomes:   cfg.Metrics.CounterVec("probe_outcomes_total", "provider", "outcome", "attempt_class"),
+		mLatencyVec: cfg.Metrics.HistogramVec("probe_request_seconds", nil, "provider"),
 		client: &http.Client{
 			Transport: tr,
 			Timeout:   cfg.Timeout,
@@ -269,6 +279,7 @@ func (p *Prober) Probe(ctx context.Context, fqdn string) Result {
 	start := time.Now()
 	res := Result{FQDN: fqdn}
 	connRetries := 0
+	provider := p.provider(fqdn)
 	p.mInflight.Add(1)
 	defer func() {
 		res.Elapsed = time.Since(start)
@@ -276,6 +287,15 @@ func (p *Prober) Probe(ctx context.Context, fqdn string) Result {
 		if res.Attempts > 1 {
 			p.mRetries.Add(int64(res.Attempts - 1))
 		}
+		outcome := "ok"
+		if res.Failure != FailNone {
+			outcome = string(res.Failure)
+		}
+		class := "first"
+		if connRetries > 0 {
+			class = "retried"
+		}
+		p.mOutcomes.With(provider, outcome, class).Inc()
 		switch res.Failure {
 		case FailDNS:
 			p.mDNSFail.Inc()
@@ -340,7 +360,7 @@ func (p *Prober) Probe(ctx context.Context, fqdn string) Result {
 				return res
 			}
 			res.Attempts++
-			ok, err := p.tryScheme(ctx, scheme, fqdn, &res)
+			ok, err := p.tryScheme(ctx, scheme, fqdn, provider, &res)
 			if ok {
 				res.Reachable = true
 				res.HTTPS = scheme == "https"
@@ -373,6 +393,16 @@ func (p *Prober) recordBreaker(key string, success bool) {
 	}
 }
 
+// provider resolves the dimensional-metrics label for an FQDN.
+func (p *Prober) provider(fqdn string) string {
+	if p.cfg.Provider != nil {
+		if name := p.cfg.Provider(fqdn); name != "" {
+			return name
+		}
+	}
+	return "unknown"
+}
+
 // backoff sleeps before retry number try: RetryBackoff doubled per retry,
 // plus up to 50% jitter drawn from a per-FQDN deterministic stream so
 // identically-seeded campaigns pace identically. Returns false if the
@@ -399,7 +429,7 @@ func (p *Prober) backoff(ctx context.Context, fqdn string, try int) bool {
 }
 
 // tryScheme issues one parameter-free GET, honouring the campaign rate cap.
-func (p *Prober) tryScheme(ctx context.Context, scheme, fqdn string, res *Result) (bool, error) {
+func (p *Prober) tryScheme(ctx context.Context, scheme, fqdn, provider string, res *Result) (bool, error) {
 	if p.limiter != nil {
 		select {
 		case <-p.limiter:
@@ -415,7 +445,9 @@ func (p *Prober) tryScheme(ctx context.Context, scheme, fqdn string, res *Result
 	reqStart := time.Now()
 	p.mRequests.Inc()
 	resp, err := p.client.Do(req)
-	p.mLatency.Observe(time.Since(reqStart).Seconds())
+	elapsed := time.Since(reqStart).Seconds()
+	p.mLatency.Observe(elapsed)
+	p.mLatencyVec.With(provider).Observe(elapsed)
 	if err != nil {
 		return false, err
 	}

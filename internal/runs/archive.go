@@ -17,7 +17,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
+	"repro/internal/health"
 	"repro/internal/obs"
 )
 
@@ -67,12 +69,16 @@ type Summary struct {
 }
 
 // Timings is the machine-varying half of a run archive: wall/CPU per stage,
-// the final metric snapshot, and the completion instant.
+// the final metric snapshot (labeled vectors included), the SLO health
+// evaluation, and the completion instant. Health lives here and not in
+// Summary because rule values depend on wall-clock behaviour — the same
+// config can pass on one machine and fire on a slower one.
 type Timings struct {
 	CreatedAt string            `json:"created_at,omitempty"`
 	ElapsedNS int64             `json:"elapsed_ns"`
 	Stages    []obs.StageTiming `json:"stages"`
 	Metrics   obs.Snapshot      `json:"metrics"`
+	Health    []health.Result   `json:"health,omitempty"`
 }
 
 // Archive is everything a finishing run hands to Write. Manifest, Events,
@@ -86,11 +92,14 @@ type Archive struct {
 	Artifacts map[string]string
 }
 
-// Record is an archive read back from disk.
+// Record is an archive read back from disk. ModTime is the archive's
+// on-disk modification time (of its timings file), which orders re-runs
+// correctly even though identical configs overwrite one slot.
 type Record struct {
 	Dir     string
 	Summary Summary
 	Timings Timings
+	ModTime time.Time
 }
 
 // ConfigHash hashes the flat config meta (sorted key=value lines) to a
@@ -215,6 +224,11 @@ func Read(dir string) (*Record, error) {
 	if err := readJSON(filepath.Join(dir, TimingsFile), &rec.Timings); err != nil {
 		return nil, err
 	}
+	if st, err := os.Stat(filepath.Join(dir, TimingsFile)); err == nil {
+		rec.ModTime = st.ModTime()
+	} else if st, err := os.Stat(dir); err == nil {
+		rec.ModTime = st.ModTime()
+	}
 	return rec, nil
 }
 
@@ -229,8 +243,9 @@ func readJSON(path string, v any) error {
 	return nil
 }
 
-// List loads every archive under root, newest first (by CreatedAt, then ID).
-// Directories without a readable summary are skipped.
+// List loads every archive under root, newest first by on-disk modification
+// time (CreatedAt breaks mtime ties — e.g. archives restored from a copy —
+// and ID breaks those). Directories without a readable summary are skipped.
 func List(root string) ([]*Record, error) {
 	entries, err := os.ReadDir(root)
 	if err != nil {
@@ -251,6 +266,9 @@ func List(root string) ([]*Record, error) {
 		out = append(out, rec)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		if !out[i].ModTime.Equal(out[j].ModTime) {
+			return out[i].ModTime.After(out[j].ModTime)
+		}
 		if out[i].Timings.CreatedAt != out[j].Timings.CreatedAt {
 			return out[i].Timings.CreatedAt > out[j].Timings.CreatedAt
 		}

@@ -51,6 +51,28 @@ type ThroughputDelta struct {
 	B    float64 `json:"b,omitempty"`
 }
 
+// ProviderDelta compares one provider's probe health across two runs,
+// derived from the labeled vectors in the timings snapshot: the error rate
+// from probe_outcomes_total{provider,outcome,attempt_class} (share of
+// probes with a non-ok outcome) and the request p99 from the provider's
+// probe_request_seconds series. A side archived before the dimensional
+// layer existed has Has=false and is reported but never gated.
+type ProviderDelta struct {
+	Provider string  `json:"provider"`
+	HasA     bool    `json:"has_a"`
+	HasB     bool    `json:"has_b"`
+	AProbes  int64   `json:"a_probes,omitempty"`
+	BProbes  int64   `json:"b_probes,omitempty"`
+	AErrRate float64 `json:"a_err_rate,omitempty"`
+	BErrRate float64 `json:"b_err_rate,omitempty"`
+	ALatN    int64   `json:"a_lat_n,omitempty"`
+	BLatN    int64   `json:"b_lat_n,omitempty"`
+	AP99     float64 `json:"a_p99,omitempty"`
+	BP99     float64 `json:"b_p99,omitempty"`
+	AClamped bool    `json:"a_clamped,omitempty"`
+	BClamped bool    `json:"b_clamped,omitempty"`
+}
+
 // DegradationDelta compares one absorbed-failure class across two runs.
 type DegradationDelta struct {
 	Stage string `json:"stage"`
@@ -94,6 +116,7 @@ type Report struct {
 	BElapsedNS   int64              `json:"b_elapsed_ns"`
 	Stages       []StageDelta       `json:"stages,omitempty"`
 	Histograms   []HistDelta        `json:"histograms,omitempty"`
+	Providers    []ProviderDelta    `json:"providers,omitempty"`
 	Throughput   []ThroughputDelta  `json:"throughput,omitempty"`
 	Degradations []DegradationDelta `json:"degradations,omitempty"`
 	Artifacts    []ArtifactDelta    `json:"artifacts,omitempty"`
@@ -165,6 +188,23 @@ func Diff(a, b *Record) *Report {
 		r.Throughput = append(r.Throughput, ThroughputDelta{Name: spec.name, A: ra, B: rb})
 	}
 
+	// Per-provider probe health from the labeled vectors.
+	pa, pb := providerStats(a), providerStats(b)
+	for _, name := range unionKeys(pa, pb) {
+		sa, okA := pa[name]
+		sb, okB := pb[name]
+		d := ProviderDelta{Provider: name, HasA: okA, HasB: okB}
+		if okA {
+			d.AProbes, d.AErrRate, d.ALatN = sa.probes, sa.errRate(), sa.latN
+			d.AP99, d.AClamped = sa.p99, sa.clamped
+		}
+		if okB {
+			d.BProbes, d.BErrRate, d.BLatN = sb.probes, sb.errRate(), sb.latN
+			d.BP99, d.BClamped = sb.p99, sb.clamped
+		}
+		r.Providers = append(r.Providers, d)
+	}
+
 	// Degradation drift: union of (stage, kind) rows.
 	type dk struct{ stage, kind string }
 	counts := map[dk][2]int64{}
@@ -219,6 +259,49 @@ func Diff(a, b *Record) *Report {
 
 func histNames(r *Record) map[string]obs.HistogramSnapshot { return r.Timings.Metrics.Histograms }
 
+// providerSide is one run's per-provider probe health, reduced from the
+// labeled vectors of its final metric snapshot.
+type providerSide struct {
+	probes  int64 // all probe_outcomes_total series for the provider
+	errs    int64 // probes minus the outcome="ok" share
+	latN    int64
+	p99     float64
+	clamped bool
+}
+
+func (s providerSide) errRate() float64 {
+	if s.probes == 0 {
+		return 0
+	}
+	return float64(s.errs) / float64(s.probes)
+}
+
+// providerStats reduces a record's probe_outcomes_total and
+// probe_request_seconds vectors to per-provider health. Records archived
+// before the dimensional metrics layer return an empty map.
+func providerStats(r *Record) map[string]providerSide {
+	out := map[string]providerSide{}
+	if ov, ok := r.Timings.Metrics.CounterVecs["probe_outcomes_total"]; ok {
+		total := ov.SumBy("provider", nil)
+		okOnly := ov.SumBy("provider", map[string]string{"outcome": "ok"})
+		for name, n := range total {
+			s := out[name]
+			s.probes = n
+			s.errs = n - okOnly[name]
+			out[name] = s
+		}
+	}
+	if hv, ok := r.Timings.Metrics.HistogramVecs["probe_request_seconds"]; ok {
+		for name, h := range hv.MergeBy("provider", nil) {
+			s := out[name]
+			s.latN = h.Count
+			s.p99, s.clamped = h.QuantileClamped(0.99)
+			out[name] = s
+		}
+	}
+	return out
+}
+
 func rate(r *Record, counter, hist, stage string) float64 {
 	st := r.Timings.Stage(stage)
 	if st == nil || st.WallNS <= 0 {
@@ -266,6 +349,12 @@ type GateOptions struct {
 	// cannot prove a regression). Negative disables.
 	P99Tol     float64
 	MinSamples int64
+	// ErrRateTol flags a provider whose probe error rate grew by more than
+	// this absolute amount over the baseline (both sides need vector data
+	// and at least MinSamples probes for the provider). The same P99Tol /
+	// MinSamples / clamp rules as the global histogram gate govern the
+	// per-provider p99 check. Negative disables both provider gates.
+	ErrRateTol float64
 	// Degradations flags new degradation kinds and counts growing past
 	// 2×A+10 — under a seeded chaos profile both runs see the same
 	// schedule, so drift means behaviour changed.
@@ -283,6 +372,7 @@ func DefaultGateOptions() GateOptions {
 		WallFloor:    500 * time.Millisecond,
 		P99Tol:       1.0,
 		MinSamples:   50,
+		ErrRateTol:   0.02,
 		Degradations: true,
 		Artifacts:    true,
 		Calibration:  true,
@@ -320,6 +410,23 @@ func (r *Report) Gate(o GateOptions) []string {
 			if h.AP99 > 0 && h.BP99 > h.AP99*(1+o.P99Tol) {
 				v = append(v, fmt.Sprintf("histogram %s p99 regressed: %.4gs -> %.4gs (tol %.2fx)",
 					h.Name, h.AP99, h.BP99, 1+o.P99Tol))
+			}
+		}
+	}
+	if o.ErrRateTol >= 0 {
+		for _, p := range r.Providers {
+			if !p.HasA || !p.HasB {
+				continue // one side predates the dimensional layer
+			}
+			if p.AProbes >= o.MinSamples && p.BProbes >= o.MinSamples &&
+				p.BErrRate > p.AErrRate+o.ErrRateTol {
+				v = append(v, fmt.Sprintf("provider %s error rate regressed: %.4f -> %.4f (tol +%.4f)",
+					p.Provider, p.AErrRate, p.BErrRate, o.ErrRateTol))
+			}
+			if o.P99Tol >= 0 && p.ALatN >= o.MinSamples && p.BLatN >= o.MinSamples &&
+				!p.AClamped && !p.BClamped && p.AP99 > 0 && p.BP99 > p.AP99*(1+o.P99Tol) {
+				v = append(v, fmt.Sprintf("provider %s probe p99 regressed: %.4gs -> %.4gs (tol %.2fx)",
+					p.Provider, p.AP99, p.BP99, 1+o.P99Tol))
 			}
 		}
 	}
@@ -384,6 +491,18 @@ func (r *Report) Render() string {
 				fmtSec(h.AP50), fmtSec(h.BP50), fmtSec(h.AP99), fmtSec(h.BP99), clamp)
 		}
 		b.WriteString(ht.String())
+		b.WriteString("\n")
+	}
+
+	if len(r.Providers) > 0 {
+		pt := report.NewTable("Per-provider probe health", "Provider", "Probes A", "Probes B", "Err A", "Err B", "p99 A", "p99 B")
+		for _, p := range r.Providers {
+			pt.AddRow(p.Provider,
+				fmtProbeN(p.AProbes, p.HasA), fmtProbeN(p.BProbes, p.HasB),
+				fmtRate(p.AErrRate, p.HasA), fmtRate(p.BErrRate, p.HasB),
+				fmtSec(p.AP99), fmtSec(p.BP99))
+		}
+		b.WriteString(pt.String())
 		b.WriteString("\n")
 	}
 
@@ -453,6 +572,20 @@ func fmtSec(s float64) string {
 		return "-"
 	}
 	return strings.ReplaceAll(time.Duration(s*float64(time.Second)).Round(10*time.Microsecond).String(), "µs", "us")
+}
+
+func fmtProbeN(n int64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+func fmtRate(v float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.4f", v)
 }
 
 func fmtCal(v float64, ok bool) string {

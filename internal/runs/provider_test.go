@@ -1,0 +1,141 @@
+package runs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// providerRecord is baselineRecord plus labeled probe vectors: per-provider
+// outcome counts and request-latency series, the inputs of the
+// provider-granular gate dimension.
+func providerRecord(connAWS int64) *Record {
+	r := baselineRecord()
+	reg := obs.NewRegistry()
+	ov := reg.CounterVec("probe_outcomes_total", "provider", "outcome", "attempt_class")
+	ov.With("AWS", "ok", "first").Add(100 - connAWS)
+	ov.With("AWS", "conn", "first").Add(connAWS)
+	ov.With("Tencent", "ok", "first").Add(200)
+	hv := reg.HistogramVec("probe_request_seconds", []float64{0.01, 0.05, 0.1, 0.5, 1}, "provider")
+	for i := 0; i < 100; i++ {
+		hv.With("AWS").Observe(0.02)
+		hv.With("Tencent").Observe(0.04)
+	}
+	r.Timings.Metrics = reg.Snapshot()
+	return r
+}
+
+func TestDiffProviderDeltas(t *testing.T) {
+	a := providerRecord(0)
+	b := providerRecord(10) // AWS error rate 0 -> 10%
+	b.Summary.ConfigHash = a.Summary.ConfigHash
+	rep := Diff(a, b)
+	if len(rep.Providers) != 2 {
+		t.Fatalf("providers = %+v, want AWS and Tencent", rep.Providers)
+	}
+	var aws ProviderDelta
+	for _, p := range rep.Providers {
+		if p.Provider == "AWS" {
+			aws = p
+		}
+	}
+	if !aws.HasA || !aws.HasB || aws.AProbes != 100 || aws.BProbes != 100 {
+		t.Fatalf("AWS delta = %+v", aws)
+	}
+	if aws.AErrRate != 0 || aws.BErrRate != 0.1 {
+		t.Fatalf("AWS error rates = %v -> %v, want 0 -> 0.1", aws.AErrRate, aws.BErrRate)
+	}
+	if aws.ALatN != 100 || aws.AP99 <= 0 {
+		t.Fatalf("AWS latency side = %+v, want populated p99", aws)
+	}
+}
+
+func TestGateFlagsProviderErrorRateGrowth(t *testing.T) {
+	a := providerRecord(0)
+	b := providerRecord(10)
+	b.Summary.ConfigHash = a.Summary.ConfigHash
+	v := Diff(a, b).Gate(DefaultGateOptions())
+	found := false
+	for _, line := range v {
+		if strings.Contains(line, "provider AWS error rate regressed") {
+			found = true
+		}
+		if strings.Contains(line, "Tencent") {
+			t.Fatalf("clean provider gated: %v", v)
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v, want AWS error-rate regression", v)
+	}
+
+	// Inside the tolerance nothing fires: +1% against a 2% default.
+	b2 := providerRecord(1)
+	b2.Summary.ConfigHash = a.Summary.ConfigHash
+	if v := Diff(a, b2).Gate(DefaultGateOptions()); len(v) != 0 {
+		t.Fatalf("sub-tolerance drift gated: %v", v)
+	}
+
+	// Negative tolerance disables the provider dimension entirely.
+	o := DefaultGateOptions()
+	o.ErrRateTol = -1
+	if v := Diff(a, b).Gate(o); len(v) != 0 {
+		t.Fatalf("disabled provider gate still fired: %v", v)
+	}
+}
+
+func TestGateFlagsProviderP99Drift(t *testing.T) {
+	a := providerRecord(0)
+	b := baselineRecord()
+	reg := obs.NewRegistry()
+	ov := reg.CounterVec("probe_outcomes_total", "provider", "outcome", "attempt_class")
+	ov.With("AWS", "ok", "first").Add(100)
+	ov.With("Tencent", "ok", "first").Add(200)
+	hv := reg.HistogramVec("probe_request_seconds", []float64{0.01, 0.05, 0.1, 0.5, 1}, "provider")
+	for i := 0; i < 100; i++ {
+		hv.With("AWS").Observe(0.3) // was ~0.02: far past the 2x default tolerance
+		hv.With("Tencent").Observe(0.04)
+	}
+	b.Timings.Metrics = reg.Snapshot()
+	b.Summary.ConfigHash = a.Summary.ConfigHash
+
+	v := Diff(a, b).Gate(DefaultGateOptions())
+	found := false
+	for _, line := range v {
+		if strings.Contains(line, "provider AWS probe p99 regressed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v, want AWS p99 regression", v)
+	}
+}
+
+// Archives written before the dimensional layer carry no vectors: the
+// provider dimension reports nothing and can never gate.
+func TestProviderGateSkipsVectorlessSides(t *testing.T) {
+	a := baselineRecord() // no vectors
+	b := providerRecord(50)
+	b.Summary.ConfigHash = a.Summary.ConfigHash
+	rep := Diff(a, b)
+	for _, p := range rep.Providers {
+		if p.HasA {
+			t.Fatalf("vector-free baseline claims provider data: %+v", p)
+		}
+	}
+	for _, line := range rep.Gate(DefaultGateOptions()) {
+		if strings.Contains(line, "provider") {
+			t.Fatalf("one-sided provider data gated: %s", line)
+		}
+	}
+}
+
+func TestRenderShowsProviderTable(t *testing.T) {
+	a := providerRecord(0)
+	b := providerRecord(10)
+	b.Summary.ConfigHash = a.Summary.ConfigHash
+	out := Diff(a, b).Render()
+	if !strings.Contains(out, "Per-provider probe health") || !strings.Contains(out, "AWS") {
+		t.Fatalf("render lacks the provider table:\n%s", out)
+	}
+}

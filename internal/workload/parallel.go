@@ -175,17 +175,21 @@ func AggregateParallel(ctx context.Context, pop *Population, resolver *dnssim.Re
 	sinks := make([]func(*pdns.Record) error, workers)
 	spans := make([]*obs.Span, workers)
 	counts := make([]int64, workers)
+	emitVec := reg.CounterVec("workload_emit_records_total", "shard")
 	for i := range aggs {
 		agg := pdns.NewAggregator(matcher, w.Start, w.End)
-		agg.Instrument(reg)
+		shard := fmt.Sprintf("%d", i)
+		agg.InstrumentShard(reg, shard)
 		aggs[i] = agg
 		i := i
+		emitted := emitVec.With(shard)
 		sinks[i] = func(r *pdns.Record) error {
 			for _, m := range mutate {
 				m(r)
 			}
 			agg.Add(r)
 			counts[i]++
+			emitted.Inc()
 			return nil
 		}
 		_, spans[i] = obs.StartSpan(ctx, fmt.Sprintf("emit-shard-%d", i))
