@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json chaos gate health check
+.PHONY: build test race vet bench bench-json bench-matrix report chaos gate health check
 
 build:
 	$(GO) build ./...
@@ -26,13 +26,16 @@ chaos:
 	SCF_CHAOS=heavy $(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # Snapshot of the parallel-substrate benchmarks in both formats: the raw
 # `go test -bench` text lands in BENCH_pipeline.txt (benchstat consumes it
 # directly: `benchstat old.txt BENCH_pipeline.txt`), and scfruns parses it
 # into structured BENCH_pipeline.json (`scfruns gate -bench-base old.json
-# -bench-new BENCH_pipeline.json` gates on mean ns/op drift).
+# -bench-new BENCH_pipeline.json` gates on mean ns/op drift). The same parse
+# appends one trajectory record to BENCH_history.jsonl, labeled with the
+# current git revision — `scfruns report -history BENCH_history.jsonl`
+# renders the resulting ns/op trajectory.
 # The text and JSON snapshots derive from ONE captured `go test` output (no
 # tee pipe, whose exit status would mask a bench failure), and the parse step
 # errors out when the capture contains zero benchmark lines.
@@ -41,7 +44,21 @@ bench-json:
 		-benchmem -count=5 -run=^$$ ./... > BENCH_pipeline.txt 2>&1 \
 		|| { cat BENCH_pipeline.txt; rm -f BENCH_pipeline.txt; exit 1; }
 	cat BENCH_pipeline.txt
-	$(GO) run ./cmd/scfruns bench -i BENCH_pipeline.txt -o BENCH_pipeline.json
+	$(GO) run ./cmd/scfruns bench -i BENCH_pipeline.txt -o BENCH_pipeline.json \
+		-history BENCH_history.jsonl -label "$$(git rev-parse --short HEAD 2>/dev/null || echo local)"
+
+# Scenario benchmark matrix: run the default {scale}×{workers}×{chaos} sweep
+# through the full pipeline with the resource sampler on, one archive per
+# cell under .runs/matrix/<cell-id>/. `make report` then renders the matrix,
+# the bench capture, and the committed trajectory into PERF_REPORT.md —
+# byte-identical across renders over the same archives.
+bench-matrix:
+	$(GO) run ./cmd/scfruns matrix -dir .runs
+
+report:
+	$(GO) run ./cmd/scfruns report -dir .runs \
+		-bench BENCH_pipeline.json -history BENCH_history.jsonl -o PERF_REPORT.md
+	@echo "wrote PERF_REPORT.md"
 
 # Regression gate: archive a fresh run of the golden configuration and diff
 # it against the committed baseline (internal/runs/testdata/golden). The
@@ -61,4 +78,7 @@ health:
 	$(GO) run ./cmd/scfpipe -seed 1 -scale 0.01 -workers 4 -chaos none -skip-c2 \
 		-no-archive -health-strict > /dev/null
 
+# Tier-1 suite — what CI (.github/workflows/ci.yml) runs on every push/PR.
+# bench-matrix/report stay out of check: they run the full pipeline once per
+# matrix cell, which is an opt-in perf sweep, not a correctness gate.
 check: build vet test race gate

@@ -11,6 +11,7 @@
 //	scfpipe -manifest run.json               # machine-readable run provenance
 //	scfpipe -chaos heavy                     # deterministic fault injection
 //	scfpipe -chaos light,seed=7 -probe-retries 3
+//	scfpipe -resource-interval 250ms         # sample heap/RSS/goroutines/GC per stage
 //	scfpipe -run-dir .runs                   # archive the run for scfruns
 //	scfpipe -no-archive                      # skip the run archive
 //	scfpipe -health-strict                   # exit 1 if an SLO health rule fires
@@ -79,6 +80,7 @@ func main() {
 		chaos        = flag.String("chaos", "", "fault-injection profile: none, light, or heavy, optionally ,seed=N (default: $SCF_CHAOS or none)")
 		retries      = flag.Int("probe-retries", 0, "extra probe attempts per scheme after connection failures (0 = auto: 2 under chaos; negative = off)")
 		breaker      = flag.Int("breaker-threshold", 0, "consecutive failures opening a provider's probe circuit (0 = auto: 50 under chaos; negative = off)")
+		resInterval  = flag.Duration("resource-interval", 0, "sample runtime resources (heap, RSS, goroutines, GC pauses) on this interval; 0 disables")
 		runDir       = flag.String("run-dir", "", "archive the run under this directory (default: $SCF_RUN_DIR or .runs)")
 		noArchive    = flag.Bool("no-archive", false, "do not archive the run")
 		healthStrict = flag.Bool("health-strict", false, "exit non-zero when any SLO health rule fired during the run")
@@ -117,6 +119,7 @@ func main() {
 		ProbeRetries:     *retries,
 		BreakerThreshold: *breaker,
 		Metrics:          metrics,
+		ResourceInterval: *resInterval,
 	})
 	exitCode := 0
 	if res != nil && *manifest != "" {
@@ -166,6 +169,9 @@ func main() {
 	}
 	if ht := res.RenderHealth(); ht != "" {
 		fmt.Println(ht)
+	}
+	if rt := res.RenderResources(); rt != "" {
+		fmt.Println(rt)
 	}
 	fmt.Println(res.RenderMetrics())
 	if *healthStrict && health.Fired(res.Health) {

@@ -12,7 +12,11 @@
 //	scfruns diff -json r-aaaa r-bbbb      # the same, machine-readable
 //	scfruns gate -baseline internal/runs/testdata/golden
 //	scfruns gate -baseline old/ new/ -wall-tol 3
+//	scfruns gate -matrix-base old/ -matrix-new .runs
 //	scfruns bench -i BENCH.txt -o BENCH.json
+//	scfruns bench -i BENCH.txt -history BENCH_history.jsonl -label pr-7
+//	scfruns matrix -cells 'scale=0.01;workers=1,8;chaos=none,heavy'
+//	scfruns report -bench BENCH_pipeline.json -history BENCH_history.jsonl
 //
 // A run argument is either a directory containing summary.json or a run ID
 // resolved under -dir (default .runs, or $SCF_RUN_DIR). gate diffs the
@@ -22,13 +26,27 @@
 // per-provider probe error-rate growth or p99 drift (from the labeled
 // metric vectors the timings snapshot carries), new/grown degradations,
 // deterministic-artifact fingerprint changes, or calibration shares leaving
-// the paper's acceptance bands. bench converts
-// `go test -bench` text into the structured JSON BENCH_pipeline.json holds,
-// and gate's -bench-base/-bench-new compare two such files.
+// the paper's acceptance bands. With -matrix-base it additionally gates
+// every scenario-matrix cell of the candidate root against the same cell of
+// the baseline root, so a regression confined to one corner of the grid
+// (say heavy-chaos workers-8) still fails the gate.
+//
+// matrix executes the {scale}×{workers}×{chaos} scenario sweep through the
+// full pipeline, archiving each cell under <dir>/matrix/<cell-id>/ with the
+// resource sampler enabled; report renders the matrix, bench deltas, and
+// the committed perf trajectory into one deterministic Markdown artifact —
+// two renders over identical archives are byte-identical. bench converts
+// `go test -bench` text into the structured JSON BENCH_pipeline.json holds
+// (appending a trajectory record with -history), and gate's
+// -bench-base/-bench-new compare two such files.
+//
+// Exit codes: 0 success, 1 runtime error or gate violation, 2 usage error.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -38,55 +56,113 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runs"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// errUsage marks a flag-parse failure whose message the flag package already
+// printed; usageError carries a message run() still has to print. Both exit 2.
+var errUsage = errors.New("usage")
+
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+// errGateFailed marks a gate verdict whose violation list cmdGate already
+// printed; run() maps it to exit 1 without re-logging.
+var errGateFailed = errors.New("gate failed")
+
+// run dispatches one subcommand and returns the process exit code. It is the
+// whole of main so the dispatch table, flag parsing, and exit-code contract
+// are testable in-process.
+func run(args []string) int {
 	log.SetFlags(0)
 	log.SetPrefix("scfruns: ")
-	if len(os.Args) < 2 {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "list":
-		err = cmdList(os.Args[2:])
+		err = cmdList(args[1:])
 	case "show":
-		err = cmdShow(os.Args[2:])
+		err = cmdShow(args[1:])
 	case "diff":
-		err = cmdDiff(os.Args[2:])
+		err = cmdDiff(args[1:])
 	case "gate":
-		err = cmdGate(os.Args[2:])
+		err = cmdGate(args[1:])
 	case "bench":
-		err = cmdBench(os.Args[2:])
+		err = cmdBench(args[1:])
+	case "matrix":
+		err = cmdMatrix(args[1:])
+	case "report":
+		err = cmdReport(args[1:])
 	case "-h", "-help", "--help", "help":
 		usage()
-		return
+		return 0
 	default:
-		log.Printf("unknown subcommand %q", os.Args[1])
+		log.Printf("unknown subcommand %q", args[0])
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	if err != nil {
-		log.Fatal(err)
+	var ue usageError
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.Is(err, errUsage):
+		return 2
+	case errors.As(err, &ue):
+		log.Print(ue.msg)
+		return 2
+	case errors.Is(err, errGateFailed):
+		return 1
+	default:
+		log.Print(err)
+		return 1
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: scfruns <list|show|diff|gate|bench> [flags] [args]
+	fmt.Fprintln(os.Stderr, `usage: scfruns <list|show|diff|gate|bench|matrix|report> [flags] [args]
 
   list                     list archived runs under -dir, newest first
   show <run>               print one archive: config, stages, calibration
   diff <a> <b>             compare two archives dimension by dimension
   gate -baseline <run> [candidate]
                            diff + thresholds; exit 1 on regression
+                           (-matrix-base/-matrix-new gate per matrix cell)
   bench -i in.txt -o out.json
                            parse 'go test -bench' text into structured JSON
+                           (-history/-label append a trajectory record)
+  matrix -cells <spec>     run the scenario sweep; one archive per cell
+                           under <dir>/matrix/<cell-id>/
+  report                   render the matrix + bench + trajectory report
+                           as deterministic Markdown
 
 run arguments are directories holding summary.json, or run IDs under -dir
 (default .runs, or $SCF_RUN_DIR). See 'scfruns <cmd> -h' for flags.`)
+}
+
+// parse wraps FlagSet.Parse, translating failures into the exit-2 sentinel
+// while letting -h keep its exit-0 contract.
+func parse(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp
+		}
+		return errUsage
+	}
+	return nil
 }
 
 // dirFlag registers the shared -dir flag on a subcommand's flag set.
@@ -120,9 +196,11 @@ func load(root, arg string) (*runs.Record, error) {
 }
 
 func cmdList(args []string) error {
-	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
 	dir := dirFlag(fs)
-	fs.Parse(args)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	recs, err := runs.List(*dir)
 	if err != nil {
 		return err
@@ -168,12 +246,14 @@ func calVerdict(cal map[string]float64) string {
 }
 
 func cmdShow(args []string) error {
-	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
 	dir := dirFlag(fs)
 	asJSON := fs.Bool("json", false, "print the raw summary and timings as JSON")
-	fs.Parse(args)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("show: want exactly one run argument")
+		return usageError{"show: want exactly one run argument"}
 	}
 	rec, err := load(*dir, fs.Arg(0))
 	if err != nil {
@@ -239,12 +319,14 @@ func cmdShow(args []string) error {
 }
 
 func cmdDiff(args []string) error {
-	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
 	dir := dirFlag(fs)
 	asJSON := fs.Bool("json", false, "print the diff report as JSON")
-	fs.Parse(args)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("diff: want exactly two run arguments (baseline, candidate)")
+		return usageError{"diff: want exactly two run arguments (baseline, candidate)"}
 	}
 	a, err := load(*dir, fs.Arg(0))
 	if err != nil {
@@ -265,7 +347,7 @@ func cmdDiff(args []string) error {
 }
 
 func cmdGate(args []string) error {
-	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	fs := flag.NewFlagSet("gate", flag.ContinueOnError)
 	dir := dirFlag(fs)
 	def := runs.DefaultGateOptions()
 	var (
@@ -281,10 +363,24 @@ func cmdGate(args []string) error {
 		benchBase  = fs.String("bench-base", "", "baseline bench JSON (from 'scfruns bench')")
 		benchNew   = fs.String("bench-new", "", "candidate bench JSON to gate against -bench-base")
 		benchTol   = fs.Float64("bench-tol", 0.5, "mean ns/op regression tolerance as a ratio above 1")
+		matrixBase = fs.String("matrix-base", "", "baseline archive root whose matrix/ cells gate the candidate's")
+		matrixNew  = fs.String("matrix-new", "", "candidate archive root for -matrix-base (default: -dir)")
 		quiet      = fs.Bool("quiet", false, "suppress the full diff; print only violations")
 	)
-	fs.Parse(args)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 
+	opts := runs.GateOptions{
+		WallTol:      *wallTol,
+		WallFloor:    *wallFloor,
+		P99Tol:       *p99Tol,
+		MinSamples:   *minSamples,
+		ErrRateTol:   *errTol,
+		Degradations: !*noDegr,
+		Artifacts:    !*noArt,
+		Calibration:  !*noCal,
+	}
 	var violations []string
 
 	if *baseline != "" {
@@ -307,22 +403,28 @@ func cmdGate(args []string) error {
 			fmt.Println(rep.Render())
 			fmt.Println()
 		}
-		violations = append(violations, rep.Gate(runs.GateOptions{
-			WallTol:      *wallTol,
-			WallFloor:    *wallFloor,
-			P99Tol:       *p99Tol,
-			MinSamples:   *minSamples,
-			ErrRateTol:   *errTol,
-			Degradations: !*noDegr,
-			Artifacts:    !*noArt,
-			Calibration:  !*noCal,
-		})...)
+		violations = append(violations, rep.Gate(opts)...)
 	} else if fs.NArg() > 0 {
-		return fmt.Errorf("gate: candidate given without -baseline")
+		return usageError{"gate: candidate given without -baseline"}
+	}
+
+	if *matrixNew != "" && *matrixBase == "" {
+		return usageError{"gate: -matrix-new given without -matrix-base"}
+	}
+	if *matrixBase != "" {
+		candRoot := *matrixNew
+		if candRoot == "" {
+			candRoot = *dir
+		}
+		mv, err := runs.GateMatrix(*matrixBase, candRoot, opts)
+		if err != nil {
+			return err
+		}
+		violations = append(violations, mv...)
 	}
 
 	if (*benchBase == "") != (*benchNew == "") {
-		return fmt.Errorf("gate: -bench-base and -bench-new must be given together")
+		return usageError{"gate: -bench-base and -bench-new must be given together"}
 	}
 	if *benchBase != "" {
 		ba, err := readBenchFile(*benchBase)
@@ -339,8 +441,8 @@ func cmdGate(args []string) error {
 		violations = append(violations, runs.GateBench(ba, bb, *benchTol)...)
 	}
 
-	if *baseline == "" && *benchBase == "" {
-		return fmt.Errorf("gate: nothing to gate (need -baseline and/or -bench-base/-bench-new)")
+	if *baseline == "" && *benchBase == "" && *matrixBase == "" {
+		return usageError{"gate: nothing to gate (need -baseline, -matrix-base, and/or -bench-base/-bench-new)"}
 	}
 
 	if len(violations) > 0 {
@@ -348,7 +450,7 @@ func cmdGate(args []string) error {
 		for _, v := range violations {
 			fmt.Printf("  - %s\n", v)
 		}
-		os.Exit(1)
+		return errGateFailed
 	}
 	fmt.Println("GATE PASSED")
 	return nil
@@ -364,10 +466,14 @@ func readBenchFile(path string) (*runs.BenchSet, error) {
 }
 
 func cmdBench(args []string) error {
-	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	in := fs.String("i", "", "bench text input file (default: stdin)")
 	out := fs.String("o", "", "JSON output file (default: stdout)")
-	fs.Parse(args)
+	history := fs.String("history", "", "append a trajectory record to this JSONL file")
+	label := fs.String("label", "", "label for the -history record (e.g. a git revision)")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	var r io.Reader = os.Stdin
 	if *in != "" {
 		f, err := os.Open(*in)
@@ -381,6 +487,13 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *history != "" {
+		e := runs.HistoryEntryFrom(set, *label, time.Now().UTC().Format(time.RFC3339))
+		if err := runs.AppendHistory(*history, e); err != nil {
+			return err
+		}
+		log.Printf("appended %d benchmark means to %s", len(e.Bench), *history)
+	}
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -391,6 +504,114 @@ func cmdBench(args []string) error {
 		w = f
 	}
 	return set.WriteJSON(w)
+}
+
+func cmdMatrix(args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
+	dir := dirFlag(fs)
+	var (
+		cellSpec    = fs.String("cells", runs.DefaultCellSpec, "scenario spec: ';'-separated scale=/workers=/chaos= dimensions, ','-separated values")
+		seed        = fs.Int64("seed", 1, "substrate seed shared by every cell")
+		skipC2      = fs.Bool("skip-c2", true, "skip the C2 fingerprint sweep in each cell")
+		timeout     = fs.Duration("probe-timeout", 2*time.Second, "per-request probe timeout")
+		resInterval = fs.Duration("resource-interval", 50*time.Millisecond, "runtime resource sampler interval (0 disables)")
+	)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return usageError{"matrix: unexpected positional arguments"}
+	}
+	cells, err := runs.ParseCells(*cellSpec)
+	if err != nil {
+		return err
+	}
+	root := filepath.Join(*dir, runs.MatrixDir)
+	log.Printf("matrix: %d cell(s) under %s", len(cells), root)
+	for _, cell := range cells {
+		prof, err := fault.ParseProfile(cell.Chaos)
+		if err != nil {
+			return err
+		}
+		// Each cell gets a fresh registry/trace/event log so archives never
+		// bleed telemetry into each other.
+		reg, tr, elog := obs.NewRegistry(), obs.NewTrace(), obs.NewEventLog()
+		ctx := obs.ContextWithEventLog(obs.ContextWithTrace(context.Background(), tr), elog)
+		start := time.Now()
+		res, err := core.RunContext(ctx, core.Config{
+			Seed:             *seed,
+			Scale:            cell.Scale,
+			Workers:          cell.Workers,
+			Chaos:            prof,
+			SkipC2Scan:       *skipC2,
+			ProbeTimeout:     *timeout,
+			Metrics:          reg,
+			ResourceInterval: *resInterval,
+		})
+		if err != nil {
+			return fmt.Errorf("matrix: cell %s: %w", cell.ID(), err)
+		}
+		slot := filepath.Join(root, cell.ID())
+		if err := runs.WriteDir(slot, res.BuildArchive("scfruns-matrix", elog)); err != nil {
+			return err
+		}
+		log.Printf("matrix: cell %s done in %v", cell.ID(), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	dir := dirFlag(fs)
+	var (
+		baseDir   = fs.String("baseline-dir", "", "baseline archive root whose matrix cells provide the Δ columns")
+		bench     = fs.String("bench", "", "current bench JSON (from 'scfruns bench')")
+		benchBase = fs.String("bench-base", "", "baseline bench JSON to delta against")
+		history   = fs.String("history", "", "perf-trajectory JSONL (BENCH_history.jsonl)")
+		out       = fs.String("o", "", "write the Markdown report here instead of stdout")
+	)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return usageError{"report: unexpected positional arguments"}
+	}
+	var in runs.PerfReportInput
+	var err error
+	if in.Cells, err = runs.ListMatrix(*dir); err != nil {
+		return err
+	}
+	if *baseDir != "" {
+		baseCells, err := runs.ListMatrix(*baseDir)
+		if err != nil {
+			return err
+		}
+		in.Baselines = make(map[string]*runs.Record, len(baseCells))
+		for _, rec := range baseCells {
+			in.Baselines[filepath.Base(rec.Dir)] = rec
+		}
+	}
+	if *bench != "" {
+		if in.Bench, err = readBenchFile(*bench); err != nil {
+			return err
+		}
+	}
+	if *benchBase != "" {
+		if in.BenchBase, err = readBenchFile(*benchBase); err != nil {
+			return err
+		}
+	}
+	if *history != "" {
+		if in.History, err = runs.ReadHistory(*history); err != nil {
+			return err
+		}
+	}
+	md := runs.RenderPerfReport(in)
+	if *out != "" {
+		return os.WriteFile(*out, []byte(md), 0o644)
+	}
+	fmt.Print(md)
+	return nil
 }
 
 func sortedKeys[V any](m map[string]V) []string {

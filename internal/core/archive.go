@@ -52,6 +52,7 @@ func (r *Results) BuildArchive(tool string, events *obs.EventLog) *runs.Archive 
 			Stages:    obs.FlattenStages(r.Stages),
 			Metrics:   r.Metrics.Snapshot(),
 			Health:    r.Health,
+			Resources: r.Resources,
 		},
 		Manifest: r.Manifest(tool),
 		Events:   events,

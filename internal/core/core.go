@@ -110,6 +110,15 @@ type Config struct {
 	// starts, PDNS throughput) and is snapshotted into the run manifest.
 	// Nil creates a private registry so manifests are always complete.
 	Metrics *obs.Registry
+
+	// ResourceInterval enables the runtime resource sampler: every interval
+	// the run snapshots heap in-use, cumulative allocations, GC pauses,
+	// goroutine count, and process RSS, publishing gauges, emitting
+	// EventResource records, and accumulating per-stage high-water marks
+	// into Results.Resources. Zero disables sampling. Deliberately NOT part
+	// of configMeta: sampling observes a run, it does not change one, so
+	// toggling it must not move the run ID or any golden fingerprint.
+	ResourceInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -195,6 +204,11 @@ type Results struct {
 	// Like the metrics it derives from, it lives on the machine-varying
 	// side of the run archive, never in the deterministic summary.
 	Health []health.Result
+
+	// Resources is the per-stage runtime high-water-mark table the resource
+	// sampler collected (empty when Config.ResourceInterval is zero). Also
+	// strictly machine-varying: archived in timings.json, never summary.
+	Resources []obs.ResourceStats
 
 	Elapsed time.Duration
 }
@@ -296,7 +310,18 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	// covered even when no sampling tick fires.
 	mon := health.NewMonitor(reg, elog, health.DefaultRules(cfg.ProbeTimeout))
 	mon.Start()
+	// The resource sampler runs for the whole pipeline alongside the SLO
+	// monitor; startStage tells it which stage each sample belongs to, so
+	// the archive can say "the heap peaked in identify, not probe". A zero
+	// interval yields the nil no-op sampler.
+	sampler := obs.NewResourceSampler(reg, elog, cfg.ResourceInterval)
+	sampler.Start()
+	startStage := func(ctx context.Context, name string) (context.Context, *obs.Span) {
+		sampler.SetStage(name)
+		return obs.StartSpan(ctx, name)
+	}
 	defer func() {
+		res.Resources = sampler.Stop()
 		res.Stages = tr.Records()
 		res.Health = mon.Finalize()
 		res.Degradations = collectDegradations(reg)
@@ -310,7 +335,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	}()
 
 	// ---- Substrate: population, DNS, platform, edge servers. ----
-	_, sp := obs.StartSpan(ctx, "substrate")
+	_, sp := startStage(ctx, "substrate")
 	pop := workload.Generate(workload.Config{Seed: cfg.Seed, Scale: cfg.Scale, CacheModel: cfg.CacheModel, Workers: cfg.Workers})
 	res.Population = pop
 	resolver := dnssim.NewResolver()
@@ -338,7 +363,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	// worker feeds its own aggregator from its own per-function RNG
 	// streams, and the shard aggregates merge into the exact result the
 	// serial pass produces (see workload.AggregateParallel).
-	sctx, sp := obs.StartSpan(ctx, "identify")
+	sctx, sp := startStage(ctx, "identify")
 	w := workload.Window()
 	// Under chaos a deterministic fraction of the feed is corrupted before
 	// aggregation; mangled records fail validation inside the aggregator
@@ -369,7 +394,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	sp.End()
 
 	// ---- Stage 2: active probing (§3.3). ----
-	sctx, sp = obs.StartSpan(ctx, "probe")
+	sctx, sp = startStage(ctx, "probe")
 	httpOnly := map[string]bool{}
 	for _, f := range pop.Functions {
 		if f.HTTPOnly {
@@ -427,7 +452,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	// so it fans out across cfg.Workers; the fold back into census, type
 	// counts, and the document corpus runs serially in probe-result order,
 	// keeping the stage bit-identical for every worker count.
-	_, sp = obs.StartSpan(ctx, "sanitise")
+	_, sp = startStage(ctx, "sanitise")
 	anonRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5a17))
 	anon := secrets.NewAnonymizer(anonRng)
 	res.TypeCounts = map[content.Type]int{}
@@ -490,7 +515,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	sp.End()
 
 	// ---- Stage 4: clustering (§3.4). ----
-	_, sp = obs.StartSpan(ctx, "cluster")
+	_, sp = startStage(ctx, "cluster")
 	res.ClustersByType = clusterByType(contentDocs, contentTypes, cfg)
 	for _, n := range res.ClustersByType {
 		res.TotalClusters += n
@@ -501,7 +526,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	// ---- Stage 5: abuse classification (§5). ----
 	// Classify is pure per document, so the scan fans out; the verdict map
 	// is folded serially in document order.
-	sctx, sp = obs.StartSpan(ctx, "classify")
+	sctx, sp = startStage(ctx, "classify")
 	res.Verdicts = map[string][]abuse.Verdict{}
 	verdicts := make([][]abuse.Verdict, len(docs))
 	parallelFor(len(docs), cfg.Workers, func(i int) {
@@ -554,7 +579,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	}
 
 	// ---- Stage 6: threat-intelligence coverage (§5.5). ----
-	_, sp = obs.StartSpan(ctx, "assess")
+	_, sp = startStage(ctx, "assess")
 	oracle := ti.NewOracle()
 	seedTI(oracle, res.C2Detections)
 	abused := make([]string, 0, len(res.AbuseReport.Assigned))
@@ -566,7 +591,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	sp.End()
 
 	// ---- Stage 7: responsible disclosure (§5.5, Appendix A). ----
-	_, sp = obs.StartSpan(ctx, "disclosure")
+	_, sp = startStage(ctx, "disclosure")
 	res.Disclosures = disclosure.Build(res.AbuseReport, res.Verdicts, requests)
 	disclosure.SimulateVendorResponses(res.Disclosures, workload.DeployWindowClock()())
 	sp.SetAttr("reports", len(res.Disclosures))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/abuse"
 	"repro/internal/analysis"
@@ -248,6 +249,40 @@ func (r *Results) RenderHealth() string {
 			report.Count(h.Samples), h.Window, status)
 	}
 	return t.String()
+}
+
+// RenderResources renders the per-stage runtime high-water marks the
+// resource sampler collected. Empty string when sampling was disabled
+// (Config.ResourceInterval zero), so callers can print it unconditionally.
+func (r *Results) RenderResources() string {
+	if len(r.Resources) == 0 {
+		return ""
+	}
+	t := report.NewTable("Runtime resources (per stage)",
+		"Stage", "Samples", "Peak heap", "Peak RSS", "Goroutines", "Alloc", "GCs", "GC pause p99")
+	for _, rs := range r.Resources {
+		t.AddRow(rs.Stage, rs.Samples,
+			fmtMiB(rs.MaxHeapInuseBytes), fmtMiB(rs.MaxRSSBytes),
+			rs.MaxGoroutines, fmtMiB(rs.AllocBytes), rs.GCCount,
+			fmtPause(rs.GCPauseP99NS))
+	}
+	return t.String()
+}
+
+// fmtMiB renders a byte count in MiB with one decimal; "-" for zero (the
+// RSS column on platforms without a reader, stages with no allocation).
+func fmtMiB(n int64) string {
+	if n <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+}
+
+func fmtPause(ns int64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
 }
 
 func dedupHosts(r *Results) map[string]struct{} {

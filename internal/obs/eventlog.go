@@ -20,6 +20,7 @@ const (
 	EventMetrics     = "metrics"     // embedded registry snapshot
 	EventDegradation = "degradation" // one absorbed-failure record
 	EventHealth      = "health"      // one SLO health-rule firing
+	EventResource    = "resource"    // one runtime resource sample (heap/GC/RSS)
 	EventNote        = "note"        // freeform annotation
 )
 

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ResourceStats is the per-stage high-water-mark record the resource sampler
+// accumulates: the worst observation of each runtime dimension while the
+// stage was the run's current stage. Everything here is machine-varying —
+// the record lands on the timings side of a run archive, never in the
+// deterministic summary.
+type ResourceStats struct {
+	Stage   string `json:"stage"`
+	Samples int64  `json:"samples"`
+	// MaxHeapInuseBytes is the peak runtime.MemStats.HeapInuse observed.
+	MaxHeapInuseBytes int64 `json:"max_heap_inuse_bytes"`
+	// MaxRSSBytes is the peak process resident set; 0 on platforms without
+	// an RSS reader (see rssBytes).
+	MaxRSSBytes int64 `json:"max_rss_bytes,omitempty"`
+	// MaxGoroutines is the peak runtime.NumGoroutine reading.
+	MaxGoroutines int64 `json:"max_goroutines"`
+	// AllocBytes is the TotalAlloc delta attributed to the stage — the
+	// bytes the allocator handed out while the stage was current.
+	AllocBytes int64 `json:"alloc_bytes"`
+	// GCCount is how many collections completed while the stage was current.
+	GCCount int64 `json:"gc_count"`
+	// GCPauseP99NS is the p99 stop-the-world pause over the collections
+	// attributed to the stage, 0 when none completed.
+	GCPauseP99NS int64 `json:"gc_pause_p99_ns,omitempty"`
+}
+
+// ResourceSampler snapshots process runtime state (heap in use, cumulative
+// allocations, GC pauses, goroutine count, RSS) on a fixed interval while a
+// run executes. Each tick it publishes the current readings as gauges into
+// the registry, appends one EventResource record to the event log, and folds
+// the reading into the current stage's high-water marks. Like the rest of
+// the package a nil *ResourceSampler is a valid no-op, so callers can wire
+// it unconditionally and let the enabling flag decide whether it exists.
+//
+// The sampler touches only the registry and the event log — the two
+// machine-varying surfaces of a run — so enabling it cannot move a run ID,
+// a golden artifact fingerprint, or any other deterministic output.
+type ResourceSampler struct {
+	interval time.Duration
+	reg      *Registry
+	elog     *EventLog
+
+	stage atomic.Value // string: the run's current stage
+
+	mu        sync.Mutex
+	stats     map[string]*ResourceStats
+	order     []string // stage first-seen order
+	pauses    map[string][]uint64
+	lastGC    uint32
+	lastAlloc uint64
+	started   bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// maxPausesPerStage bounds the per-stage GC pause buffer; beyond it the
+// oldest pauses are dropped. 4096 collections per stage is far past any
+// realistic run, but the bound keeps a pathological GC storm from turning
+// the sampler into the leak it is supposed to find.
+const maxPausesPerStage = 4096
+
+// NewResourceSampler builds a sampler over reg and elog ticking every
+// interval. A non-positive interval returns nil — the no-op sampler — which
+// is how "-resource-interval 0" disables sampling.
+func NewResourceSampler(reg *Registry, elog *EventLog, interval time.Duration) *ResourceSampler {
+	if interval <= 0 {
+		return nil
+	}
+	s := &ResourceSampler{
+		interval: interval,
+		reg:      reg,
+		elog:     elog,
+		stats:    make(map[string]*ResourceStats),
+		pauses:   make(map[string][]uint64),
+	}
+	s.stage.Store("(startup)")
+	return s
+}
+
+// SetStage names the stage subsequent samples are attributed to. Safe from
+// any goroutine; the pipeline calls it at each stage boundary.
+func (s *ResourceSampler) SetStage(name string) {
+	if s == nil || name == "" {
+		return
+	}
+	s.stage.Store(name)
+}
+
+// Start launches the sampling goroutine and takes the baseline sample that
+// later deltas (alloc rate, GC count) are measured from. Stop ends it.
+func (s *ResourceSampler) Start() {
+	if s == nil || s.stop != nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	s.lastGC, s.lastAlloc = ms.NumGC, ms.TotalAlloc
+	s.started = true
+	s.mu.Unlock()
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.sample(true)
+			}
+		}
+	}()
+}
+
+// Stop halts the sampler, takes one final sample (so short stages are never
+// missed entirely), and returns the per-stage high-water marks in stage
+// first-seen order. Safe without Start and at most once effective.
+func (s *ResourceSampler) Stop() []ResourceStats {
+	if s == nil {
+		return nil
+	}
+	if s.stop != nil {
+		select {
+		case <-s.stop:
+		default:
+			close(s.stop)
+			<-s.done
+		}
+	}
+	s.sample(false)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ResourceStats, 0, len(s.order))
+	for _, name := range s.order {
+		st := *s.stats[name]
+		st.GCPauseP99NS = pauseP99(s.pauses[name])
+		out = append(out, st)
+	}
+	return out
+}
+
+// sample takes one reading: gauges into the registry, one event into the
+// log (when emit is set), and the current stage's high-water marks.
+func (s *ResourceSampler) sample(emit bool) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	goroutines := int64(runtime.NumGoroutine())
+	rss := rssBytes()
+	stage, _ := s.stage.Load().(string)
+
+	s.mu.Lock()
+	if !s.started {
+		s.lastGC, s.lastAlloc = ms.NumGC, ms.TotalAlloc
+		s.started = true
+	}
+	allocDelta := int64(ms.TotalAlloc - s.lastAlloc)
+	gcDelta := int64(ms.NumGC - s.lastGC)
+	// Harvest the pauses of collections completed since the last sample
+	// from MemStats' 256-entry circular pause buffer; a burst past 256
+	// keeps the newest.
+	newPauses := gcDelta
+	if newPauses > int64(len(ms.PauseNs)) {
+		newPauses = int64(len(ms.PauseNs))
+	}
+	st := s.stats[stage]
+	if st == nil {
+		st = &ResourceStats{Stage: stage}
+		s.stats[stage] = st
+		s.order = append(s.order, stage)
+	}
+	st.Samples++
+	if h := int64(ms.HeapInuse); h > st.MaxHeapInuseBytes {
+		st.MaxHeapInuseBytes = h
+	}
+	if rss > st.MaxRSSBytes {
+		st.MaxRSSBytes = rss
+	}
+	if goroutines > st.MaxGoroutines {
+		st.MaxGoroutines = goroutines
+	}
+	st.AllocBytes += allocDelta
+	st.GCCount += gcDelta
+	for i := int64(0); i < newPauses; i++ {
+		p := ms.PauseNs[(uint32(int64(ms.NumGC)-i)+255)%256]
+		s.pauses[stage] = append(s.pauses[stage], p)
+	}
+	if n := len(s.pauses[stage]); n > maxPausesPerStage {
+		s.pauses[stage] = s.pauses[stage][n-maxPausesPerStage:]
+	}
+	pauseP99 := pauseP99(s.pauses[stage])
+	s.lastGC, s.lastAlloc = ms.NumGC, ms.TotalAlloc
+	s.mu.Unlock()
+
+	s.reg.Gauge("proc_heap_inuse_bytes").Set(int64(ms.HeapInuse))
+	s.reg.Gauge("proc_heap_alloc_bytes_total").Set(int64(ms.TotalAlloc))
+	s.reg.Gauge("proc_goroutines").Set(goroutines)
+	s.reg.Gauge("proc_gc_total").Set(int64(ms.NumGC))
+	if rss > 0 {
+		s.reg.Gauge("proc_rss_bytes").Set(rss)
+	}
+	if s.interval > 0 {
+		s.reg.Gauge("proc_alloc_bytes_per_s").Set(int64(float64(allocDelta) / s.interval.Seconds()))
+	}
+
+	if emit {
+		s.elog.Emit(EventResource, stage,
+			Attr{Key: "heap_inuse_bytes", Value: fmt.Sprint(ms.HeapInuse)},
+			Attr{Key: "rss_bytes", Value: fmt.Sprint(rss)},
+			Attr{Key: "goroutines", Value: fmt.Sprint(goroutines)},
+			Attr{Key: "num_gc", Value: fmt.Sprint(ms.NumGC)},
+			Attr{Key: "gc_pause_p99_ns", Value: fmt.Sprint(pauseP99)},
+			Attr{Key: "alloc_bytes_delta", Value: fmt.Sprint(allocDelta)},
+		)
+	}
+}
+
+// pauseP99 is the p99 (nearest-rank) of a pause sample set, 0 when empty.
+func pauseP99(pauses []uint64) int64 {
+	if len(pauses) == 0 {
+		return 0
+	}
+	sorted := append([]uint64(nil), pauses...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (99*len(sorted) + 99) / 100 // ceil(0.99n), 1-based
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return int64(sorted[rank-1])
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestResourceSamplerDisabledIsNil(t *testing.T) {
+	if s := NewResourceSampler(NewRegistry(), NewEventLog(), 0); s != nil {
+		t.Fatal("interval 0 must return the nil no-op sampler")
+	}
+	// The nil sampler is a full no-op: every method is callable.
+	var s *ResourceSampler
+	s.SetStage("x")
+	s.Start()
+	if got := s.Stop(); got != nil {
+		t.Fatalf("nil sampler Stop: want nil, got %v", got)
+	}
+}
+
+func TestResourceSamplerCollectsStats(t *testing.T) {
+	reg := NewRegistry()
+	elog := NewEventLog()
+	s := NewResourceSampler(reg, elog, time.Millisecond)
+	s.Start()
+	s.SetStage("identify")
+	// Allocate visibly so the alloc delta and heap gauges move; the sleeps
+	// give the millisecond ticker dozens of chances to fire per stage.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 25; i++ {
+		sink = append(sink, make([]byte, 1<<16))
+		time.Sleep(2 * time.Millisecond)
+	}
+	_ = sink
+	s.SetStage("probe")
+	time.Sleep(25 * time.Millisecond)
+	stats := s.Stop()
+
+	if len(stats) == 0 {
+		t.Fatal("no per-stage stats collected")
+	}
+	byStage := map[string]ResourceStats{}
+	for _, st := range stats {
+		byStage[st.Stage] = st
+	}
+	for _, stage := range []string{"identify", "probe"} {
+		st, ok := byStage[stage]
+		if !ok {
+			t.Fatalf("stage %s missing from stats (got %v)", stage, stats)
+		}
+		if st.Samples == 0 || st.MaxHeapInuseBytes == 0 || st.MaxGoroutines == 0 {
+			t.Fatalf("stage %s has empty high-water marks: %+v", stage, st)
+		}
+	}
+
+	snap := reg.Snapshot()
+	for _, g := range []string{"proc_heap_inuse_bytes", "proc_goroutines", "proc_heap_alloc_bytes_total"} {
+		if snap.Gauges[g] <= 0 {
+			t.Fatalf("gauge %s not published: %d", g, snap.Gauges[g])
+		}
+	}
+	// GC may legitimately not run during a short test; the gauge must still
+	// be registered (possibly at zero).
+	if _, ok := snap.Gauges["proc_gc_total"]; !ok {
+		t.Fatal("gauge proc_gc_total not registered")
+	}
+
+	var resourceEvents int
+	for _, e := range elog.Events() {
+		if e.Type == EventResource {
+			resourceEvents++
+		}
+	}
+	if resourceEvents == 0 {
+		t.Fatal("no EventResource records emitted")
+	}
+}
+
+func TestResourceSamplerStopWithoutStart(t *testing.T) {
+	s := NewResourceSampler(NewRegistry(), NewEventLog(), time.Millisecond)
+	stats := s.Stop() // must not hang or panic; takes the one final sample
+	if len(stats) != 1 || stats[0].Samples != 1 {
+		t.Fatalf("want exactly the final sample under the startup stage, got %v", stats)
+	}
+}
+
+// TestResourceSamplerRace hammers the sampler from concurrent workers the
+// way a parallel pipeline stage does: stage flips and registry traffic from
+// 1, 2, and 8 goroutines while the ticker samples. Run under -race via the
+// Makefile race target.
+func TestResourceSamplerRace(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			reg := NewRegistry()
+			s := NewResourceSampler(reg, NewEventLog(), 500*time.Microsecond)
+			s.Start()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						s.SetStage(fmt.Sprintf("stage-%d", i%3))
+						reg.Counter("race_test_total").Inc()
+						if i%10 == 0 {
+							time.Sleep(50 * time.Microsecond)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			stats := s.Stop()
+			if len(stats) == 0 {
+				t.Fatal("no stats after concurrent sampling")
+			}
+			// Stop is idempotent even when raced after a first Stop.
+			_ = s.Stop()
+		})
+	}
+}

@@ -1,0 +1,28 @@
+//go:build linux
+
+package obs
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// rssBytes reads the process resident set size from /proc/self/statm
+// (second field, in pages). Returns 0 when the file is unreadable, which
+// callers treat as "RSS unavailable" rather than an error.
+func rssBytes() int64 {
+	b, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package obs
+
+// rssBytes is unavailable off linux; resource samples report 0 RSS there
+// and the high-water-mark field is omitted from the archive.
+func rssBytes() int64 { return 0 }

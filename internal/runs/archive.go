@@ -79,6 +79,11 @@ type Timings struct {
 	Stages    []obs.StageTiming `json:"stages"`
 	Metrics   obs.Snapshot      `json:"metrics"`
 	Health    []health.Result   `json:"health,omitempty"`
+	// Resources is the per-stage runtime high-water-mark table the resource
+	// sampler collected (heap in use, RSS, goroutines, GC), empty when the
+	// run sampled with -resource-interval 0. Machine-varying by nature,
+	// which is exactly why it lives here and not in Summary.
+	Resources []obs.ResourceStats `json:"resources,omitempty"`
 }
 
 // Archive is everything a finishing run hands to Write. Manifest, Events,
@@ -137,6 +142,17 @@ func Fingerprint(content string) string {
 // directory. An existing directory for the same ID is overwritten file by
 // file — identical configs collide by design.
 func Write(root string, a *Archive) (string, error) {
+	fillSummary(a)
+	dir := filepath.Join(root, a.Summary.ID)
+	if err := WriteDir(dir, a); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// fillSummary derives the summary's ConfigHash, ID, and artifact
+// fingerprints when unset.
+func fillSummary(a *Archive) {
 	if a.Summary.ConfigHash == "" {
 		a.Summary.ConfigHash = ConfigHash(a.Summary.Meta)
 	}
@@ -149,59 +165,65 @@ func Write(root string, a *Archive) (string, error) {
 			a.Summary.Artifacts[name] = Fingerprint(content)
 		}
 	}
-	dir := filepath.Join(root, a.Summary.ID)
+}
+
+// WriteDir persists a into exactly dir, regardless of the run ID — the
+// scenario matrix uses this to key archive slots by cell ID. The summary is
+// still completed (hash, ID, fingerprints) exactly as Write does.
+func WriteDir(dir string, a *Archive) error {
+	fillSummary(a)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("runs: %w", err)
+		return fmt.Errorf("runs: %w", err)
 	}
 	if err := writeJSON(filepath.Join(dir, SummaryFile), a.Summary); err != nil {
-		return "", err
+		return err
 	}
 	if err := writeJSON(filepath.Join(dir, TimingsFile), a.Timings); err != nil {
-		return "", err
+		return err
 	}
 	if a.Manifest != nil {
 		if err := a.Manifest.WriteFile(filepath.Join(dir, ManifestFile)); err != nil {
-			return "", err
+			return err
 		}
 	}
 	if a.Events != nil {
 		f, err := os.Create(filepath.Join(dir, EventsFile))
 		if err != nil {
-			return "", fmt.Errorf("runs: %w", err)
+			return fmt.Errorf("runs: %w", err)
 		}
 		werr := a.Events.WriteJSONL(f)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
-			return "", fmt.Errorf("runs: events: %w", werr)
+			return fmt.Errorf("runs: events: %w", werr)
 		}
 	}
 	if a.Trace != nil {
 		f, err := os.Create(filepath.Join(dir, TraceFile))
 		if err != nil {
-			return "", fmt.Errorf("runs: %w", err)
+			return fmt.Errorf("runs: %w", err)
 		}
 		werr := obs.WriteChromeTrace(f, a.Trace, a.Events)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
-			return "", fmt.Errorf("runs: trace: %w", werr)
+			return fmt.Errorf("runs: trace: %w", werr)
 		}
 	}
 	if len(a.Artifacts) > 0 {
 		adir := filepath.Join(dir, ArtifactsDir)
 		if err := os.MkdirAll(adir, 0o755); err != nil {
-			return "", fmt.Errorf("runs: %w", err)
+			return fmt.Errorf("runs: %w", err)
 		}
 		for name, content := range a.Artifacts {
 			if err := os.WriteFile(filepath.Join(adir, name), []byte(content), 0o644); err != nil {
-				return "", fmt.Errorf("runs: artifact %s: %w", name, err)
+				return fmt.Errorf("runs: artifact %s: %w", name, err)
 			}
 		}
 	}
-	return dir, nil
+	return nil
 }
 
 func writeJSON(path string, v any) error {

@@ -1,0 +1,60 @@
+package runs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchSetFixture(ns, allocs float64) *BenchSet {
+	return &BenchSet{
+		Goos: "linux", Goarch: "amd64",
+		Results: []BenchResult{
+			{Name: "BenchmarkTable2Resolution-8", Base: "BenchmarkTable2Resolution", Iterations: 10, NsPerOp: ns, AllocsPerOp: allocs},
+			{Name: "BenchmarkTable2Resolution-8", Base: "BenchmarkTable2Resolution", Iterations: 10, NsPerOp: ns + 2, AllocsPerOp: allocs},
+			{Name: "BenchmarkTop10Share-8", Base: "BenchmarkTop10Share", Iterations: 100, NsPerOp: ns / 10},
+		},
+	}
+}
+
+func TestHistoryAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), HistoryFile)
+	if got, err := ReadHistory(path); err != nil || got != nil {
+		t.Fatalf("missing history: want empty, got %v err %v", got, err)
+	}
+	e1 := HistoryEntryFrom(benchSetFixture(1000, 50), "pr-5", "2026-08-01T00:00:00Z")
+	e2 := HistoryEntryFrom(benchSetFixture(800, 40), "pr-6", "2026-08-08T00:00:00Z")
+	if err := AppendHistory(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Label != "pr-5" || got[1].Label != "pr-6" {
+		t.Fatalf("history order wrong: %+v", got)
+	}
+	// Means over the -count repeats: (1000+1002)/2.
+	if ns := got[0].Bench["BenchmarkTable2Resolution"].NsPerOp; ns != 1001 {
+		t.Fatalf("mean ns/op: want 1001, got %v", ns)
+	}
+	if a := got[0].Bench["BenchmarkTable2Resolution"].AllocsPerOp; a != 50 {
+		t.Fatalf("mean allocs/op: want 50, got %v", a)
+	}
+}
+
+func TestHistoryRejectsEmptyEntry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), HistoryFile)
+	if err := AppendHistory(path, HistoryEntry{Label: "empty"}); err == nil {
+		t.Fatal("empty bench map must be rejected")
+	}
+}
+
+func TestHistoryMalformedLine(t *testing.T) {
+	if _, err := readHistory(strings.NewReader("{\"bench\":{}}\nnot-json\n")); err == nil {
+		t.Fatal("malformed line must error")
+	}
+}

@@ -1,0 +1,172 @@
+package runs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MatrixDir is the subdirectory of a run-archive root that holds scenario
+// matrix cells: <root>/matrix/<cell-id>/ is one archive per cell, keyed by
+// cell ID rather than config hash so sweeps with different seeds still land
+// in stable slots.
+const MatrixDir = "matrix"
+
+// Cell is one scenario-matrix configuration: a point in the
+// {scale} × {workers} × {chaos profile} grid the benchmark sweep executes.
+type Cell struct {
+	Scale   float64 `json:"scale"`
+	Workers int     `json:"workers"`
+	Chaos   string  `json:"chaos"`
+}
+
+// ID renders the cell's archive slot name, e.g. "s0.01-w8-cheavy". The
+// scheme is documented in the README; report tables sort by it.
+func (c Cell) ID() string {
+	return fmt.Sprintf("s%g-w%d-c%s", c.Scale, c.Workers, c.Chaos)
+}
+
+// matrixChaosProfiles are the chaos values a cell spec accepts — the named
+// deterministic profiles of internal/fault. Validated here so a typo fails
+// at parse time, not three cells into a sweep.
+var matrixChaosProfiles = map[string]bool{"none": true, "light": true, "heavy": true}
+
+// DefaultCellSpec is the sweep `make bench-matrix` runs: both worker
+// extremes of the golden scale, clean and under heavy chaos.
+const DefaultCellSpec = "scale=0.01;workers=1,8;chaos=none,heavy"
+
+// ParseCells expands a cell spec like
+//
+//	scale=0.01,0.05;workers=1,8;chaos=none,heavy
+//
+// into the full cross product, scale-major then workers then chaos, in the
+// order each value was written. Dimensions are ';'-separated, values
+// ','-separated; a dimension left out takes its single default (scale 0.01,
+// workers 4, chaos none); an unknown dimension or malformed value is an
+// error.
+func ParseCells(spec string) ([]Cell, error) {
+	scales := []float64{0.01}
+	workers := []int{4}
+	chaos := []string{"none"}
+	for _, dim := range strings.Split(spec, ";") {
+		dim = strings.TrimSpace(dim)
+		if dim == "" {
+			continue
+		}
+		key, vals, ok := strings.Cut(dim, "=")
+		if !ok {
+			return nil, fmt.Errorf("runs: matrix spec: dimension %q is not key=v1,v2", dim)
+		}
+		parts := strings.Split(vals, ",")
+		switch key {
+		case "scale":
+			scales = scales[:0]
+			for _, p := range parts {
+				v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+				if err != nil || v <= 0 {
+					return nil, fmt.Errorf("runs: matrix spec: bad scale %q", p)
+				}
+				scales = append(scales, v)
+			}
+		case "workers":
+			workers = workers[:0]
+			for _, p := range parts {
+				v, err := strconv.Atoi(strings.TrimSpace(p))
+				if err != nil || v <= 0 {
+					return nil, fmt.Errorf("runs: matrix spec: bad workers %q", p)
+				}
+				workers = append(workers, v)
+			}
+		case "chaos":
+			chaos = chaos[:0]
+			for _, p := range parts {
+				p = strings.TrimSpace(p)
+				if !matrixChaosProfiles[p] {
+					return nil, fmt.Errorf("runs: matrix spec: unknown chaos profile %q (want none, light, or heavy)", p)
+				}
+				chaos = append(chaos, p)
+			}
+		default:
+			return nil, fmt.Errorf("runs: matrix spec: unknown dimension %q (want scale, workers, chaos)", key)
+		}
+	}
+	var cells []Cell
+	for _, s := range scales {
+		for _, w := range workers {
+			for _, c := range chaos {
+				cells = append(cells, Cell{Scale: s, Workers: w, Chaos: c})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// ListMatrix loads every cell archive under root/matrix, sorted by cell ID
+// so report output is deterministic. A missing matrix directory is an empty
+// sweep, not an error.
+func ListMatrix(root string) ([]*Record, error) {
+	dir := filepath.Join(root, MatrixDir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("runs: %w", err)
+	}
+	var out []*Record
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rec, err := Read(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return filepath.Base(out[i].Dir) < filepath.Base(out[j].Dir)
+	})
+	return out, nil
+}
+
+// GateMatrix diffs every cell archive under candRoot/matrix against the
+// same cell under baseRoot/matrix and returns the union of gate violations,
+// each prefixed with its cell ID — so a regression confined to one corner
+// of the grid (say heavy-chaos workers-8) fails even when every other cell
+// is flat. A baseline cell with no candidate counterpart is a violation (the
+// sweep shrank); a candidate cell with no baseline is reported by the caller
+// at its leisure but never fails — suites grow.
+func GateMatrix(baseRoot, candRoot string, o GateOptions) ([]string, error) {
+	base, err := ListMatrix(baseRoot)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("runs: no baseline matrix cells under %s", filepath.Join(baseRoot, MatrixDir))
+	}
+	cand, err := ListMatrix(candRoot)
+	if err != nil {
+		return nil, err
+	}
+	candByID := make(map[string]*Record, len(cand))
+	for _, rec := range cand {
+		candByID[filepath.Base(rec.Dir)] = rec
+	}
+	var violations []string
+	for _, b := range base {
+		id := filepath.Base(b.Dir)
+		c, ok := candByID[id]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("[%s] cell missing from candidate sweep", id))
+			continue
+		}
+		for _, v := range Diff(b, c).Gate(o) {
+			violations = append(violations, fmt.Sprintf("[%s] %s", id, v))
+		}
+	}
+	return violations, nil
+}

@@ -1,0 +1,130 @@
+package runs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// perfInputFixture builds a two-cell matrix with baselines, a bench pair,
+// and a three-entry history — every section of the report populated.
+func perfInputFixture(t *testing.T) PerfReportInput {
+	t.Helper()
+	root, baseRoot := t.TempDir(), t.TempDir()
+	a := Cell{Scale: 0.01, Workers: 1, Chaos: "none"}
+	b := Cell{Scale: 0.01, Workers: 8, Chaos: "heavy"}
+	writeCell(t, root, a, 2e9)
+	writeCell(t, root, b, 3e9)
+	writeCell(t, baseRoot, a, 1e9)
+	cells, err := ListMatrix(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCells, err := ListMatrix(baseRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselines := map[string]*Record{}
+	for _, rec := range baseCells {
+		baselines[filepath.Base(rec.Dir)] = rec
+	}
+	return PerfReportInput{
+		Cells:     cells,
+		Baselines: baselines,
+		Bench:     benchSetFixture(800, 40),
+		BenchBase: benchSetFixture(1000, 50),
+		History: []HistoryEntry{
+			HistoryEntryFrom(benchSetFixture(1000, 50), "pr-4", "2026-07-01T00:00:00Z"),
+			HistoryEntryFrom(benchSetFixture(1200, 50), "pr-5", "2026-07-20T00:00:00Z"),
+			HistoryEntryFrom(benchSetFixture(800, 40), "pr-6", "2026-08-08T00:00:00Z"),
+		},
+	}
+}
+
+func TestRenderPerfReportDeterministic(t *testing.T) {
+	in := perfInputFixture(t)
+	first := RenderPerfReport(in)
+	for i := 0; i < 5; i++ {
+		if got := RenderPerfReport(in); got != first {
+			t.Fatalf("render %d differs from first render", i+1)
+		}
+	}
+}
+
+func TestRenderPerfReportSections(t *testing.T) {
+	out := RenderPerfReport(perfInputFixture(t))
+	for _, want := range []string{
+		"# Performance report",
+		"## Scenario matrix — stage walls",
+		"## Resource high-water marks",
+		"## Benchmarks",
+		"## Perf trajectory",
+		"s0.01-w1-cnone",
+		"s0.01-w8-cheavy",
+		"BenchmarkTable2Resolution",
+		"(+100%)", // w1 cell identify wall doubled vs its baseline
+		"-20.0%",  // ns/op 1000 -> 800, in the bench deltas and the trajectory
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Cells without a baseline must render without delta decoration.
+	if strings.Count(out, "(+100%)") != 1 {
+		t.Fatalf("baseline delta should appear exactly once:\n%s", out)
+	}
+}
+
+func TestRenderPerfReportEmptySectionsOmitted(t *testing.T) {
+	out := RenderPerfReport(PerfReportInput{})
+	if strings.Contains(out, "## ") {
+		t.Fatalf("empty input must render no sections:\n%s", out)
+	}
+	// History-only input renders only the trajectory.
+	out = RenderPerfReport(PerfReportInput{History: []HistoryEntry{
+		HistoryEntryFrom(benchSetFixture(1000, 50), "pr-4", ""),
+	}})
+	if !strings.Contains(out, "## Perf trajectory") || strings.Contains(out, "## Scenario matrix") {
+		t.Fatalf("history-only report wrong:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]float64{1, 1, 1}); got != "▁▁▁" {
+		t.Fatalf("flat series: got %q", got)
+	}
+	got := sparkline([]float64{0, 50, 100})
+	r := []rune(got)
+	if len(r) != 3 || r[0] != '▁' || r[2] != '█' {
+		t.Fatalf("ramp series: got %q", got)
+	}
+}
+
+func TestPerfReportProviderSection(t *testing.T) {
+	// A cell whose timings carry the labeled probe vectors renders the
+	// provider p99 table.
+	root := t.TempDir()
+	c := Cell{Scale: 0.01, Workers: 1, Chaos: "none"}
+	arch := cellArchive(c, 1e9)
+	reg := obs.NewRegistry()
+	hv := reg.HistogramVec("probe_request_seconds", nil, "provider")
+	for i := 0; i < 100; i++ {
+		hv.With("aws").Observe(0.01)
+	}
+	cv := reg.CounterVec("probe_outcomes_total", "provider", "outcome", "attempt_class")
+	cv.With("aws", "ok", "first").Add(100)
+	arch.Timings.Metrics = reg.Snapshot()
+	if err := WriteDir(filepath.Join(root, MatrixDir, c.ID()), arch); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := ListMatrix(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderPerfReport(PerfReportInput{Cells: cells})
+	if !strings.Contains(out, "## Probe p99 by provider") || !strings.Contains(out, "aws") {
+		t.Fatalf("provider section missing:\n%s", out)
+	}
+}
