@@ -40,7 +40,7 @@ bench:
 # tee pipe, whose exit status would mask a bench failure), and the parse step
 # errors out when the capture contains zero benchmark lines.
 bench-json:
-	$(GO) test -bench 'EmitPDNS|AggregateParallel|Top10Share|Table2Resolution' \
+	$(GO) test -bench 'EmitPDNS|AggregateParallel|Top10Share|Table2Resolution|BatchCodec' \
 		-benchmem -count=5 -run=^$$ ./... > BENCH_pipeline.txt 2>&1 \
 		|| { cat BENCH_pipeline.txt; rm -f BENCH_pipeline.txt; exit 1; }
 	cat BENCH_pipeline.txt

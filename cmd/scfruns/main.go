@@ -38,7 +38,10 @@
 // two renders over identical archives are byte-identical. bench converts
 // `go test -bench` text into the structured JSON BENCH_pipeline.json holds
 // (appending a trajectory record with -history), and gate's
-// -bench-base/-bench-new compare two such files.
+// -bench-base/-bench-new compare two such files on both mean ns/op
+// (-bench-tol) and mean allocs/op (-allocs-tol, a plain ratio ceiling,
+// default 1.10x) so an allocation regression fails the gate even when
+// wall-clock time hides it.
 //
 // Exit codes: 0 success, 1 runtime error or gate violation, 2 usage error.
 package main
@@ -363,6 +366,7 @@ func cmdGate(args []string) error {
 		benchBase  = fs.String("bench-base", "", "baseline bench JSON (from 'scfruns bench')")
 		benchNew   = fs.String("bench-new", "", "candidate bench JSON to gate against -bench-base")
 		benchTol   = fs.Float64("bench-tol", 0.5, "mean ns/op regression tolerance as a ratio above 1")
+		allocsTol  = fs.Float64("allocs-tol", 1.10, "mean allocs/op regression ceiling as a plain ratio (<= 0 disables)")
 		matrixBase = fs.String("matrix-base", "", "baseline archive root whose matrix/ cells gate the candidate's")
 		matrixNew  = fs.String("matrix-new", "", "candidate archive root for -matrix-base (default: -dir)")
 		quiet      = fs.Bool("quiet", false, "suppress the full diff; print only violations")
@@ -438,7 +442,7 @@ func cmdGate(args []string) error {
 		if !*quiet {
 			fmt.Println(runs.RenderBenchDiff(runs.DiffBench(ba, bb)))
 		}
-		violations = append(violations, runs.GateBench(ba, bb, *benchTol)...)
+		violations = append(violations, runs.GateBench(ba, bb, *benchTol, *allocsTol)...)
 	}
 
 	if *baseline == "" && *benchBase == "" && *matrixBase == "" {

@@ -210,18 +210,38 @@ func (r *Resolver) intern(cl *cachedLookup, provider string) {
 	cl.ansCNAME = r.mAnswerVec.With(provider, "CNAME")
 }
 
-// answer synthesises the rdata for one (rtype, region) draw.
+// answerKey identifies one memoised synthetic answer: the rdata is a pure
+// function of (policy, rtype, region, node index).
+type answerKey struct {
+	t      pdns.RType
+	region string
+	idx    int
+}
+
+// answer synthesises the rdata for one (rtype, region) draw. The node index
+// is always drawn from rng first — keeping the RNG consumption of every
+// per-function stream fixed — and the synthesis itself is memoised per
+// (rtype, region, idx): a two-year feed re-resolves each of a provider's
+// few hundred ingress nodes millions of times, so the Sprintf/hash work
+// collapses to a read-locked map hit after warm-up.
 func (p *Policy) answer(t pdns.RType, region string, rng *rand.Rand) (Answer, error) {
 	n := p.NodeCount(t, region)
 	if n <= 0 {
 		return Answer{}, fmt.Errorf("dnssim: %s has no %v ingress nodes in %q", p.Provider, t, region)
 	}
 	idx := p.pickNode(n, rng)
+	key := answerKey{t, region, idx}
+	p.ansMu.RLock()
+	a, ok := p.ansCache[key]
+	p.ansMu.RUnlock()
+	if ok {
+		return a, nil
+	}
 	owner := p.nodeOwner(idx)
 	if p.Anycast {
 		region = "global"
 	}
-	a := Answer{RType: t, Owner: owner, TTL: p.ttl()}
+	a = Answer{RType: t, Owner: owner, TTL: p.ttl()}
 	switch t {
 	case pdns.TypeA:
 		a.RData = syntheticIPv4(p.Provider, owner, region, idx)
@@ -230,6 +250,12 @@ func (p *Policy) answer(t pdns.RType, region string, rng *rand.Rand) (Answer, er
 	case pdns.TypeCNAME:
 		a.RData = p.cname(region, idx)
 	}
+	p.ansMu.Lock()
+	if p.ansCache == nil {
+		p.ansCache = make(map[answerKey]Answer)
+	}
+	p.ansCache[key] = a
+	p.ansMu.Unlock()
 	return a, nil
 }
 

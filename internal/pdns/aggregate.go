@@ -157,6 +157,18 @@ type Aggregator struct {
 	iInvalid   *obs.Counter
 	iWindow    *obs.Counter
 	iUnmatched *obs.Counter
+
+	// Columnar fast path state (aggregate_batch.go): the adopted intern
+	// table, per-symbol stats/identification caches, slab arenas for
+	// FQDNStats and bitset words, and the dense month/provider caches that
+	// both Add and AddBatch share.
+	symtab     *Symtab
+	bySym      []*FQDNStats
+	identBySym []symIdent
+	provDense  []*provEntry
+	statsArena []FQDNStats
+	daysArena  []uint64
+	monthCache []Date
 }
 
 // Instrument points the aggregator's telemetry at reg. Call before the first
@@ -198,6 +210,16 @@ func NewAggregator(matcher *providers.Matcher, start, end Date) *Aggregator {
 	return a
 }
 
+// Presize hints the expected number of distinct matched FQDNs so the main
+// map starts at its final size instead of rehashing its way there. Only
+// effective before the first record; the parallel aggregation path calls it
+// with each shard's expected function count.
+func (a *Aggregator) Presize(fqdns int) {
+	if fqdns > 0 && len(a.byFQDN) == 0 {
+		a.byFQDN = make(map[string]*FQDNStats, fqdns)
+	}
+}
+
 // Add folds one record into the aggregate. Records outside the window or not
 // matching any provider are counted but otherwise ignored. Invalid records
 // are dropped, mirroring a production feed consumer.
@@ -225,59 +247,52 @@ func (a *Aggregator) Add(r *Record) {
 
 	fs := a.byFQDN[r.FQDN]
 	if fs == nil {
-		region := ""
-		if p, ok := info.Parse(r.FQDN); ok {
-			region = p.Region
-		}
-		fs = &FQDNStats{
-			FQDN:         r.FQDN,
-			Provider:     info.ID,
-			Region:       region,
-			FirstSeenAll: r.PDate,
-			LastSeenAll:  r.PDate,
-			seenDays:     newBitset(a.window.end.Sub(a.window.start) + 1),
-		}
-		a.byFQDN[r.FQDN] = fs
-		a.newPerDay[r.PDate]++
+		fs = a.newFQDNStats(r.FQDN, info.Region(r.FQDN), info.ID, r.PDate)
 	}
-	if r.PDate < fs.FirstSeenAll {
-		fs.FirstSeenAll = r.PDate
+	a.fold(fs, info.ID, r.RType, r.RData, r.RequestCnt, r.PDate)
+}
+
+// fold applies one matched record's contribution to the per-FQDN, per-
+// provider, and trend series — shared verbatim by Add and the AddBatch row
+// loop so the two paths cannot drift.
+func (a *Aggregator) fold(fs *FQDNStats, id providers.ID, t RType, rdata string, cnt int64, pd Date) {
+	if pd < fs.FirstSeenAll {
+		fs.FirstSeenAll = pd
 	}
-	if r.PDate > fs.LastSeenAll {
-		fs.LastSeenAll = r.PDate
+	if pd > fs.LastSeenAll {
+		fs.LastSeenAll = pd
 	}
-	if day := r.PDate.Sub(a.window.start); fs.seenDays.setIfUnset(day) {
+	if day := pd.Sub(a.window.start); fs.seenDays.setIfUnset(day) {
 		fs.DaysCount++
 	}
-	fs.TotalRequest += r.RequestCnt
+	fs.TotalRequest += cnt
 
-	ps := a.byProvider[info.ID]
-	if ps == nil {
-		ps = &ProviderStats{
-			Provider: info.ID,
-			Regions:  make(map[string]struct{}),
-			ByRType:  make(map[RType]*RTypeStats),
-		}
-		a.byProvider[info.ID] = ps
-	}
+	pe := a.prov(id)
 	if fs.Region != "" {
-		ps.Regions[fs.Region] = struct{}{}
+		pe.ps.Regions[fs.Region] = struct{}{}
 	}
-	ps.Requests += r.RequestCnt
-	rs := ps.ByRType[r.RType]
-	if rs == nil {
-		rs = &RTypeStats{ByRData: make(map[string]int64)}
-		ps.ByRType[r.RType] = rs
-	}
-	rs.Requests += r.RequestCnt
-	rs.ByRData[r.RData] += r.RequestCnt
+	pe.ps.Requests += cnt
+	rs := pe.rtype(t)
+	rs.Requests += cnt
+	rs.ByRData[rdata] += cnt
+	pe.monthly[a.monthOf(pd)] += cnt
+}
 
-	mr := a.monthlyReq[info.ID]
-	if mr == nil {
-		mr = make(map[Date]int64)
-		a.monthlyReq[info.ID] = mr
+// newFQDNStats arena-allocates and registers the stats of a first-seen
+// FQDN, bumping the Figure 3 first-seen series.
+func (a *Aggregator) newFQDNStats(fqdn, region string, id providers.ID, pd Date) *FQDNStats {
+	fs := a.allocStats()
+	*fs = FQDNStats{
+		FQDN:         fqdn,
+		Provider:     id,
+		Region:       region,
+		FirstSeenAll: pd,
+		LastSeenAll:  pd,
+		seenDays:     a.allocBitset(),
 	}
-	mr[r.PDate.Month()] += r.RequestCnt
+	a.byFQDN[fqdn] = fs
+	a.newPerDay[pd]++
+	return fs
 }
 
 // Finish fixes per-provider domain counts and returns the aggregate.

@@ -29,6 +29,7 @@ type Writer struct {
 	bw     *bufio.Writer
 	format Format
 	n      int64
+	buf    []byte // reusable TSV line scratch (Write and WriteBatch)
 }
 
 // NewWriter wraps w. Call Flush when done.
@@ -50,24 +51,8 @@ func (w *Writer) Write(r *Record) error {
 		}
 		return w.bw.WriteByte('\n')
 	case TSV:
-		var sb strings.Builder
-		sb.Grow(len(r.FQDN) + len(r.RData) + 48)
-		sb.WriteString(r.FQDN)
-		sb.WriteByte('\t')
-		sb.WriteString(strconv.Itoa(int(r.RType)))
-		sb.WriteByte('\t')
-		sb.WriteString(r.RData)
-		sb.WriteByte('\t')
-		sb.WriteString(strconv.FormatInt(r.FirstSeen.Unix(), 10))
-		sb.WriteByte('\t')
-		sb.WriteString(strconv.FormatInt(r.LastSeen.Unix(), 10))
-		sb.WriteByte('\t')
-		sb.WriteString(strconv.FormatInt(r.RequestCnt, 10))
-		sb.WriteByte('\t')
-		sb.WriteString(strconv.Itoa(int(r.PDate)))
-		sb.WriteByte('\n')
-		_, err := w.bw.WriteString(sb.String())
-		return err
+		return w.writeTSV(r.FQDN, r.RType, r.RData,
+			r.FirstSeen.Unix(), r.LastSeen.Unix(), r.RequestCnt, r.PDate)
 	default:
 		return fmt.Errorf("pdns: unknown format %d", w.format)
 	}
@@ -97,6 +82,7 @@ type Reader struct {
 	scanned    int64
 	skipped    int64
 	streamErr  error
+	scratch    Record          // JSONL decode target for ReadBatch
 	mSkipped   *obs.Counter    // pdns_reader_quarantined_total
 	mQuarVec   *obs.CounterVec // pdns_quarantined_total{shard,reason}
 	shard      string

@@ -47,6 +47,103 @@ func FuzzTSVReader(f *testing.F) {
 	})
 }
 
+// FuzzBatchTSVRoundTrip runs the scalar and the batch TSV readers over the
+// same arbitrary bytes in quarantine mode and requires them to agree on
+// every observable: the records delivered, the skip count, and — for the
+// delivered rows — the re-encoded bytes of batch and scalar writers.
+func FuzzBatchTSVRoundTrip(f *testing.F) {
+	f.Add("f.on.aws\t1\t1.2.3.4\t1650000000\t1650000600\t12\t19083\n")
+	f.Add("f.on.aws\t1\t1.2.3.4\t1650000000\t1650000600\t12\t19083\njunk\nf.on.aws\t5\tx\t0\t0\t0\t0\n")
+	f.Add("a\t1\tb\tx\ty\tz\tw\n")
+	f.Add("f\t+1\tr\t-5\t-5\t0\t-1\n")
+	f.Add("f\t99999999999999999999\tr\t0\t0\t0\t0\n") // overflow hits the slow path
+	f.Add("f.on.aws\t1\t1.2.")
+	f.Fuzz(func(t *testing.T, input string) {
+		sr := NewReader(bytes.NewBufferString(input), TSV).Quarantine(0.99)
+		var scalar []Record
+		var rec Record
+		var scalarErr error
+		for {
+			err := sr.Read(&rec)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				scalarErr = err
+				break
+			}
+			scalar = append(scalar, rec)
+		}
+
+		br := NewReader(bytes.NewBufferString(input), TSV).Quarantine(0.99)
+		batch := NewRecordBatch(4)
+		var batched []Record
+		var batchErr error
+		for {
+			batch.Reset()
+			n, err := br.ReadBatch(batch, 4)
+			for i := 0; i < n; i++ {
+				var out Record
+				batch.At(i, &out)
+				batched = append(batched, out)
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				batchErr = err
+				break
+			}
+		}
+
+		if (scalarErr == nil) != (batchErr == nil) {
+			t.Fatalf("error divergence: scalar %v, batch %v", scalarErr, batchErr)
+		}
+		if scalarErr != nil {
+			if !errors.Is(scalarErr, ErrErrorBudget) || !errors.Is(batchErr, ErrErrorBudget) {
+				t.Fatalf("hard failure in quarantine mode: scalar %v, batch %v", scalarErr, batchErr)
+			}
+			return // blown budgets abort mid-stream; delivered prefixes may differ
+		}
+		if len(scalar) != len(batched) {
+			t.Fatalf("delivered %d batch records, scalar delivered %d", len(batched), len(scalar))
+		}
+		for i := range scalar {
+			a, b := scalar[i], batched[i]
+			if a.FQDN != b.FQDN || a.RType != b.RType || a.RData != b.RData ||
+				a.RequestCnt != b.RequestCnt || a.PDate != b.PDate ||
+				!a.FirstSeen.Equal(b.FirstSeen) || !a.LastSeen.Equal(b.LastSeen) {
+				t.Fatalf("record %d diverged: scalar %+v, batch %+v", i, a, b)
+			}
+		}
+		if sr.Skipped() != br.Skipped() {
+			t.Fatalf("Skipped: scalar %d, batch %d", sr.Skipped(), br.Skipped())
+		}
+
+		// Re-encode both ways; the bytes must match exactly.
+		var sbuf, bbuf bytes.Buffer
+		sw := NewWriter(&sbuf, TSV)
+		for i := range scalar {
+			if err := sw.Write(&scalar[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sw.Flush()
+		reBatch := NewRecordBatch(len(batched))
+		for i := range batched {
+			reBatch.AppendRecord(&batched[i])
+		}
+		bw := NewWriter(&bbuf, TSV)
+		if err := bw.WriteBatch(reBatch); err != nil {
+			t.Fatal(err)
+		}
+		bw.Flush()
+		if !bytes.Equal(sbuf.Bytes(), bbuf.Bytes()) {
+			t.Fatalf("re-encode diverged:\n%q\nvs\n%q", bbuf.String(), sbuf.String())
+		}
+	})
+}
+
 // FuzzQuarantineReader checks that a quarantining reader never panics and
 // never hard-fails on arbitrary input: every outcome is a delivered record,
 // a quarantined line, or a blown error budget — nothing else.

@@ -143,9 +143,25 @@ func ParallelAggregate(matcher *providers.Matcher, start, end Date, workers int,
 	}
 	wg.Wait()
 
-	out := aggs[0].Finish()
-	for _, a := range aggs[1:] {
-		if err := out.Merge(a.Finish()); err != nil {
+	// Merge the smaller shards into the largest one: FQDN-disjoint shards
+	// make Merge commutative (it recomputes Domains at the end), and the
+	// biggest map then never rehashes to absorb the rest.
+	finished := make([]*Aggregate, len(aggs))
+	for i, a := range aggs {
+		finished[i] = a.Finish()
+	}
+	base := 0
+	for i, ag := range finished {
+		if ag.TotalDomains() > finished[base].TotalDomains() {
+			base = i
+		}
+	}
+	out := finished[base]
+	for i, ag := range finished {
+		if i == base {
+			continue
+		}
+		if err := out.Merge(ag); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,75 @@
+package providers
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestRegionMatchesParse pins the contract of the allocation-free Region fast
+// path: for every provider format it must return exactly Parse(fqdn).Region,
+// across random domains, every enumerated region, case noise, and trailing
+// dots.
+func TestRegionMatchesParse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, in := range Collected() {
+		var domains []string
+		for i := 0; i < 50; i++ {
+			domains = append(domains, in.Generate(rng, ""))
+		}
+		for _, r := range in.Regions {
+			domains = append(domains, in.Generate(rng, r))
+		}
+		// Case and trailing-dot noise, the normalisation Parse applies.
+		for i := 0; i < 10; i++ {
+			d := in.Generate(rng, "")
+			domains = append(domains, strings.ToUpper(d), d+".")
+		}
+		// Deliberately short/degenerate hosts for the length-guarded formats.
+		domains = append(domains,
+			"a."+in.DomainSuffix,
+			"ab-cd."+in.DomainSuffix,
+			in.DomainSuffix,
+		)
+		for _, d := range domains {
+			p, _ := in.Parse(d)
+			if got := in.Region(d); got != p.Region {
+				t.Errorf("%s: Region(%q) = %q, Parse.Region = %q", in.Name, d, got, p.Region)
+			}
+		}
+	}
+}
+
+// TestRegionForeignDomains: FQDNs that do not match a provider's pattern must
+// yield "" from both paths.
+func TestRegionForeignDomains(t *testing.T) {
+	noise := []string{
+		"www.example.com", "", "..", "a-b-c", strings.Repeat("x.", 40),
+		"1234567890-abcdefghij-ap-guangzhou.scf.tencentcs.com.evil.example",
+	}
+	for _, in := range Collected() {
+		for _, d := range noise {
+			p, ok := in.Parse(d)
+			if ok && d != "" {
+				continue // a genuine cross-format match; skip
+			}
+			if got := in.Region(d); got != p.Region {
+				t.Errorf("%s: Region(%q) = %q, Parse.Region = %q", in.Name, d, got, p.Region)
+			}
+		}
+	}
+}
+
+// TestRegionAllocFree: resolving a region from an already-lowercase FQDN must
+// not allocate — this is what lets the aggregation hot path call it per
+// distinct symbol without undoing the zero-alloc batch work.
+func TestRegionAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, in := range Collected() {
+		d := in.Generate(rng, "")
+		in := in
+		if n := testing.AllocsPerRun(100, func() { in.Region(d) }); n > 0 {
+			t.Errorf("%s: Region allocates %.1f per call", in.Name, n)
+		}
+	}
+}

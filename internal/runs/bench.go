@@ -168,11 +168,14 @@ func (s *BenchSet) MeanNsPerOp() map[string]float64 {
 	return out
 }
 
-// BenchDelta compares one benchmark's mean ns/op across two sets.
+// BenchDelta compares one benchmark's mean ns/op and allocs/op across two
+// sets. Alloc fields are zero when the run did not report -benchmem output.
 type BenchDelta struct {
-	Name string  `json:"name"`
-	ANs  float64 `json:"a_ns,omitempty"`
-	BNs  float64 `json:"b_ns,omitempty"`
+	Name    string  `json:"name"`
+	ANs     float64 `json:"a_ns,omitempty"`
+	BNs     float64 `json:"b_ns,omitempty"`
+	AAllocs float64 `json:"a_allocs,omitempty"`
+	BAllocs float64 `json:"b_allocs,omitempty"`
 }
 
 // Ratio returns B as a multiple of A, or 0 when either side is missing.
@@ -183,26 +186,49 @@ func (d BenchDelta) Ratio() float64 {
 	return d.BNs / d.ANs
 }
 
-// DiffBench compares mean ns/op per benchmark, sorted by name.
+// AllocRatio returns B's allocs/op as a multiple of A's, or 0 when either
+// side has no alloc data (missing benchmark or run without -benchmem).
+func (d BenchDelta) AllocRatio() float64 {
+	if d.AAllocs <= 0 || d.BAllocs <= 0 {
+		return 0
+	}
+	return d.BAllocs / d.AAllocs
+}
+
+// DiffBench compares mean ns/op and allocs/op per benchmark, sorted by name.
 func DiffBench(a, b *BenchSet) []BenchDelta {
-	ma, mb := a.MeanNsPerOp(), b.MeanNsPerOp()
+	ma, mb := a.MeanPoints(), b.MeanPoints()
 	var out []BenchDelta
 	for _, name := range unionKeys(ma, mb) {
-		out = append(out, BenchDelta{Name: name, ANs: ma[name], BNs: mb[name]})
+		out = append(out, BenchDelta{
+			Name: name,
+			ANs:  ma[name].NsPerOp, BNs: mb[name].NsPerOp,
+			AAllocs: ma[name].AllocsPerOp, BAllocs: mb[name].AllocsPerOp,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // GateBench returns one violation per benchmark whose mean ns/op grew past
-// (1+tol)× the baseline. Benchmarks present on only one side are reported
-// but do not fail the gate — suites evolve.
-func GateBench(a, b *BenchSet, tol float64) []string {
+// (1+tol)× the baseline, or whose mean allocs/op grew past allocsTol× it
+// (allocsTol is a plain ratio ceiling, e.g. 1.10; <= 0 disables the alloc
+// check). The alloc gate only fires when both sides report allocs — a run
+// without -benchmem must not trip it. Benchmarks present on only one side
+// are reported but do not fail the gate — suites evolve.
+func GateBench(a, b *BenchSet, tol, allocsTol float64) []string {
 	var v []string
 	for _, d := range DiffBench(a, b) {
 		if r := d.Ratio(); r > 1+tol {
 			v = append(v, fmt.Sprintf("bench %s regressed: %.0f ns/op -> %.0f ns/op (%.2fx, tol %.2fx)",
 				d.Name, d.ANs, d.BNs, r, 1+tol))
+		}
+		if allocsTol <= 0 {
+			continue
+		}
+		if r := d.AllocRatio(); r > allocsTol {
+			v = append(v, fmt.Sprintf("bench %s alloc regression: %.1f allocs/op -> %.1f allocs/op (%.2fx, tol %.2fx)",
+				d.Name, d.AAllocs, d.BAllocs, r, allocsTol))
 		}
 	}
 	return v
@@ -211,13 +237,17 @@ func GateBench(a, b *BenchSet, tol float64) []string {
 // RenderBenchDiff formats a bench comparison for humans.
 func RenderBenchDiff(deltas []BenchDelta) string {
 	var b strings.Builder
-	b.WriteString("Benchmark diff (mean ns/op over repeats)\n")
+	b.WriteString("Benchmark diff (mean ns/op and allocs/op over repeats)\n")
 	for _, d := range deltas {
 		ratio := "-"
 		if r := d.Ratio(); r > 0 {
 			ratio = fmt.Sprintf("%.2fx", r)
 		}
-		fmt.Fprintf(&b, "  %-50s %14.0f %14.0f  %s\n", d.Name, d.ANs, d.BNs, ratio)
+		alloc := ""
+		if r := d.AllocRatio(); r > 0 {
+			alloc = fmt.Sprintf("  %.0f -> %.0f allocs/op (%.2fx)", d.AAllocs, d.BAllocs, r)
+		}
+		fmt.Fprintf(&b, "  %-50s %14.0f %14.0f  %s%s\n", d.Name, d.ANs, d.BNs, ratio, alloc)
 	}
 	return b.String()
 }

@@ -90,12 +90,48 @@ func TestMeanAndGate(t *testing.T) {
 	slow := &BenchSet{Results: []BenchResult{
 		{Name: "BenchmarkQuantile", Base: "BenchmarkQuantile", Iterations: 1, NsPerOp: 251.3 * 3},
 	}}
-	v := GateBench(set, slow, 0.5)
+	v := GateBench(set, slow, 0.5, 1.10)
 	if len(v) != 1 || !strings.Contains(v[0], "BenchmarkQuantile") {
 		t.Fatalf("want one bench violation, got %v", v)
 	}
 	// One-sided benchmarks (suite evolved) never gate.
-	if v := GateBench(set, set, 0.5); len(v) != 0 {
+	if v := GateBench(set, set, 0.5, 1.10); len(v) != 0 {
 		t.Fatalf("identical sets must pass, got %v", v)
+	}
+}
+
+func TestGateBenchAllocs(t *testing.T) {
+	base := &BenchSet{Results: []BenchResult{
+		{Name: "BenchmarkX", Base: "BenchmarkX", Iterations: 1, NsPerOp: 100, AllocsPerOp: 1000},
+	}}
+	leaky := &BenchSet{Results: []BenchResult{
+		{Name: "BenchmarkX", Base: "BenchmarkX", Iterations: 1, NsPerOp: 100, AllocsPerOp: 1200},
+	}}
+	v := GateBench(base, leaky, 0.5, 1.10)
+	if len(v) != 1 || !strings.Contains(v[0], "alloc regression") {
+		t.Fatalf("want one alloc violation, got %v", v)
+	}
+	// Within tolerance passes.
+	ok := &BenchSet{Results: []BenchResult{
+		{Name: "BenchmarkX", Base: "BenchmarkX", Iterations: 1, NsPerOp: 100, AllocsPerOp: 1050},
+	}}
+	if v := GateBench(base, ok, 0.5, 1.10); len(v) != 0 {
+		t.Fatalf("1.05x allocs within 1.10x tolerance must pass, got %v", v)
+	}
+	// allocsTol <= 0 disables the alloc check entirely.
+	if v := GateBench(base, leaky, 0.5, 0); len(v) != 0 {
+		t.Fatalf("disabled alloc gate must pass, got %v", v)
+	}
+	// A candidate without -benchmem data (allocs 0) must not trip the gate.
+	noMem := &BenchSet{Results: []BenchResult{
+		{Name: "BenchmarkX", Base: "BenchmarkX", Iterations: 1, NsPerOp: 100},
+	}}
+	if v := GateBench(base, noMem, 0.5, 1.10); len(v) != 0 {
+		t.Fatalf("missing alloc data must not gate, got %v", v)
+	}
+	// The human-readable diff carries the alloc columns.
+	out := RenderBenchDiff(DiffBench(base, leaky))
+	if !strings.Contains(out, "allocs/op") || !strings.Contains(out, "1.20x") {
+		t.Fatalf("diff rendering missing alloc ratio:\n%s", out)
 	}
 }

@@ -57,23 +57,18 @@ func EmitPDNSParallel(pop *Population, resolver *dnssim.Resolver, workers int, s
 		return EmitPDNS(pop, resolver, sinks[0])
 	}
 
-	// Pre-shard the function list once so each worker walks only its own
-	// functions, in population (FQDN-sorted) order.
-	shards := make([][]*Function, workers)
-	for _, f := range pop.Functions {
-		s := pdns.ShardByFQDN(f.FQDN, workers)
-		shards[s] = append(shards[s], f)
-	}
-
+	shards := shardFunctions(pop, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < workers; wkr++ {
 		wg.Add(1)
 		go func(wkr int) {
 			defer wg.Done()
-			sink := sinks[wkr]
+			sc := &emitScratch{}
+			row := sc.scalarRow(sinks[wkr])
 			for _, f := range shards[wkr] {
-				if err := emitFunction(pop, f, resolver, functionRNG(pop.Config.Seed, f.FQDN), sink); err != nil {
+				sc.fqdn = f.FQDN
+				if err := emitFunctionInto(pop, f, resolver, functionRNG(pop.Config.Seed, f.FQDN), sc, row); err != nil {
 					errs[wkr] = fmt.Errorf("workload: emit %s: %w", f.FQDN, err)
 					return
 				}
@@ -85,6 +80,86 @@ func EmitPDNSParallel(pop *Population, resolver *dnssim.Resolver, workers int, s
 		if err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// shardFunctions pre-shards the function list by pdns.ShardByFQDN so each
+// worker walks only its own functions, in population (FQDN-sorted) order.
+func shardFunctions(pop *Population, workers int) [][]*Function {
+	shards := make([][]*Function, workers)
+	for _, f := range pop.Functions {
+		s := pdns.ShardByFQDN(f.FQDN, workers)
+		shards[s] = append(shards[s], f)
+	}
+	return shards
+}
+
+// EmitPDNSParallelBatch is the columnar form of EmitPDNSParallel: each
+// worker fills a shard-local pdns.RecordBatch — FQDNs and rdata interned
+// into the batch's own Symtab, numeric columns appended in place — and
+// flushes it to its sink every rowsPerBatch rows plus once at stream end.
+// The batch (and its intern table) is reused across flushes, so sinks must
+// consume rows before returning; symbol IDs are stable for the lifetime of
+// the shard's stream. rowsPerBatch <= 0 selects pdns.DefaultBatchRows.
+//
+// Exactly one sink per worker is required (sink i sees shard i from a
+// single goroutine); the records, grouped per function, are the same
+// streams EmitPDNS produces, so shard-local aggregation of the batches is
+// bit-identical to the serial scalar pass for any worker count.
+func EmitPDNSParallelBatch(pop *Population, resolver *dnssim.Resolver, workers, rowsPerBatch int, sinks ...func(*pdns.RecordBatch) error) error {
+	workers = normWorkers(workers)
+	if len(sinks) != workers {
+		return fmt.Errorf("workload: EmitPDNSParallelBatch got %d sinks for %d workers (want exactly %d)", len(sinks), workers, workers)
+	}
+	if rowsPerBatch <= 0 {
+		rowsPerBatch = pdns.DefaultBatchRows
+	}
+	if workers == 1 {
+		return emitShardBatch(pop, resolver, pop.Functions, rowsPerBatch, sinks[0])
+	}
+	shards := shardFunctions(pop, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			errs[wkr] = emitShardBatch(pop, resolver, shards[wkr], rowsPerBatch, sinks[wkr])
+		}(wkr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitShardBatch generates one shard's record stream into a reused batch.
+func emitShardBatch(pop *Population, resolver *dnssim.Resolver, funcs []*Function, rowsPerBatch int, sink func(*pdns.RecordBatch) error) error {
+	batch := pdns.NewRecordBatch(rowsPerBatch)
+	sc := &emitScratch{}
+	var fsym pdns.Sym
+	row := func(t pdns.RType, rdata string, firstUnix, lastUnix, cnt int64, day pdns.Date) error {
+		batch.Append(fsym, t, batch.Syms.Intern(rdata), firstUnix, lastUnix, cnt, day)
+		if batch.Len() >= rowsPerBatch {
+			if err := sink(batch); err != nil {
+				return err
+			}
+			batch.Reset()
+		}
+		return nil
+	}
+	for _, f := range funcs {
+		fsym = batch.Syms.Intern(f.FQDN)
+		if err := emitFunctionInto(pop, f, resolver, functionRNG(pop.Config.Seed, f.FQDN), sc, row); err != nil {
+			return fmt.Errorf("workload: emit %s: %w", f.FQDN, err)
+		}
+	}
+	if batch.Len() > 0 {
+		return sink(batch)
 	}
 	return nil
 }
@@ -152,10 +227,20 @@ func EmitPDNSOrdered(pop *Population, resolver *dnssim.Resolver, workers int, si
 // AggregateParallel runs the whole substrate→identification hot path —
 // synthetic PDNS emission plus §3.2 aggregation — on a worker pool: one
 // shard-local pdns.Aggregator per worker fed directly by that worker's
-// emission stream (no channel funnel, no record copies), merged in shard
-// order at the end. Because functions are sharded by FQDN and every
-// per-FQDN stream is order-independent, the result is identical to the
-// serial EmitPDNS → Aggregator pass for any worker count.
+// emission stream (no channel funnel, no record copies), merged at the end.
+// Because functions are sharded by FQDN and every per-FQDN stream is
+// order-independent, the result is identical to the serial EmitPDNS →
+// Aggregator pass for any worker count.
+//
+// Without mutate hooks the records flow as columnar batches
+// (EmitPDNSParallelBatch → Aggregator.AddBatch): interned strings, no
+// per-record allocation. Hooks take *pdns.Record, so their presence selects
+// the scalar path — fault injection keeps working unchanged at scalar cost.
+//
+// Each shard aggregator is pre-sized from its expected function count, and
+// the merge folds the smaller shards into the largest one instead of
+// growing shard 0's maps by the whole fleet — the two fixes for the
+// negative scaling the bench history recorded at workers=2.
 //
 // ctx carries the stage trace: each worker shard records an
 // "emit-shard-<i>" span with its function and record counts. reg receives
@@ -166,38 +251,63 @@ func EmitPDNSOrdered(pop *Population, resolver *dnssim.Resolver, workers int, si
 // fault-injection layer uses one to corrupt a deterministic fraction of the
 // feed (mangled records then fail validation inside the aggregator and are
 // counted as dropped, exactly as a real feed's garbage rows would be). A
-// hook must be safe for concurrent calls; each record it sees is a fresh
-// value owned by the current worker.
+// hook must be safe for concurrent calls; each record it sees is owned by
+// the current worker for the duration of the call.
 func AggregateParallel(ctx context.Context, pop *Population, resolver *dnssim.Resolver, matcher *providers.Matcher, workers int, reg *obs.Registry, mutate ...func(*pdns.Record)) (*pdns.Aggregate, error) {
 	workers = normWorkers(workers)
 	w := Window()
 	aggs := make([]*pdns.Aggregator, workers)
-	sinks := make([]func(*pdns.Record) error, workers)
 	spans := make([]*obs.Span, workers)
 	counts := make([]int64, workers)
 	emitVec := reg.CounterVec("workload_emit_records_total", "shard")
+	emitted := make([]*obs.Counter, workers)
+	// Hash sharding is mildly uneven; a quarter of headroom on the expected
+	// per-shard function count avoids both rehashing and gross oversizing.
+	expect := len(pop.Functions)/workers + len(pop.Functions)/(4*workers) + 16
 	for i := range aggs {
 		agg := pdns.NewAggregator(matcher, w.Start, w.End)
+		agg.Presize(expect)
 		shard := fmt.Sprintf("%d", i)
 		agg.InstrumentShard(reg, shard)
 		aggs[i] = agg
-		i := i
-		emitted := emitVec.With(shard)
-		sinks[i] = func(r *pdns.Record) error {
-			for _, m := range mutate {
-				m(r)
-			}
-			agg.Add(r)
-			counts[i]++
-			emitted.Inc()
-			return nil
-		}
+		emitted[i] = emitVec.With(shard)
 		_, spans[i] = obs.StartSpan(ctx, fmt.Sprintf("emit-shard-%d", i))
 	}
 	mWorkers := reg.Gauge("workload_emit_workers")
 	mWorkers.Set(int64(workers))
 
-	err := EmitPDNSParallel(pop, resolver, workers, sinks...)
+	var err error
+	if len(mutate) == 0 {
+		sinks := make([]func(*pdns.RecordBatch) error, workers)
+		for i := range sinks {
+			i := i
+			agg := aggs[i]
+			sinks[i] = func(b *pdns.RecordBatch) error {
+				agg.AddBatch(b)
+				n := int64(b.Len())
+				counts[i] += n
+				emitted[i].Add(n)
+				return nil
+			}
+		}
+		err = EmitPDNSParallelBatch(pop, resolver, workers, 0, sinks...)
+	} else {
+		sinks := make([]func(*pdns.Record) error, workers)
+		for i := range sinks {
+			i := i
+			agg := aggs[i]
+			sinks[i] = func(r *pdns.Record) error {
+				for _, m := range mutate {
+					m(r)
+				}
+				agg.Add(r)
+				counts[i]++
+				emitted[i].Inc()
+				return nil
+			}
+		}
+		err = EmitPDNSParallel(pop, resolver, workers, sinks...)
+	}
 	for i, sp := range spans {
 		sp.SetAttr("records", counts[i])
 		sp.SetError(err)
@@ -207,9 +317,22 @@ func AggregateParallel(ctx context.Context, pop *Population, resolver *dnssim.Re
 		return nil, err
 	}
 
-	out := aggs[0].Finish()
-	for _, a := range aggs[1:] {
-		if merr := out.Merge(a.Finish()); merr != nil {
+	finished := make([]*pdns.Aggregate, workers)
+	for i, a := range aggs {
+		finished[i] = a.Finish()
+	}
+	base := 0
+	for i, ag := range finished {
+		if ag.TotalDomains() > finished[base].TotalDomains() {
+			base = i
+		}
+	}
+	out := finished[base]
+	for i, ag := range finished {
+		if i == base {
+			continue
+		}
+		if merr := out.Merge(ag); merr != nil {
 			return nil, merr
 		}
 	}

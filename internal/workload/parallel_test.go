@@ -153,6 +153,114 @@ func TestEmitPDNSParallelSinkContract(t *testing.T) {
 	}
 }
 
+// TestEmitPDNSParallelBatchMatchesScalar: for every worker count, each
+// shard's batch stream must materialise to exactly the records the scalar
+// sharded emission delivers to the same worker — same values, same order.
+func TestEmitPDNSParallelBatchMatchesScalar(t *testing.T) {
+	pop := testPop(t, 0.002)
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			want := make([][]pdns.Record, workers)
+			scalarSinks := make([]func(*pdns.Record) error, workers)
+			for i := range scalarSinks {
+				i := i
+				scalarSinks[i] = func(r *pdns.Record) error {
+					want[i] = append(want[i], *r)
+					return nil
+				}
+			}
+			if err := EmitPDNSParallel(pop, dnssim.NewResolver(), workers, scalarSinks...); err != nil {
+				t.Fatal(err)
+			}
+
+			got := make([][]pdns.Record, workers)
+			batchSinks := make([]func(*pdns.RecordBatch) error, workers)
+			for i := range batchSinks {
+				i := i
+				batchSinks[i] = func(b *pdns.RecordBatch) error {
+					var rec pdns.Record
+					for j := 0; j < b.Len(); j++ {
+						b.At(j, &rec)
+						got[i] = append(got[i], rec)
+					}
+					return nil
+				}
+			}
+			// A small batch size forces many flush/Reset cycles per shard.
+			if err := EmitPDNSParallelBatch(pop, dnssim.NewResolver(), workers, 64, batchSinks...); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if len(got[i]) != len(want[i]) {
+					t.Fatalf("shard %d: %d batch records, want %d", i, len(got[i]), len(want[i]))
+				}
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						t.Fatalf("shard %d record %d = %+v, want %+v", i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEmitPDNSParallelBatchSymbolStability pins the DESIGN #26 determinism
+// rule at the seam that depends on it: for a fixed worker count, each
+// shard's intern table assigns the same symbol to the same string run after
+// run, and the raw symbol columns themselves are identical.
+func TestEmitPDNSParallelBatchSymbolStability(t *testing.T) {
+	pop := testPop(t, 0.002)
+	type shardDump struct {
+		symbols []pdns.Sym
+		strings []string
+	}
+	run := func(workers int) []shardDump {
+		dumps := make([]shardDump, workers)
+		tabs := make([]*pdns.Symtab, workers)
+		sinks := make([]func(*pdns.RecordBatch) error, workers)
+		for i := range sinks {
+			i := i
+			sinks[i] = func(b *pdns.RecordBatch) error {
+				tabs[i] = b.Syms
+				dumps[i].symbols = append(dumps[i].symbols, b.FQDN...)
+				dumps[i].symbols = append(dumps[i].symbols, b.RData...)
+				return nil
+			}
+		}
+		if err := EmitPDNSParallelBatch(pop, dnssim.NewResolver(), workers, 64, sinks...); err != nil {
+			t.Fatal(err)
+		}
+		for i, tab := range tabs {
+			for s := 0; s < tab.Len(); s++ {
+				dumps[i].strings = append(dumps[i].strings, tab.Lookup(pdns.Sym(s)))
+			}
+		}
+		return dumps
+	}
+	for _, workers := range []int{1, 2, 8} {
+		a, b := run(workers), run(workers)
+		for i := range a {
+			if !reflect.DeepEqual(a[i], b[i]) {
+				t.Fatalf("workers=%d shard %d: symbol assignment differs between runs", workers, i)
+			}
+		}
+	}
+}
+
+func TestEmitPDNSParallelBatchSinkContract(t *testing.T) {
+	pop := testPop(t, 0.001)
+	res := dnssim.NewResolver()
+	sink := func(*pdns.RecordBatch) error { return nil }
+	if err := EmitPDNSParallelBatch(pop, res, 2, 0, sink); err == nil {
+		t.Error("1 sink for 2 workers: want error, got nil")
+	}
+	boom := errors.New("boom")
+	bad := func(*pdns.RecordBatch) error { return boom }
+	if err := EmitPDNSParallelBatch(pop, res, 2, 0, bad, bad); !errors.Is(err, boom) {
+		t.Errorf("sink error: got %v, want %v", err, boom)
+	}
+}
+
 // TestAggregateParallelMutateHook checks the fault-injection seam: a mutate
 // hook corrupting a deterministic fraction of records yields identical
 // dropped/matched counts and identical surviving aggregates for every worker

@@ -24,8 +24,11 @@ import (
 // recursive-resolver cache model first, making request_cnt the conservative
 // lower bound the paper describes.
 func EmitPDNS(pop *Population, resolver *dnssim.Resolver, sink func(*pdns.Record) error) error {
+	sc := &emitScratch{}
+	row := sc.scalarRow(sink)
 	for _, f := range pop.Functions {
-		if err := emitFunction(pop, f, resolver, functionRNG(pop.Config.Seed, f.FQDN), sink); err != nil {
+		sc.fqdn = f.FQDN
+		if err := emitFunctionInto(pop, f, resolver, functionRNG(pop.Config.Seed, f.FQDN), sc, row); err != nil {
 			return fmt.Errorf("workload: emit %s: %w", f.FQDN, err)
 		}
 	}
@@ -49,12 +52,56 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// emitFunction emits the records of one function. Each day's invocation
+// rowFunc consumes one emitted record in exploded (column) form; the
+// scalar and batch sinks are both built on it. Timestamps are Unix seconds,
+// the wire precision of the dataset.
+type rowFunc func(t pdns.RType, rdata string, firstUnix, lastUnix, cnt int64, day pdns.Date) error
+
+// emitScratch holds the per-emitter reusable state: the rtype-allocation
+// and count-split buffers that used to be allocated per (function, day),
+// and the scalar Record the compatibility sinks materialise rows into. One
+// scratch serves one goroutine for the whole emission pass.
+type emitScratch struct {
+	counts [3]int64
+	tcs    [3]rtypeCount
+	shares [2]int64
+	fqdn   string // current function, re-stamped on every scalar row
+	rec    pdns.Record
+}
+
+// scalarRow adapts a *pdns.Record sink to the row interface. The record is
+// reused across calls but every field is rewritten per row (the caller
+// maintains sc.fqdn), so sinks may mutate it freely — they just must not
+// retain the pointer, the same contract the parallel emitters always had.
+func (sc *emitScratch) scalarRow(sink func(*pdns.Record) error) rowFunc {
+	return func(t pdns.RType, rdata string, firstUnix, lastUnix, cnt int64, day pdns.Date) error {
+		sc.rec.FQDN = sc.fqdn
+		sc.rec.RType = t
+		sc.rec.RData = rdata
+		sc.rec.FirstSeen = time.Unix(firstUnix, 0).UTC()
+		sc.rec.LastSeen = time.Unix(lastUnix, 0).UTC()
+		sc.rec.RequestCnt = cnt
+		sc.rec.PDate = day
+		return sink(&sc.rec)
+	}
+}
+
+// emitFunction emits the records of one function to a scalar sink. It is
+// the standalone form used by the ordered writer path; the streaming
+// emitters hoist the scratch and row closure out of the function loop.
+func emitFunction(pop *Population, f *Function, resolver *dnssim.Resolver, rng *rand.Rand, sink func(*pdns.Record) error) error {
+	sc := &emitScratch{fqdn: f.FQDN}
+	return emitFunctionInto(pop, f, resolver, rng, sc, sc.scalarRow(sink))
+}
+
+// emitFunctionInto emits the records of one function. Each day's invocation
 // count is allocated across record types proportionally to the provider's
 // policy shares (so the Table 2 type mix holds exactly even though a few
 // heavy-tail functions carry most of the volume), and each type's share is
-// split over one or more ingress-node draws.
-func emitFunction(pop *Population, f *Function, resolver *dnssim.Resolver, rng *rand.Rand, sink func(*pdns.Record) error) error {
+// split over one or more ingress-node draws. RNG consumption is part of
+// the determinism contract: the draw sequence per function is fixed, so
+// every emission mode yields byte-identical per-function streams.
+func emitFunctionInto(pop *Population, f *Function, resolver *dnssim.Resolver, rng *rand.Rand, sc *emitScratch, row rowFunc) error {
 	pol, ok := dnssim.PolicyFor(f.Provider)
 	if !ok {
 		return fmt.Errorf("no DNS policy for provider %v", f.Provider)
@@ -64,12 +111,12 @@ func emitFunction(pop *Population, f *Function, resolver *dnssim.Resolver, rng *
 		if count <= 0 {
 			continue
 		}
-		for _, tc := range allocateRTypes(pol, count, rng) {
+		for _, tc := range sc.allocateRTypes(pol, count, rng) {
 			draws := 1
 			if tc.count >= 50 {
 				draws = 2
 			}
-			for _, share := range splitCount(rng, tc.count, draws) {
+			for _, share := range sc.splitCount(rng, tc.count, draws) {
 				ans, err := resolver.ResolveRType(f.FQDN, tc.rtype, rng)
 				if err != nil {
 					return err
@@ -78,18 +125,9 @@ func emitFunction(pop *Population, f *Function, resolver *dnssim.Resolver, rng *
 				if pop.Config.CacheModel {
 					obs = dnssim.ObservedQueries(share, 86_400, float64(ans.TTL))
 				}
-				first := day.Time().Add(time.Duration(rng.Intn(6*3600)) * time.Second)
-				last := first.Add(time.Duration(1+rng.Intn(16*3600)) * time.Second)
-				rec := pdns.Record{
-					FQDN:       f.FQDN,
-					RType:      ans.RType,
-					RData:      ans.RData,
-					FirstSeen:  first,
-					LastSeen:   last,
-					RequestCnt: obs,
-					PDate:      day,
-				}
-				if err := sink(&rec); err != nil {
+				firstUnix := int64(day)*86400 + int64(rng.Intn(6*3600))
+				lastUnix := firstUnix + int64(1+rng.Intn(16*3600))
+				if err := row(ans.RType, ans.RData, firstUnix, lastUnix, obs, day); err != nil {
 					return err
 				}
 			}
@@ -108,54 +146,56 @@ type rtypeCount struct {
 // units are drawn stochastically by share. Heavy days therefore follow the
 // exact proportions while single-request days still sample every type with
 // the right probability (so even one-function providers like IBM expose
-// their AAAA share).
-func allocateRTypes(pol *dnssim.Policy, count int64, rng *rand.Rand) []rtypeCount {
-	type ts struct {
+// their AAAA share). The returned slice aliases the scratch and is valid
+// until the next call.
+func (sc *emitScratch) allocateRTypes(pol *dnssim.Policy, count int64, rng *rand.Rand) []rtypeCount {
+	shares := [3]struct {
 		t     pdns.RType
 		share float64
-	}
-	shares := []ts{
+	}{
 		{pdns.TypeCNAME, pol.CNAMEShare},
 		{pdns.TypeA, pol.AShare},
 		{pdns.TypeAAAA, pol.AAAAShare},
 	}
-	counts := map[pdns.RType]int64{}
+	sc.counts = [3]int64{}
 	var assigned int64
-	for _, s := range shares {
+	for si, s := range shares {
 		c := int64(float64(count) * s.share)
 		if c > 0 {
-			counts[s.t] = c
+			sc.counts[si] = c
 			assigned += c
 		}
 	}
 	for rem := count - assigned; rem > 0; rem-- {
 		x := rng.Float64()
-		for _, s := range shares {
+		for si, s := range shares {
 			x -= s.share
 			if x <= 0 || s.t == pdns.TypeAAAA {
-				counts[s.t]++
+				sc.counts[si]++
 				break
 			}
 		}
 	}
-	out := make([]rtypeCount, 0, 3)
-	for _, s := range shares {
-		if c := counts[s.t]; c > 0 {
+	out := sc.tcs[:0]
+	for si, s := range shares {
+		if c := sc.counts[si]; c > 0 {
 			out = append(out, rtypeCount{s.t, c})
 		}
 	}
 	return out
 }
 
-// splitCount partitions count into n positive shares.
-func splitCount(rng *rand.Rand, count int64, n int) []int64 {
+// splitCount partitions count into n positive shares. The returned slice
+// aliases the scratch and is valid until the next call.
+func (sc *emitScratch) splitCount(rng *rand.Rand, count int64, n int) []int64 {
 	if int64(n) > count {
 		n = int(count)
 	}
 	if n <= 1 {
-		return []int64{count}
+		sc.shares[0] = count
+		return sc.shares[:1]
 	}
-	out := make([]int64, n)
+	out := sc.shares[:n]
 	remaining := count
 	for i := 0; i < n-1; i++ {
 		maxShare := remaining - int64(n-1-i)
