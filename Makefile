@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-matrix report chaos gate health check
+.PHONY: build test race vet bench bench-json bench-matrix report chaos gate health crash crash-full check
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ test:
 # Race-run the packages with lock-free hot paths and shared counters,
 # including the parallel substrate (emission workers, shard aggregators).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/runs/... ./internal/probe/... ./internal/dnssim/... ./internal/pdns/... ./internal/workload/... ./internal/fault/...
+	$(GO) test -race ./internal/obs/... ./internal/runs/... ./internal/probe/... ./internal/dnssim/... ./internal/pdns/... ./internal/workload/... ./internal/fault/... ./internal/checkpoint/...
 
 vet:
 	$(GO) vet ./...
@@ -78,7 +78,22 @@ health:
 	$(GO) run ./cmd/scfpipe -seed 1 -scale 0.01 -workers 4 -chaos none -skip-c2 \
 		-no-archive -health-strict > /dev/null
 
+# Crash-recovery matrix: kill the pipeline at every stage boundary and at
+# mid-emission rows in a real subprocess, resume from the checkpoint, and
+# require the resumed archive's deterministic half to be byte-identical to an
+# uninterrupted run — plus the checkpoint codec and resume-path unit tests,
+# all under the race detector. `crash-full` widens the matrix to the full
+# crashpoint × workers cross product.
+crash:
+	$(GO) test -race -count=1 -run 'TestCrashResume|TestRunIDIgnoresCheckpointConfig' ./internal/core/ \
+		&& $(GO) test -race -count=1 ./internal/checkpoint/... \
+		&& $(GO) test -race -count=1 -run 'TestAggregateParallelCkpt' ./internal/workload/
+
+crash-full:
+	SCF_CRASH_FULL=1 $(GO) test -race -count=1 -run 'TestCrashResume' -timeout 30m ./internal/core/
+
 # Tier-1 suite — what CI (.github/workflows/ci.yml) runs on every push/PR.
 # bench-matrix/report stay out of check: they run the full pipeline once per
 # matrix cell, which is an opt-in perf sweep, not a correctness gate.
-check: build vet test race gate
+# crash-full stays out for wall-time; the reduced crash matrix is in.
+check: build vet test race gate crash

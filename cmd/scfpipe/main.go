@@ -15,6 +15,9 @@
 //	scfpipe -run-dir .runs                   # archive the run for scfruns
 //	scfpipe -no-archive                      # skip the run archive
 //	scfpipe -health-strict                   # exit 1 if an SLO health rule fires
+//	scfpipe -checkpoint-interval 100000      # denser mid-emission checkpoints
+//	scfpipe -resume                          # resume an interrupted run
+//	scfpipe -chaos crash=probe               # seeded crash injection (testing)
 //
 // With -chaos the run injects a seeded, reproducible fault schedule (DNS
 // failures, connection resets, flapping and truncating endpoints, latency
@@ -45,6 +48,17 @@
 // rendered tables/figures with SHA-256 fingerprints. The run ID derives
 // from seed+config, so re-running the same experiment overwrites its slot.
 // `scfruns list|show|diff|gate` reads these archives.
+//
+// Archived runs also checkpoint their progress under
+// <run-dir>/<run-id>/checkpoints/: a durable snapshot lands at every stage
+// boundary and every -checkpoint-interval emitted PDNS rows (0 = boundaries
+// only, negative = no checkpointing). After a crash or an interrupt,
+// re-running the same configuration with -resume restores the newest valid
+// checkpoint, skips the completed stages, and produces artifacts
+// byte-identical to an uninterrupted run. The first SIGINT/SIGTERM cancels
+// the run cleanly — in-flight emission flushes one final checkpoint and the
+// partial provenance (manifest + events) is archived with a resume hint; a
+// second signal aborts immediately.
 package main
 
 import (
@@ -54,6 +68,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -84,6 +99,8 @@ func main() {
 		runDir       = flag.String("run-dir", "", "archive the run under this directory (default: $SCF_RUN_DIR or .runs)")
 		noArchive    = flag.Bool("no-archive", false, "do not archive the run")
 		healthStrict = flag.Bool("health-strict", false, "exit non-zero when any SLO health rule fired during the run")
+		ckptEvery    = flag.Int64("checkpoint-interval", 250000, "also checkpoint every N emitted PDNS rows (0 = stage boundaries only; negative = disable checkpointing)")
+		resume       = flag.Bool("resume", false, "resume the interrupted run with this configuration from its newest checkpoint")
 	)
 	flag.Parse()
 
@@ -95,8 +112,39 @@ func main() {
 		}
 	}
 
-	ctx, stop := signal.NotifyContext(obsContext(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// The run root is resolved before the pipeline starts: checkpoints live
+	// inside the (future) archive slot, so the checkpoint writer needs it even
+	// though the archive itself is only written at the end.
+	root := *runDir
+	if root == "" {
+		root = os.Getenv("SCF_RUN_DIR")
+	}
+	if root == "" {
+		root = ".runs"
+	}
+	ckptDir := root
+	if *noArchive || *ckptEvery < 0 {
+		ckptDir = ""
+	}
+	if *resume && ckptDir == "" {
+		log.Fatal("-resume needs checkpointing: drop -no-archive and use -checkpoint-interval >= 0")
+	}
+
+	// Two-phase interrupt handling: the first SIGINT/SIGTERM cancels the run
+	// context so emission can flush a final checkpoint and the partial
+	// provenance gets archived; a second signal aborts on the spot.
+	ctx, cancel := context.WithCancel(obsContext())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		log.Printf("received %v: stopping cleanly (send again to abort)", s)
+		cancel()
+		s = <-sigs
+		log.Printf("received %v again: aborting", s)
+		os.Exit(130)
+	}()
 
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, metrics, trace, events)
@@ -108,18 +156,21 @@ func main() {
 	}
 
 	res, err := core.RunContext(ctx, core.Config{
-		Seed:             *seed,
-		Scale:            *scale,
-		SkipC2Scan:       *skipC2,
-		CacheModel:       *cache,
-		ProbeTimeout:     *timeout,
-		ProbeConcurrency: *probeConc,
-		Workers:          *workers,
-		Chaos:            chaosProf,
-		ProbeRetries:     *retries,
-		BreakerThreshold: *breaker,
-		Metrics:          metrics,
-		ResourceInterval: *resInterval,
+		Seed:               *seed,
+		Scale:              *scale,
+		SkipC2Scan:         *skipC2,
+		CacheModel:         *cache,
+		ProbeTimeout:       *timeout,
+		ProbeConcurrency:   *probeConc,
+		Workers:            *workers,
+		Chaos:              chaosProf,
+		ProbeRetries:       *retries,
+		BreakerThreshold:   *breaker,
+		Metrics:            metrics,
+		ResourceInterval:   *resInterval,
+		CheckpointDir:      ckptDir,
+		CheckpointInterval: *ckptEvery,
+		Resume:             *resume,
 	})
 	exitCode := 0
 	if res != nil && *manifest != "" {
@@ -130,17 +181,12 @@ func main() {
 			log.Printf("wrote manifest to %s", *manifest)
 		}
 	}
-	// Only completed runs are archived: a partial run would overwrite its
-	// config's slot with truncated calibration/artifacts (the manifest above
-	// still records the aborted run's provenance).
+	// Only completed runs are archived in full: a partial run would overwrite
+	// its config's slot with truncated calibration/artifacts. An interrupted
+	// checkpointing run still leaves its provenance (manifest + events) next
+	// to the checkpoints so `scfruns show` has something to display, and
+	// prints the command that resumes it.
 	if res != nil && err == nil && !*noArchive {
-		root := *runDir
-		if root == "" {
-			root = os.Getenv("SCF_RUN_DIR")
-		}
-		if root == "" {
-			root = ".runs"
-		}
 		arch := res.BuildArchive("scfpipe", events)
 		if dir, aerr := runs.Write(root, arch); aerr != nil {
 			log.Print(aerr)
@@ -148,6 +194,21 @@ func main() {
 		} else {
 			log.Printf("archived run %s to %s", arch.Summary.ID, dir)
 		}
+	}
+	if res != nil && err != nil && ckptDir != "" {
+		dir := filepath.Join(root, res.RunID())
+		if merr := os.MkdirAll(dir, 0o755); merr == nil {
+			if werr := res.Manifest("scfpipe").WriteFile(filepath.Join(dir, runs.ManifestFile)); werr != nil {
+				log.Print(werr)
+			}
+			if f, ferr := os.Create(filepath.Join(dir, runs.EventsFile)); ferr == nil {
+				if werr := events.WriteJSONL(f); werr != nil {
+					log.Print(werr)
+				}
+				f.Close()
+			}
+		}
+		log.Printf("run %s interrupted; resume it by re-running the same configuration with -resume", res.RunID())
 	}
 	if err != nil {
 		log.Fatal(err)

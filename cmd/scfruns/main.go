@@ -59,6 +59,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -190,6 +191,21 @@ func resolve(root, arg string) (string, error) {
 	return "", fmt.Errorf("no run archive at %s or %s (need %s)", arg, dir, runs.SummaryFile)
 }
 
+// resolvePartial is resolve for directories an interrupted run left behind:
+// no summary.json, but provenance debris (manifest, events, checkpoints)
+// worth showing. It only accepts directories that hold at least one such file
+// so a typo'd run ID still errors instead of "showing" an empty dir.
+func resolvePartial(root, arg string) (string, error) {
+	for _, dir := range []string{arg, filepath.Join(root, arg)} {
+		for _, name := range []string{runs.ManifestFile, runs.EventsFile, runs.TimingsFile, runs.CheckpointsDir} {
+			if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+				return dir, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("no run archive at %s or %s (need %s)", arg, filepath.Join(root, arg), runs.SummaryFile)
+}
+
 func load(root, arg string) (*runs.Record, error) {
 	dir, err := resolve(root, arg)
 	if err != nil {
@@ -204,9 +220,12 @@ func cmdList(args []string) error {
 	if err := parse(fs, args); err != nil {
 		return err
 	}
-	recs, err := runs.List(*dir)
+	recs, warns, err := runs.ListWarn(*dir)
 	if err != nil {
 		return err
+	}
+	for _, w := range warns {
+		log.Printf("warning: %s", w)
 	}
 	if len(recs) == 0 {
 		fmt.Printf("no runs under %s\n", *dir)
@@ -260,7 +279,18 @@ func cmdShow(args []string) error {
 	}
 	rec, err := load(*dir, fs.Arg(0))
 	if err != nil {
-		return err
+		// An interrupted run leaves provenance (manifest, events,
+		// checkpoints) without a summary; show what is readable instead of
+		// refusing — the lineage table is exactly what a post-crash
+		// investigation needs.
+		pdir, perr := resolvePartial(*dir, fs.Arg(0))
+		if perr != nil || *asJSON {
+			return err
+		}
+		log.Printf("warning: %s: incomplete or corrupt run archive (%v); showing what is readable", fs.Arg(0), err)
+		fmt.Printf("run %s (partial archive at %s)\n\n", filepath.Base(pdir), pdir)
+		showCheckpoints(pdir, nil)
+		return nil
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -318,7 +348,40 @@ func cmdShow(args []string) error {
 		}
 		fmt.Println(at.String())
 	}
+
+	showCheckpoints(rec.Dir, rec.Timings.Checkpoints)
 	return nil
+}
+
+// showCheckpoints prints a run's crash-recovery lineage: the summary line
+// recorded in timings.json (when present) and one row per on-disk checkpoint
+// file, including corrupt ones a resume would skip over.
+func showCheckpoints(dir string, ri *runs.RecoveryInfo) {
+	if ri != nil {
+		line := fmt.Sprintf("Recovery: %d checkpoint(s) written, last seq %d (%s)",
+			ri.Checkpoints, ri.LastSeq, ri.LastStage)
+		if ri.Resumed {
+			line += fmt.Sprintf("; resumed from seq %d (%s)", ri.ResumedFrom, ri.ResumedStage)
+		}
+		fmt.Println(line)
+		fmt.Println()
+	}
+	infos := checkpoint.Inspect(filepath.Join(dir, runs.CheckpointsDir))
+	if len(infos) == 0 {
+		return
+	}
+	t := report.NewTable("Checkpoint lineage", "File", "Seq", "Stage", "Rows", "Stages", "Bytes", "Status")
+	for _, fi := range infos {
+		status := "ok"
+		switch {
+		case fi.Err != "":
+			status = "CORRUPT: " + fi.Err
+		case fi.ResumedFromSeq > 0:
+			status = fmt.Sprintf("resumed from seq %d", fi.ResumedFromSeq)
+		}
+		t.AddRow(fi.Name, fi.Seq, fi.Stage, fi.Rows, fi.Stages, fi.Size, status)
+	}
+	fmt.Println(t.String())
 }
 
 func cmdDiff(args []string) error {

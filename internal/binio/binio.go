@@ -1,0 +1,178 @@
+// Package binio provides the bounds-checked binary primitives shared by the
+// pdns state codec and the checkpoint file format: unsigned and zigzag
+// varints, length-prefixed byte strings, and little-endian fixed-width
+// integers. Every read is capped against the remaining input, so a
+// truncated, torn, or hostile byte stream always surfaces an error — never a
+// panic and never an attacker-sized allocation. That property is what lets
+// FuzzCheckpointDecode assert "arbitrary bytes decode to an error, not a
+// crash" across the whole snapshot format.
+package binio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrTruncated reports input that ended before a value was complete.
+var ErrTruncated = errors.New("binio: truncated input")
+
+// Writer serialises values to an io.Writer with a sticky error: callers
+// chain writes unconditionally and check Err once at the end, which keeps
+// codec code linear instead of a ladder of error returns.
+type Writer struct {
+	w   io.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first write error, or nil.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) write(b []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(b)
+}
+
+// Uvarint writes an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+// Varint writes a zigzag-encoded signed varint.
+func (w *Writer) Varint(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+// U32 writes a fixed little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
+// Bytes writes a length-prefixed byte string.
+func (w *Writer) Bytes(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.write(b)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	if w.err != nil {
+		return
+	}
+	_, w.err = io.WriteString(w.w, s)
+}
+
+// Raw writes b without a length prefix.
+func (w *Writer) Raw(b []byte) { w.write(b) }
+
+// Reader decodes values from an in-memory buffer. Every method checks the
+// remaining length first, so malformed input yields ErrTruncated (or a
+// descriptive wrap of it) instead of a slice panic.
+type Reader struct {
+	b   []byte
+	off int
+}
+
+// NewReader wraps data.
+func NewReader(data []byte) *Reader { return &Reader{b: data} }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// Offset returns the current read position.
+func (r *Reader) Offset() int { return r.off }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint at offset %d", ErrTruncated, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// Varint reads a zigzag-encoded signed varint.
+func (r *Reader) Varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint at offset %d", ErrTruncated, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// U32 reads a fixed little-endian uint32.
+func (r *Reader) U32() (uint32, error) {
+	if r.Remaining() < 4 {
+		return 0, fmt.Errorf("%w: need 4 bytes at offset %d", ErrTruncated, r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+// Bytes reads a length-prefixed byte string; the result aliases the input.
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("%w: byte string of %d exceeds %d remaining", ErrTruncated, n, r.Remaining())
+	}
+	b := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+// String reads a length-prefixed string (copied out of the input).
+func (r *Reader) String() (string, error) {
+	b, err := r.Bytes()
+	return string(b), err
+}
+
+// Take reads exactly n raw bytes (no length prefix); the result aliases the
+// input.
+func (r *Reader) Take(n int) ([]byte, error) {
+	if n < 0 || n > r.Remaining() {
+		return nil, fmt.Errorf("%w: need %d bytes, %d remain at offset %d", ErrTruncated, n, r.Remaining(), r.off)
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// Count reads an element count and validates it against the remaining input
+// under the assumption that each element occupies at least minBytes bytes.
+// This is the allocation guard: a hostile count can never exceed what the
+// buffer could physically hold, so make([]T, count) stays proportional to
+// the input size.
+func (r *Reader) Count(minBytes int) (int, error) {
+	v, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if v > uint64(r.Remaining()/minBytes) {
+		return 0, fmt.Errorf("%w: count %d exceeds capacity of %d remaining bytes", ErrTruncated, v, r.Remaining())
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: count %d too large", ErrTruncated, v)
+	}
+	return int(v), nil
+}

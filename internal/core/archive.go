@@ -43,16 +43,17 @@ func (r *Results) BuildArchive(tool string, events *obs.EventLog) *runs.Archive 
 		Summary: runs.Summary{
 			Tool:         tool,
 			Meta:         r.configMeta(),
-			Degradations: r.Degradations,
+			Degradations: summaryDegradations(r.Degradations),
 			Calibration:  r.Calibration(),
 		},
 		Timings: runs.Timings{
-			CreatedAt: time.Now().UTC().Format(time.RFC3339),
-			ElapsedNS: r.Elapsed.Nanoseconds(),
-			Stages:    obs.FlattenStages(r.Stages),
-			Metrics:   r.Metrics.Snapshot(),
-			Health:    r.Health,
-			Resources: r.Resources,
+			CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+			ElapsedNS:   r.Elapsed.Nanoseconds(),
+			Stages:      obs.FlattenStages(r.Stages),
+			Metrics:     r.Metrics.Snapshot(),
+			Health:      r.Health,
+			Resources:   r.Resources,
+			Checkpoints: r.Recovery,
 		},
 		Manifest: r.Manifest(tool),
 		Events:   events,
@@ -66,4 +67,22 @@ func (r *Results) BuildArchive(tool string, events *obs.EventLog) *runs.Archive 
 			"disclosures.txt": r.RenderDisclosures(),
 		},
 	}
+}
+
+// summaryDegradations strips the recovery rows out of the deterministic
+// summary: being killed and resumed (or failing a checkpoint write) is a
+// circumstance of one invocation, not a property of the measurement, and the
+// byte-identity guarantee demands a resumed run's summary.json equal the
+// uninterrupted one's. The rows still reach stdout, the manifest, and the
+// event log via Results.Degradations.
+func summaryDegradations(ds []obs.Degradation) []obs.Degradation {
+	var out []obs.Degradation
+	for _, d := range ds {
+		switch d.Kind {
+		case "recovery-resumed", "checkpoint-write-errors":
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }

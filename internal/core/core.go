@@ -16,6 +16,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/abuse"
 	"repro/internal/analysis"
 	"repro/internal/c2"
+	"repro/internal/checkpoint"
 	"repro/internal/content"
 	"repro/internal/disclosure"
 	"repro/internal/dnssim"
@@ -37,6 +39,7 @@ import (
 	"repro/internal/pdns"
 	"repro/internal/probe"
 	"repro/internal/providers"
+	"repro/internal/runs"
 	"repro/internal/secrets"
 	"repro/internal/ti"
 	"repro/internal/workload"
@@ -119,6 +122,21 @@ type Config struct {
 	// of configMeta: sampling observes a run, it does not change one, so
 	// toggling it must not move the run ID or any golden fingerprint.
 	ResourceInterval time.Duration
+
+	// CheckpointDir enables durable checkpointing: versioned snapshots of
+	// pipeline progress land under <dir>/<run-id>/checkpoints — written
+	// atomically at every stage boundary and, during PDNS emission, every
+	// CheckpointInterval emitted rows (<= 0 checkpoints at boundaries and
+	// cancellation only). Empty disables checkpointing entirely. Resume
+	// restores the newest valid checkpoint for this config's run ID and
+	// skips the covered work; it requires CheckpointDir. Like
+	// ResourceInterval, all three are deliberately NOT part of configMeta:
+	// they change how a run survives interruption, not what it measures, so
+	// toggling them must never move the run ID or any golden fingerprint —
+	// and the crashing and resuming invocations of one run must share an ID.
+	CheckpointDir      string
+	CheckpointInterval int64
+	Resume             bool
 }
 
 func (c Config) withDefaults() Config {
@@ -210,7 +228,18 @@ type Results struct {
 	// strictly machine-varying: archived in timings.json, never summary.
 	Resources []obs.ResourceStats
 
+	// Recovery is the run's checkpoint/resume lineage, nil when the run did
+	// not checkpoint. Archived in timings.json (machine-varying side):
+	// whether a run was interrupted must never move a golden fingerprint.
+	Recovery *runs.RecoveryInfo
+
 	Elapsed time.Duration
+}
+
+// RunID returns the archive slot this run's configuration hashes to — the
+// identity a checkpoint embeds and a resume validates against.
+func (r *Results) RunID() string {
+	return runs.RunID(runs.ConfigHash(r.configMeta()))
 }
 
 // configMeta flattens the run's configuration to the flat fact map shared
@@ -257,6 +286,9 @@ func Run(cfg Config) (*Results, error) { return RunContext(context.Background(),
 // metrics registry end up on the Results.
 func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Resume && cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("core: Resume requires CheckpointDir")
+	}
 	// Resolve the chaos profile: an unset profile defers to SCF_CHAOS, and
 	// a profile without a pinned seed inherits the substrate seed so fault
 	// schedules reproduce exactly like the population does.
@@ -305,6 +337,46 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	injector.SetSpikeDelay(3 * cfg.ProbeTimeout)
 
 	elog := obs.EventLogFrom(ctx)
+
+	// ---- Checkpoint/resume wiring. ----
+	// The run ID (a pure function of config) is the identity every snapshot
+	// embeds; a checkpoint written under a different config resolves to a
+	// different ID and can never be resumed into this run.
+	runID := res.RunID()
+	var mgr *checkpoint.Manager
+	var resumed *checkpoint.Snapshot
+	if cfg.CheckpointDir != "" {
+		if cfg.Resume {
+			snap, warns, lerr := checkpoint.Latest(cfg.CheckpointDir, runID)
+			for _, warn := range warns {
+				elog.Emit(obs.EventNote, "checkpoint-warning", obs.Attr{Key: "detail", Value: warn})
+			}
+			switch {
+			case lerr == nil:
+				// Workers is in configMeta, so a mismatch here means a
+				// hand-tampered checkpoint; refuse rather than mis-shard.
+				if snap.Header.Workers != cfg.Workers {
+					return nil, fmt.Errorf("core: resume: checkpoint written at workers=%d, run has workers=%d", snap.Header.Workers, cfg.Workers)
+				}
+				resumed = snap
+			case errors.Is(lerr, checkpoint.ErrNoCheckpoint):
+				// A crash before the first boundary left nothing durable;
+				// a fresh start is exactly equivalent to resuming it.
+				elog.Emit(obs.EventNote, "resume-fresh", obs.Attr{Key: "detail", Value: lerr.Error()})
+			default:
+				return nil, fmt.Errorf("core: resume: %w", lerr)
+			}
+		}
+		mgr = checkpoint.NewManager(checkpoint.Dir(cfg.CheckpointDir, runID), runID, cfg.Seed, cfg.Workers, reg, elog)
+		if resumed != nil {
+			mgr.Restore(resumed)
+			reg.Counter("recovery_resumed_total").Inc()
+			elog.Emit(obs.EventNote, "recovery",
+				obs.Attr{Key: "seq", Value: fmt.Sprint(resumed.Header.Seq)},
+				obs.Attr{Key: "stage", Value: resumed.Header.Stage})
+		}
+	}
+
 	// The SLO monitor samples the registry on an interval for the whole run;
 	// Finalize adds the cumulative whole-run evaluation, so short runs are
 	// covered even when no sampling tick fires.
@@ -317,10 +389,21 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	sampler := obs.NewResourceSampler(reg, elog, cfg.ResourceInterval)
 	sampler.Start()
 	startStage := func(ctx context.Context, name string) (context.Context, *obs.Span) {
+		// The seeded crashpoint fires here when it targets this boundary:
+		// the abort lands after the previous stage's checkpoint and before
+		// any of this stage's work, exactly like a power loss between them.
+		injector.CrashAtStage(name)
 		sampler.SetStage(name)
 		return obs.StartSpan(ctx, name)
 	}
 	defer func() {
+		if mgr != nil {
+			li := mgr.Info()
+			res.Recovery = &runs.RecoveryInfo{
+				Resumed: li.Resumed, ResumedFrom: li.ResumedFrom, ResumedStage: li.ResumedStage,
+				Checkpoints: li.Writes, LastSeq: li.LastSeq, LastStage: li.LastStage,
+			}
+		}
 		res.Resources = sampler.Stop()
 		res.Stages = tr.Records()
 		res.Health = mon.Finalize()
@@ -357,6 +440,10 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	defer servers.Close()
 	sp.SetAttr("functions", len(pop.Functions))
 	sp.End()
+	// The substrate is regenerated from the seed on every invocation
+	// (cheaper than serialising it); its boundary checkpoint just anchors
+	// the ledger.
+	mgr.StageDone("substrate", nil, nil)
 
 	// ---- Stage 1: PDNS identification & aggregation (§3.2, §4). ----
 	// Emission and aggregation shard by FQDN across cfg.Workers: each
@@ -372,14 +459,44 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	if cfg.Chaos.FeedCorrupt > 0 {
 		mutate = append(mutate, func(r *pdns.Record) { injector.CorruptRecord(r) })
 	}
-	agg, err := workload.AggregateParallel(sctx, pop, resolver, nil, cfg.Workers, reg, mutate...)
-	if err != nil {
-		err = fmt.Errorf("core: pdns: %w", err)
-		sp.SetError(err)
-		sp.End()
-		return nil, err
+	if resumed.HasStage("identify") && resumed.Aggregate != nil {
+		// The checkpoint carries the finished aggregate; nothing to emit.
+		res.Aggregate = resumed.Aggregate
+		sp.SetAttr("resumed", true)
+	} else {
+		var ck *workload.EmitCheckpoint
+		if mgr != nil || injector.CrashScheduled() {
+			ck = &workload.EmitCheckpoint{Interval: cfg.CheckpointInterval}
+			if mgr != nil {
+				ck.Snapshot = func(progress []int64, shards []*pdns.Aggregator, rows int64) error {
+					mgr.SaveEmission(progress, shards, rows)
+					return nil
+				}
+			}
+			if injector.CrashScheduled() {
+				ck.OnRow = func(n int64) { injector.CrashAtRow("identify", n) }
+			}
+		}
+		var rs *workload.EmitResume
+		if resumed != nil && resumed.Emission != nil {
+			// Mid-emission snapshot: restored shard aggregators continue
+			// from progress[i] functions; the skipped prefix never replays
+			// because every function owns its own RNG stream.
+			rs = &workload.EmitResume{
+				Rows:     resumed.Emission.Rows,
+				Progress: resumed.Emission.Progress,
+				Shards:   resumed.Emission.Shards,
+			}
+		}
+		agg, err := workload.AggregateParallelCkpt(sctx, pop, resolver, nil, cfg.Workers, reg, ck, rs, mutate...)
+		if err != nil {
+			err = fmt.Errorf("core: pdns: %w", err)
+			sp.SetError(err)
+			sp.End()
+			return res, err
+		}
+		res.Aggregate = agg
 	}
-	res.Aggregate = agg
 	// Deletions take effect only now: the PDNS history above was recorded
 	// while the functions were alive, but the probing phase sees deleted
 	// Tencent functions as NXDOMAIN (§4.4).
@@ -392,60 +509,23 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	sp.SetAttr("domains", res.Aggregate.TotalDomains())
 	sp.SetAttr("workers", cfg.Workers)
 	sp.End()
+	mgr.StageDone("identify", res.Aggregate, nil)
 
 	// ---- Stage 2: active probing (§3.3). ----
-	sctx, sp = startStage(ctx, "probe")
-	httpOnly := map[string]bool{}
-	for _, f := range pop.Functions {
-		if f.HTTPOnly {
-			httpOnly[f.FQDN] = true
-		}
-	}
-	var breaker probe.Breaker
-	if cfg.BreakerThreshold > 0 {
-		br := fault.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
-		br.Instrument(reg)
-		breaker = br
-	}
-	matcher := providers.NewMatcher(nil)
-	prober := probe.New(probe.Config{
-		Timeout:      cfg.ProbeTimeout,
-		Concurrency:  cfg.ProbeConcurrency,
-		Retries:      cfg.ProbeRetries,
-		RetryBackoff: cfg.ProbeRetryBackoff,
-		Breaker:      breaker,
-		BreakerKey: func(fqdn string) string {
-			// Circuit per provider: one cloud's outage must not stop the
-			// sweep of the other eight.
-			if info, ok := matcher.Identify(fqdn); ok {
-				return info.Name
-			}
-			return fqdn
-		},
-		Provider: func(fqdn string) string {
-			if info, ok := matcher.Identify(fqdn); ok {
-				return info.Name
-			}
-			return "unknown"
-		},
-		Metrics: reg,
-		Resolve: injector.WrapResolve(func(fqdn string) error {
-			rng := rand.New(rand.NewSource(int64(pdns.HashFQDN(fqdn))))
-			_, err := resolver.Resolve(fqdn, rng)
-			return err
-		}),
-		DialContext: injector.WrapDial(simDialer(servers, httpOnly)),
-	})
 	targets := pop.ProbeTargets()
-	res.ProbeResults = prober.ProbeAll(sctx, targets)
-	res.ProbeStats = prober.Stats()
-	sp.SetAttr("targets", len(targets))
-	sp.SetAttr("reachable", res.ProbeStats.Reachable)
-	sp.SetError(sctx.Err())
-	sp.End()
-	if err := sctx.Err(); err != nil {
-		return res, fmt.Errorf("core: probe sweep aborted: %w", err)
+	sctx, sp = startStage(ctx, "probe")
+	if resumed.HasStage("probe") && resumed.Probe != nil {
+		// Probe results (bodies included) ride in the checkpoint, so the
+		// content stages downstream see exactly what the crashed run saw.
+		res.ProbeResults = resumed.Probe.Results
+		res.ProbeStats = resumed.Probe.Stats
+		sp.SetAttr("resumed", true)
+		sp.SetAttr("reachable", res.ProbeStats.Reachable)
+		sp.End()
+	} else if err := runProbeStage(sctx, sp, cfg, res, pop, targets, resolver, servers, injector, reg); err != nil {
+		return res, err
 	}
+	mgr.StageDone("probe", nil, &checkpoint.ProbeState{Results: res.ProbeResults, Stats: res.ProbeStats})
 
 	// ---- Stage 3: sanitisation (§3.4, Appendix A). ----
 	// The per-response scan+anonymise work is pure once the salt is fixed,
@@ -513,6 +593,11 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	sp.SetAttr("docs", len(docs))
 	sp.SetAttr("content_rich", res.ContentRich)
 	sp.End()
+	// The stages from here on are cheap, deterministic recomputations of
+	// earlier state, so their checkpoints carry only the ledger: a resume
+	// that lands past probe replays them rather than serialising their
+	// outputs.
+	mgr.StageDone("sanitise", nil, nil)
 
 	// ---- Stage 4: clustering (§3.4). ----
 	_, sp = startStage(ctx, "cluster")
@@ -522,6 +607,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	}
 	sp.SetAttr("clusters", res.TotalClusters)
 	sp.End()
+	mgr.StageDone("cluster", nil, nil)
 
 	// ---- Stage 5: abuse classification (§5). ----
 	// Classify is pure per document, so the scan fans out; the verdict map
@@ -577,6 +663,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	if err := sctx.Err(); err != nil {
 		return res, fmt.Errorf("core: c2 sweep aborted: %w", err)
 	}
+	mgr.StageDone("classify", nil, nil)
 
 	// ---- Stage 6: threat-intelligence coverage (§5.5). ----
 	_, sp = startStage(ctx, "assess")
@@ -589,6 +676,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	res.TICoverage = oracle.Assess(abused)
 	sp.SetAttr("flagged", res.TICoverage.Flagged)
 	sp.End()
+	mgr.StageDone("assess", nil, nil)
 
 	// ---- Stage 7: responsible disclosure (§5.5, Appendix A). ----
 	_, sp = startStage(ctx, "disclosure")
@@ -596,8 +684,66 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	disclosure.SimulateVendorResponses(res.Disclosures, workload.DeployWindowClock()())
 	sp.SetAttr("reports", len(res.Disclosures))
 	sp.End()
+	mgr.StageDone("disclosure", nil, nil)
 
 	return res, nil
+}
+
+// runProbeStage executes the active-probing sweep (§3.3) into res. It owns
+// the stage span's closure; a cancelled context is returned as the stage
+// error after the span ends.
+func runProbeStage(sctx context.Context, sp *obs.Span, cfg Config, res *Results, pop *workload.Population, targets []string, resolver *dnssim.Resolver, servers *gatewayServers, injector *fault.Injector, reg *obs.Registry) error {
+	httpOnly := map[string]bool{}
+	for _, f := range pop.Functions {
+		if f.HTTPOnly {
+			httpOnly[f.FQDN] = true
+		}
+	}
+	var breaker probe.Breaker
+	if cfg.BreakerThreshold > 0 {
+		br := fault.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		br.Instrument(reg)
+		breaker = br
+	}
+	matcher := providers.NewMatcher(nil)
+	prober := probe.New(probe.Config{
+		Timeout:      cfg.ProbeTimeout,
+		Concurrency:  cfg.ProbeConcurrency,
+		Retries:      cfg.ProbeRetries,
+		RetryBackoff: cfg.ProbeRetryBackoff,
+		Breaker:      breaker,
+		BreakerKey: func(fqdn string) string {
+			// Circuit per provider: one cloud's outage must not stop the
+			// sweep of the other eight.
+			if info, ok := matcher.Identify(fqdn); ok {
+				return info.Name
+			}
+			return fqdn
+		},
+		Provider: func(fqdn string) string {
+			if info, ok := matcher.Identify(fqdn); ok {
+				return info.Name
+			}
+			return "unknown"
+		},
+		Metrics: reg,
+		Resolve: injector.WrapResolve(func(fqdn string) error {
+			rng := rand.New(rand.NewSource(int64(pdns.HashFQDN(fqdn))))
+			_, err := resolver.Resolve(fqdn, rng)
+			return err
+		}),
+		DialContext: injector.WrapDial(simDialer(servers, httpOnly)),
+	})
+	res.ProbeResults = prober.ProbeAll(sctx, targets)
+	res.ProbeStats = prober.Stats()
+	sp.SetAttr("targets", len(targets))
+	sp.SetAttr("reachable", res.ProbeStats.Reachable)
+	sp.SetError(sctx.Err())
+	sp.End()
+	if err := sctx.Err(); err != nil {
+		return fmt.Errorf("core: probe sweep aborted: %w", err)
+	}
+	return nil
 }
 
 // degradationMetrics maps the resilience counters to (stage, kind) rows;
@@ -617,6 +763,12 @@ var degradationMetrics = []struct {
 	{"probe_breaker_skips_total", "probe", "breaker-skips"},
 	{"fault_breaker_opens_total", "probe", "breaker-opens"},
 	{"probe_body_aborts_total", "probe", "body-drain-aborts"},
+	// Recovery rows surface in Results.Degradations and the manifest, but
+	// BuildArchive filters them out of the deterministic summary: whether a
+	// run was interrupted and resumed is machine circumstance, not a change
+	// in what it measured (see summaryDegradations).
+	{"recovery_resumed_total", "pipeline", "recovery-resumed"},
+	{"checkpoint_write_errors_total", "pipeline", "checkpoint-write-errors"},
 }
 
 // collectDegradations snapshots the resilience counters into per-stage

@@ -77,12 +77,15 @@ func TestRunStageSpans(t *testing.T) {
 	}
 }
 
-// TestRunContextCancel verifies a cancelled context aborts the sweeps
+// TestRunContextCancel verifies a cancelled context aborts the pipeline
 // cleanly: partial results come back with the context error, and the
-// interrupted stage span records the cancellation.
+// interrupted stage span records the cancellation. A pre-cancelled context
+// stops inside identify — emission checks the context between functions so
+// an interrupt can flush a final checkpoint — making identify the
+// interrupted stage here.
 func TestRunContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	cancel() // cancelled before the probe stage starts
+	cancel() // cancelled before any stage starts
 	res, err := RunContext(ctx, Config{
 		Seed:         2,
 		Scale:        0.002,
@@ -94,17 +97,17 @@ func TestRunContextCancel(t *testing.T) {
 	if res == nil {
 		t.Fatal("want partial results for manifest writing")
 	}
-	var probeSpan *obs.SpanRecord
+	var identify *obs.SpanRecord
 	for i := range res.Stages {
-		if res.Stages[i].Name == "probe" {
-			probeSpan = &res.Stages[i]
+		if res.Stages[i].Name == "identify" {
+			identify = &res.Stages[i]
 		}
 	}
-	if probeSpan == nil {
-		t.Fatalf("no probe span in %v", stageNames(res.Stages))
+	if identify == nil {
+		t.Fatalf("no identify span in %v", stageNames(res.Stages))
 	}
-	if probeSpan.Err == "" {
-		t.Error("probe span did not record the cancellation")
+	if identify.Err == "" {
+		t.Error("identify span did not record the cancellation")
 	}
 	// The manifest of an aborted run must still serialise.
 	if _, err := res.Manifest("test").MarshalIndent(); err != nil {

@@ -104,7 +104,15 @@ func Build(rep *abuse.Report, verdicts map[string][]abuse.Verdict, requests map[
 	for _, r := range byProvider {
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return len(out[i].Items) > len(out[j].Items) })
+	// Tie-break equal item counts by provider ID: out was filled from map
+	// iteration, and a comparator with ties would leak that order into the
+	// rendered artifact, breaking run-to-run byte-identity.
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Items) != len(out[j].Items) {
+			return len(out[i].Items) > len(out[j].Items)
+		}
+		return out[i].Provider < out[j].Provider
+	})
 	return out
 }
 

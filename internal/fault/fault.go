@@ -58,6 +58,18 @@ type Profile struct {
 	Truncate    float64 // connections die after a 256-639 byte budget
 	Latency     float64 // dials stall past the probe timeout
 	FeedCorrupt float64 // PDNS records/lines are mangled (fail validation)
+
+	// Crash schedule (see crash.go). CrashStage aborts the process at that
+	// stage's entry boundary; with CrashRows > 0 the abort instead fires once
+	// CrashRows rows have been emitted inside the stage. CrashAuto > 0 picks
+	// the kill point pseudo-randomly from the seed instead (the k-th drawing
+	// of the seeded crashpoint stream). Crash fields are deliberately absent
+	// from both Enabled and String: a crash does not alter any fault
+	// schedule, and the crashing and resuming invocations of a run must
+	// share a run ID, which hashes Profile.String().
+	CrashStage string
+	CrashRows  int64
+	CrashAuto  int
 }
 
 // None returns the explicit no-chaos profile.
@@ -119,11 +131,16 @@ func (p Profile) String() string {
 }
 
 // ParseProfile parses a chaos spec: "none", "light", or "heavy", optionally
-// followed by ",seed=N" to pin the schedule seed.
+// followed by ",seed=N" to pin the schedule seed and/or ",crash=<spec>" to
+// schedule a deterministic process abort. Crash specs: "crash=<stage>" kills
+// at the stage's entry boundary, "crash=<stage>:<rows>" kills after that
+// many rows inside the stage, "crash=auto:<k>" derives the kill point from
+// the seed (the k-th draw of the crashpoint stream).
 func ParseProfile(spec string) (Profile, error) {
 	parts := strings.Split(spec, ",")
 	var p Profile
-	switch strings.TrimSpace(parts[0]) {
+	opts := parts[1:]
+	switch first := strings.TrimSpace(parts[0]); first {
 	case "", "none":
 		p = None()
 	case "light":
@@ -131,18 +148,34 @@ func ParseProfile(spec string) (Profile, error) {
 	case "heavy":
 		p = Heavy()
 	default:
+		// A leading k=v option ("crash=probe") implies the none profile, so
+		// crash injection does not force fault injection along with it.
+		if strings.Contains(first, "=") {
+			p = None()
+			opts = parts
+			break
+		}
 		return Profile{}, fmt.Errorf("fault: unknown chaos profile %q (want none, light, or heavy)", parts[0])
 	}
-	for _, opt := range parts[1:] {
+	for _, opt := range opts {
 		k, v, ok := strings.Cut(strings.TrimSpace(opt), "=")
-		if !ok || k != "seed" {
-			return Profile{}, fmt.Errorf("fault: bad chaos option %q (want seed=N)", opt)
+		if !ok {
+			return Profile{}, fmt.Errorf("fault: bad chaos option %q (want seed=N or crash=<spec>)", opt)
 		}
-		seed, err := strconv.ParseInt(v, 10, 64)
-		if err != nil {
-			return Profile{}, fmt.Errorf("fault: bad chaos seed %q: %w", v, err)
+		switch k {
+		case "seed":
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Profile{}, fmt.Errorf("fault: bad chaos seed %q: %w", v, err)
+			}
+			p.Seed = seed
+		case "crash":
+			if err := parseCrashSpec(&p, v); err != nil {
+				return Profile{}, err
+			}
+		default:
+			return Profile{}, fmt.Errorf("fault: bad chaos option %q (want seed=N or crash=<spec>)", opt)
 		}
-		p.Seed = seed
 	}
 	return p, nil
 }
@@ -215,6 +248,10 @@ type Injector struct {
 	spike time.Duration
 
 	dials sync.Map // fqdn → *atomic.Int64, dials attempted so far
+
+	// crashFired latches the scheduled process abort so re-entrant stage or
+	// row checks can never fire it twice (see crash.go).
+	crashFired atomic.Bool
 
 	// Telemetry; populated by Instrument, no-ops otherwise.
 	mDNS     *obs.Counter // fault_dns_injected_total
@@ -387,6 +424,7 @@ const (
 	streamEndpoint uint64 = 0x0e9d0f17a11ed001
 	streamRecord   uint64 = 0x5eedc0440badf00d
 	streamLine     uint64 = 0x114e5eedc0aa0457
+	streamCrash    uint64 = 0xc4a54bad5eedd1e5
 )
 
 // stream is a splitmix64 generator over a fault domain.

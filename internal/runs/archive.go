@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/health"
@@ -31,6 +32,11 @@ const (
 	EventsFile   = "events.jsonl"
 	TraceFile    = "trace.json"
 	ArtifactsDir = "artifacts"
+	// CheckpointsDir is where internal/checkpoint keeps a run's snapshot
+	// files (named here rather than imported, to keep the layers decoupled).
+	// WriteDir preserves it across the atomic overwrite of an archive slot,
+	// so re-running a config never erases its crash-recovery lineage.
+	CheckpointsDir = "checkpoints"
 )
 
 // DeterministicArtifacts names the emitted artifacts that are bit-identical
@@ -84,6 +90,27 @@ type Timings struct {
 	// run sampled with -resource-interval 0. Machine-varying by nature,
 	// which is exactly why it lives here and not in Summary.
 	Resources []obs.ResourceStats `json:"resources,omitempty"`
+	// Checkpoints is the run's crash-recovery lineage, nil when the run did
+	// not checkpoint. It lives on the machine-varying side deliberately:
+	// whether a run was interrupted and resumed must never move the golden
+	// summary fingerprints.
+	Checkpoints *RecoveryInfo `json:"checkpoints,omitempty"`
+}
+
+// RecoveryInfo records a run's checkpoint/resume lineage.
+type RecoveryInfo struct {
+	// Resumed is true when the run restored state from a prior invocation's
+	// checkpoint instead of starting from scratch.
+	Resumed bool `json:"resumed,omitempty"`
+	// ResumedFrom is the checkpoint sequence number the run resumed from.
+	ResumedFrom uint64 `json:"resumed_from_seq,omitempty"`
+	// ResumedStage is the stage that checkpoint was taken in.
+	ResumedStage string `json:"resumed_stage,omitempty"`
+	// Checkpoints counts snapshots this invocation wrote.
+	Checkpoints int `json:"checkpoints,omitempty"`
+	// LastSeq and LastStage identify the newest snapshot written.
+	LastSeq   uint64 `json:"last_seq,omitempty"`
+	LastStage string `json:"last_stage,omitempty"`
 }
 
 // Archive is everything a finishing run hands to Write. Manifest, Events,
@@ -170,11 +197,56 @@ func fillSummary(a *Archive) {
 // WriteDir persists a into exactly dir, regardless of the run ID — the
 // scenario matrix uses this to key archive slots by cell ID. The summary is
 // still completed (hash, ID, fingerprints) exactly as Write does.
+//
+// The write is atomic at directory granularity: everything lands in a
+// sibling temp directory first, an existing checkpoints/ subdirectory is
+// carried over, and a final rename swaps the slot — so a crash mid-archive
+// leaves either the old complete archive or the new one, never a dir with a
+// torn summary.json.
 func WriteDir(dir string, a *Archive) error {
 	fillSummary(a)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
 		return fmt.Errorf("runs: %w", err)
 	}
+	tmp, err := os.MkdirTemp(parent, ".tmp-"+filepath.Base(dir)+"-")
+	if err != nil {
+		return fmt.Errorf("runs: %w", err)
+	}
+	defer os.RemoveAll(tmp) // no-op after the successful rename
+	if err := writeArchiveFiles(tmp, a); err != nil {
+		return err
+	}
+	// Preserve the run's checkpoint lineage across the slot swap.
+	oldCkpt := filepath.Join(dir, CheckpointsDir)
+	if _, err := os.Stat(oldCkpt); err == nil {
+		if err := os.Rename(oldCkpt, filepath.Join(tmp, CheckpointsDir)); err != nil {
+			return fmt.Errorf("runs: keep checkpoints: %w", err)
+		}
+	}
+	if _, err := os.Stat(dir); err == nil {
+		trash, err := os.MkdirTemp(parent, ".trash-")
+		if err != nil {
+			return fmt.Errorf("runs: %w", err)
+		}
+		if err := os.Rename(dir, filepath.Join(trash, filepath.Base(dir))); err != nil {
+			os.RemoveAll(trash)
+			return fmt.Errorf("runs: %w", err)
+		}
+		defer os.RemoveAll(trash)
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return fmt.Errorf("runs: %w", err)
+	}
+	if d, err := os.Open(parent); err == nil {
+		d.Sync() // best effort: persist the rename
+		d.Close()
+	}
+	return nil
+}
+
+// writeArchiveFiles writes every archive file into dir (which must exist).
+func writeArchiveFiles(dir string, a *Archive) error {
 	if err := writeJSON(filepath.Join(dir, SummaryFile), a.Summary); err != nil {
 		return err
 	}
@@ -269,20 +341,35 @@ func readJSON(path string, v any) error {
 // time (CreatedAt breaks mtime ties — e.g. archives restored from a copy —
 // and ID breaks those). Directories without a readable summary are skipped.
 func List(root string) ([]*Record, error) {
+	recs, _, err := ListWarn(root)
+	return recs, err
+}
+
+// ListWarn is List plus a warning per skipped directory that looks like a
+// partial or corrupt run — one a crash left behind mid-archive, or one whose
+// summary no longer parses. Directories that merely aren't run archives
+// (no run files at all) are skipped silently, and dot-prefixed entries
+// (in-flight temp/trash dirs from the atomic writer) are invisible.
+func ListWarn(root string) ([]*Record, []string, error) {
 	entries, err := os.ReadDir(root)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, nil, nil
 		}
-		return nil, fmt.Errorf("runs: %w", err)
+		return nil, nil, fmt.Errorf("runs: %w", err)
 	}
 	var out []*Record
+	var warns []string
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
 			continue
 		}
-		rec, err := Read(filepath.Join(root, e.Name()))
+		dir := filepath.Join(root, e.Name())
+		rec, err := Read(dir)
 		if err != nil {
+			if looksPartial(dir) {
+				warns = append(warns, fmt.Sprintf("%s: incomplete or corrupt run archive (%v)", e.Name(), err))
+			}
 			continue
 		}
 		out = append(out, rec)
@@ -296,7 +383,19 @@ func List(root string) ([]*Record, error) {
 		}
 		return out[i].Summary.ID < out[j].Summary.ID
 	})
-	return out, nil
+	return out, warns, nil
+}
+
+// looksPartial reports whether dir holds the debris of an interrupted run —
+// any run-archive file or a checkpoints directory — as opposed to being an
+// unrelated directory that happens to live under the runs root.
+func looksPartial(dir string) bool {
+	for _, name := range []string{SummaryFile, TimingsFile, ManifestFile, EventsFile, TraceFile, CheckpointsDir} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // ReadArtifact returns the stored content of one artifact of a run.

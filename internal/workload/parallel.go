@@ -254,87 +254,5 @@ func EmitPDNSOrdered(pop *Population, resolver *dnssim.Resolver, workers int, si
 // hook must be safe for concurrent calls; each record it sees is owned by
 // the current worker for the duration of the call.
 func AggregateParallel(ctx context.Context, pop *Population, resolver *dnssim.Resolver, matcher *providers.Matcher, workers int, reg *obs.Registry, mutate ...func(*pdns.Record)) (*pdns.Aggregate, error) {
-	workers = normWorkers(workers)
-	w := Window()
-	aggs := make([]*pdns.Aggregator, workers)
-	spans := make([]*obs.Span, workers)
-	counts := make([]int64, workers)
-	emitVec := reg.CounterVec("workload_emit_records_total", "shard")
-	emitted := make([]*obs.Counter, workers)
-	// Hash sharding is mildly uneven; a quarter of headroom on the expected
-	// per-shard function count avoids both rehashing and gross oversizing.
-	expect := len(pop.Functions)/workers + len(pop.Functions)/(4*workers) + 16
-	for i := range aggs {
-		agg := pdns.NewAggregator(matcher, w.Start, w.End)
-		agg.Presize(expect)
-		shard := fmt.Sprintf("%d", i)
-		agg.InstrumentShard(reg, shard)
-		aggs[i] = agg
-		emitted[i] = emitVec.With(shard)
-		_, spans[i] = obs.StartSpan(ctx, fmt.Sprintf("emit-shard-%d", i))
-	}
-	mWorkers := reg.Gauge("workload_emit_workers")
-	mWorkers.Set(int64(workers))
-
-	var err error
-	if len(mutate) == 0 {
-		sinks := make([]func(*pdns.RecordBatch) error, workers)
-		for i := range sinks {
-			i := i
-			agg := aggs[i]
-			sinks[i] = func(b *pdns.RecordBatch) error {
-				agg.AddBatch(b)
-				n := int64(b.Len())
-				counts[i] += n
-				emitted[i].Add(n)
-				return nil
-			}
-		}
-		err = EmitPDNSParallelBatch(pop, resolver, workers, 0, sinks...)
-	} else {
-		sinks := make([]func(*pdns.Record) error, workers)
-		for i := range sinks {
-			i := i
-			agg := aggs[i]
-			sinks[i] = func(r *pdns.Record) error {
-				for _, m := range mutate {
-					m(r)
-				}
-				agg.Add(r)
-				counts[i]++
-				emitted[i].Inc()
-				return nil
-			}
-		}
-		err = EmitPDNSParallel(pop, resolver, workers, sinks...)
-	}
-	for i, sp := range spans {
-		sp.SetAttr("records", counts[i])
-		sp.SetError(err)
-		sp.End()
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	finished := make([]*pdns.Aggregate, workers)
-	for i, a := range aggs {
-		finished[i] = a.Finish()
-	}
-	base := 0
-	for i, ag := range finished {
-		if ag.TotalDomains() > finished[base].TotalDomains() {
-			base = i
-		}
-	}
-	out := finished[base]
-	for i, ag := range finished {
-		if i == base {
-			continue
-		}
-		if merr := out.Merge(ag); merr != nil {
-			return nil, merr
-		}
-	}
-	return out, nil
+	return AggregateParallelCkpt(ctx, pop, resolver, matcher, workers, reg, nil, nil, mutate...)
 }
