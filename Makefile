@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-matrix report chaos gate health crash crash-full check
+.PHONY: build test race vet bench bench-json bench-matrix report prof chaos gate health crash crash-full check
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,10 @@ test:
 	$(GO) test ./...
 
 # Race-run the packages with lock-free hot paths and shared counters,
-# including the parallel substrate (emission workers, shard aggregators).
+# including the parallel substrate (emission workers, shard aggregators),
+# the SLO health monitor, and the stage-boundary profile capturer.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/runs/... ./internal/probe/... ./internal/dnssim/... ./internal/pdns/... ./internal/workload/... ./internal/fault/... ./internal/checkpoint/...
+	$(GO) test -race ./internal/obs/... ./internal/runs/... ./internal/probe/... ./internal/dnssim/... ./internal/pdns/... ./internal/workload/... ./internal/fault/... ./internal/checkpoint/... ./internal/health/... ./internal/prof/...
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +60,17 @@ report:
 	$(GO) run ./cmd/scfruns report -dir .runs \
 		-bench BENCH_pipeline.json -history BENCH_history.jsonl -o PERF_REPORT.md
 	@echo "wrote PERF_REPORT.md"
+
+# Continuous profiling pass: run the golden configuration with -profile (the
+# run ID and every deterministic fingerprint are unchanged by profiling, so
+# this shares the gate's .runs slot), then render the CPU hotspot + stage
+# attribution tables into PROF_HOTSPOTS.md. The rendering is deterministic
+# for a fixed profile; the profile contents are machine-varying by design.
+prof:
+	$(GO) run ./cmd/scfpipe -seed 1 -scale 0.01 -workers 4 -chaos none -skip-c2 \
+		-profile -run-dir .runs > /dev/null
+	$(GO) run ./cmd/scfruns prof show -dir .runs -o PROF_HOTSPOTS.md r-3ed4ac535b0d
+	@cat PROF_HOTSPOTS.md
 
 # Regression gate: archive a fresh run of the golden configuration and diff
 # it against the committed baseline (internal/runs/testdata/golden). The

@@ -18,6 +18,7 @@
 //	scfpipe -checkpoint-interval 100000      # denser mid-emission checkpoints
 //	scfpipe -resume                          # resume an interrupted run
 //	scfpipe -chaos crash=probe               # seeded crash injection (testing)
+//	scfpipe -profile                         # archive per-stage pprof profiles
 //
 // With -chaos the run injects a seeded, reproducible fault schedule (DNS
 // failures, connection resets, flapping and truncating endpoints, latency
@@ -59,6 +60,14 @@
 // the run cleanly — in-flight emission flushes one final checkpoint and the
 // partial provenance (manifest + events) is archived with a resume hint; a
 // second signal aborts immediately.
+//
+// With -profile the run records continuous profiles: one run-wide CPU
+// profile whose samples carry pprof labels for the executing stage (and the
+// shard index inside parallel aggregation), plus heap/allocs/block/mutex
+// snapshots at every stage boundary. Profiles land on the archive's
+// machine-varying side under profiles/ — toggling -profile never moves the
+// run ID or any artifact fingerprint. Inspect them with
+// `scfruns prof show|diff`.
 package main
 
 import (
@@ -101,6 +110,7 @@ func main() {
 		healthStrict = flag.Bool("health-strict", false, "exit non-zero when any SLO health rule fired during the run")
 		ckptEvery    = flag.Int64("checkpoint-interval", 250000, "also checkpoint every N emitted PDNS rows (0 = stage boundaries only; negative = disable checkpointing)")
 		resume       = flag.Bool("resume", false, "resume the interrupted run with this configuration from its newest checkpoint")
+		profile      = flag.Bool("profile", false, "record per-stage pprof profiles (CPU with stage/shard labels, heap/allocs/block/mutex at stage boundaries) into the run archive's profiles/ directory")
 	)
 	flag.Parse()
 
@@ -171,6 +181,7 @@ func main() {
 		CheckpointDir:      ckptDir,
 		CheckpointInterval: *ckptEvery,
 		Resume:             *resume,
+		Profile:            *profile,
 	})
 	exitCode := 0
 	if res != nil && *manifest != "" {

@@ -58,6 +58,7 @@ func (r *Results) BuildArchive(tool string, events *obs.EventLog) *runs.Archive 
 		Manifest: r.Manifest(tool),
 		Events:   events,
 		Trace:    r.Stages,
+		Profiles: r.Profiles,
 		Artifacts: map[string]string{
 			"table2.txt":      r.RenderTable2(),
 			"table3.txt":      r.RenderTable3(),

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"net"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pdns"
 	"repro/internal/probe"
+	"repro/internal/prof"
 	"repro/internal/providers"
 	"repro/internal/runs"
 	"repro/internal/secrets"
@@ -122,6 +124,16 @@ type Config struct {
 	// of configMeta: sampling observes a run, it does not change one, so
 	// toggling it must not move the run ID or any golden fingerprint.
 	ResourceInterval time.Duration
+
+	// Profile enables the continuous-profiling capture manager: one CPU
+	// profile spans the whole run (samples attributed to stages and shards
+	// by runtime/pprof labels), and heap/allocs/block/mutex snapshots are
+	// taken at every stage boundary, all landing under profiles/ on the
+	// machine-varying side of the run archive. Like ResourceInterval it is
+	// deliberately NOT part of configMeta: profiling observes a run, it
+	// does not change one, so toggling it must not move the run ID or any
+	// golden fingerprint.
+	Profile bool
 
 	// CheckpointDir enables durable checkpointing: versioned snapshots of
 	// pipeline progress land under <dir>/<run-id>/checkpoints — written
@@ -227,6 +239,12 @@ type Results struct {
 	// sampler collected (empty when Config.ResourceInterval is zero). Also
 	// strictly machine-varying: archived in timings.json, never summary.
 	Resources []obs.ResourceStats
+
+	// Profiles is everything the continuous-profiling capturer recorded
+	// (empty unless Config.Profile): the run-wide CPU profile plus the
+	// stage-boundary heap/allocs/block/mutex snapshots. Machine-varying by
+	// nature — archived under profiles/, never fingerprinted.
+	Profiles []prof.Snapshot
 
 	// Recovery is the run's checkpoint/resume lineage, nil when the run did
 	// not checkpoint. Archived in timings.json (machine-varying side):
@@ -388,12 +406,27 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	// interval yields the nil no-op sampler.
 	sampler := obs.NewResourceSampler(reg, elog, cfg.ResourceInterval)
 	sampler.Start()
+	// The continuous-profiling capturer mirrors the sampler's lifecycle: it
+	// observes the run from the side, so a capture failure degrades to an
+	// event-log note, never a run error.
+	capturer := prof.NewCapturer(cfg.Profile)
+	if perr := capturer.Start(); perr != nil {
+		elog.Emit(obs.EventNote, "profile-error", obs.Attr{Key: "detail", Value: perr.Error()})
+	}
 	startStage := func(ctx context.Context, name string) (context.Context, *obs.Span) {
 		// The seeded crashpoint fires here when it targets this boundary:
 		// the abort lands after the previous stage's checkpoint and before
 		// any of this stage's work, exactly like a power loss between them.
 		injector.CrashAtStage(name)
 		sampler.SetStage(name)
+		capturer.StageBoundary(name)
+		// Stage attribution for CPU profiles rides on pprof labels: the
+		// orchestration goroutine is labeled here, and every goroutine a
+		// stage spawns (probe sweep, parallelFor, emission shards) inherits
+		// the label at spawn. Labels are set whether or not this run
+		// captures, so the live /debug/pprof endpoints see them too.
+		ctx = pprof.WithLabels(ctx, pprof.Labels("stage", name))
+		pprof.SetGoroutineLabels(ctx)
 		return obs.StartSpan(ctx, name)
 	}
 	defer func() {
@@ -405,6 +438,10 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 			}
 		}
 		res.Resources = sampler.Stop()
+		res.Profiles = capturer.Stop()
+		// Drop this goroutine's stage label so a later run on the same
+		// goroutine (tests, the scenario matrix) starts unlabeled.
+		pprof.SetGoroutineLabels(context.Background())
 		res.Stages = tr.Records()
 		res.Health = mon.Finalize()
 		res.Degradations = collectDegradations(reg)

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestProfilePreservesGolden is the golden-preservation proof for -profile:
+// at several worker counts, a profiled run's deterministic half — run ID,
+// summary, and every artifact — is byte-identical to the unprofiled run's.
+// Profiling observes the pipeline; it must never move the measurement.
+func TestProfilePreservesGolden(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		base := runOnce(t, workers, false)
+		prof := runOnce(t, workers, true)
+
+		if got, want := prof.RunID(), base.RunID(); got != want {
+			t.Fatalf("workers=%d: profiled run ID %s != unprofiled %s", workers, got, want)
+		}
+		barch := base.BuildArchive("test", obs.NewEventLog())
+		parch := prof.BuildArchive("test", obs.NewEventLog())
+		bsum, err := json.Marshal(barch.Summary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psum, err := json.Marshal(parch.Summary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(bsum) != string(psum) {
+			t.Fatalf("workers=%d: profiled summary differs from unprofiled", workers)
+		}
+		for name, content := range barch.Artifacts {
+			if parch.Artifacts[name] != content {
+				t.Fatalf("workers=%d: artifact %s differs under -profile", workers, name)
+			}
+		}
+
+		// The profiled side must actually have profiled: at least two
+		// distinct snapshot kinds (the acceptance floor), none on the
+		// unprofiled side, and everything archived goes to Profiles.
+		if len(base.Profiles) != 0 {
+			t.Fatalf("workers=%d: unprofiled run captured %d profiles", workers, len(base.Profiles))
+		}
+		kinds := map[string]bool{}
+		for _, s := range prof.Profiles {
+			kinds[s.Kind] = true
+		}
+		if len(kinds) < 2 {
+			t.Fatalf("workers=%d: want >=2 profile kinds, got %v", workers, kinds)
+		}
+		if len(parch.Profiles) != len(prof.Profiles) {
+			t.Fatalf("workers=%d: archive carries %d profiles, results %d", workers, len(parch.Profiles), len(prof.Profiles))
+		}
+	}
+}
+
+func runOnce(t *testing.T, workers int, profile bool) *Results {
+	t.Helper()
+	cfg := Config{
+		Seed: 7, Scale: 0.002, Workers: workers, SkipC2Scan: true,
+		ProbeTimeout: 500 * time.Millisecond,
+		Profile:      profile,
+	}
+	elog := obs.NewEventLog()
+	res, err := RunContext(obs.ContextWithEventLog(context.Background(), elog), cfg)
+	if err != nil {
+		t.Fatalf("workers=%d profile=%v: %v", workers, profile, err)
+	}
+	return res
+}

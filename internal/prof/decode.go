@@ -1,0 +1,481 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// This file is a minimal decoder for the pprof profile.proto wire format —
+// just enough of protobuf (varints, length-delimited submessages, packed
+// repeated scalars) to walk the sample/location/function/string tables that
+// hotspot folding needs. Mappings, line numbers, and the other fields the
+// tables don't read are skipped, not modeled.
+
+// maxProfileBytes bounds the decompressed size a gzipped profile may claim;
+// runtime/pprof profiles for this pipeline are a few hundred KiB at most.
+const maxProfileBytes = 128 << 20
+
+// ValueType names one sample value column (e.g. cpu/nanoseconds).
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one pprof sample: its location stack (leaf first), one value
+// per sample-type column, and its string/numeric pprof labels.
+type Sample struct {
+	LocationIDs []uint64
+	Values      []int64
+	Labels      map[string]string
+	NumLabels   map[string]int64
+}
+
+// Profile is the decoded subset of a pprof profile the hotspot tables read.
+type Profile struct {
+	SampleTypes       []ValueType
+	Samples           []Sample
+	TimeNanos         int64
+	DurationNanos     int64
+	Period            int64
+	PeriodType        ValueType
+	DefaultSampleType string
+
+	locFuncs  map[uint64][]uint64 // location id -> function ids, leaf inline frame first
+	funcNames map[uint64]string
+}
+
+// Decode parses a pprof profile, transparently gunzipping (runtime/pprof
+// writes gzip-compressed protobuf at debug level 0).
+func Decode(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(zr, maxProfileBytes+1))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		if len(raw) > maxProfileBytes {
+			return nil, fmt.Errorf("prof: profile exceeds %d bytes decompressed", maxProfileBytes)
+		}
+		data = raw
+	}
+	return parseProfile(data)
+}
+
+// Stack resolves a sample's function-name stack, leaf first, expanding
+// inlined frames. Unknown ids render as "func#<id>" rather than failing:
+// a stripped or foreign profile still folds, just less readably.
+func (p *Profile) Stack(s *Sample) []string {
+	out := make([]string, 0, len(s.LocationIDs))
+	for _, lid := range s.LocationIDs {
+		fids := p.locFuncs[lid]
+		if len(fids) == 0 {
+			out = append(out, fmt.Sprintf("loc#%d", lid))
+			continue
+		}
+		for _, fid := range fids {
+			out = append(out, p.funcName(fid))
+		}
+	}
+	return out
+}
+
+// Leaf resolves the sample's leaf function name (innermost inline frame of
+// the first location), or "" for an empty stack.
+func (p *Profile) Leaf(s *Sample) string {
+	if len(s.LocationIDs) == 0 {
+		return ""
+	}
+	fids := p.locFuncs[s.LocationIDs[0]]
+	if len(fids) == 0 {
+		return fmt.Sprintf("loc#%d", s.LocationIDs[0])
+	}
+	return p.funcName(fids[0])
+}
+
+func (p *Profile) funcName(id uint64) string {
+	if name, ok := p.funcNames[id]; ok && name != "" {
+		return name
+	}
+	return fmt.Sprintf("func#%d", id)
+}
+
+// ValueIndex picks the sample value column: the column whose type matches
+// typ when given, else the profile's default sample type, else the last
+// column — which is cpu/nanoseconds for CPU profiles and inuse_space for
+// heap profiles, the two defaults the tables want.
+func (p *Profile) ValueIndex(typ string) int {
+	if typ != "" {
+		for i, st := range p.SampleTypes {
+			if st.Type == typ {
+				return i
+			}
+		}
+	}
+	if p.DefaultSampleType != "" {
+		for i, st := range p.SampleTypes {
+			if st.Type == p.DefaultSampleType {
+				return i
+			}
+		}
+	}
+	return len(p.SampleTypes) - 1
+}
+
+// Unit returns the unit of value column vi, "" when out of range.
+func (p *Profile) Unit(vi int) string {
+	if vi < 0 || vi >= len(p.SampleTypes) {
+		return ""
+	}
+	return p.SampleTypes[vi].Unit
+}
+
+// ---- wire-format walker ----
+
+// field is one decoded protobuf field: number, wire type, and either the
+// varint/fixed value or the length-delimited payload.
+type field struct {
+	num  int
+	wire int
+	val  uint64
+	body []byte
+}
+
+// walker iterates the fields of one message body.
+type walker struct {
+	buf []byte
+	pos int
+}
+
+func (w *walker) done() bool { return w.pos >= len(w.buf) }
+
+// next decodes one field header + payload, erroring on truncation or a wire
+// type protobuf does not define (3 and 4 — group markers — are rejected
+// too: profile.proto never uses them).
+func (w *walker) next() (field, error) {
+	var f field
+	key, err := w.varint()
+	if err != nil {
+		return f, err
+	}
+	f.num = int(key >> 3)
+	f.wire = int(key & 7)
+	if f.num == 0 {
+		return f, fmt.Errorf("prof: field number 0")
+	}
+	switch f.wire {
+	case 0: // varint
+		f.val, err = w.varint()
+	case 1: // fixed64
+		if w.pos+8 > len(w.buf) {
+			return f, io.ErrUnexpectedEOF
+		}
+		for i := 0; i < 8; i++ {
+			f.val |= uint64(w.buf[w.pos+i]) << (8 * i)
+		}
+		w.pos += 8
+	case 2: // length-delimited
+		n, err2 := w.varint()
+		if err2 != nil {
+			return f, err2
+		}
+		if n > uint64(len(w.buf)-w.pos) {
+			return f, io.ErrUnexpectedEOF
+		}
+		f.body = w.buf[w.pos : w.pos+int(n)]
+		w.pos += int(n)
+	case 5: // fixed32
+		if w.pos+4 > len(w.buf) {
+			return f, io.ErrUnexpectedEOF
+		}
+		for i := 0; i < 4; i++ {
+			f.val |= uint64(w.buf[w.pos+i]) << (8 * i)
+		}
+		w.pos += 4
+	default:
+		return f, fmt.Errorf("prof: unsupported wire type %d", f.wire)
+	}
+	return f, err
+}
+
+func (w *walker) varint() (uint64, error) {
+	var v uint64
+	for shift := 0; shift < 64; shift += 7 {
+		if w.pos >= len(w.buf) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		b := w.buf[w.pos]
+		w.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("prof: varint overflows 64 bits")
+}
+
+// uints decodes a repeated uint64 field that may arrive packed (one
+// length-delimited blob) or unpacked (one varint per occurrence).
+func appendUints(dst []uint64, f field) ([]uint64, error) {
+	if f.wire != 2 {
+		return append(dst, f.val), nil
+	}
+	w := &walker{buf: f.body}
+	for !w.done() {
+		v, err := w.varint()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+func appendInts(dst []int64, f field) ([]int64, error) {
+	us, err := appendUints(nil, f)
+	if err != nil {
+		return dst, err
+	}
+	for _, u := range us {
+		dst = append(dst, int64(u))
+	}
+	return dst, nil
+}
+
+// parseProfile walks the top-level Profile message.
+func parseProfile(data []byte) (*Profile, error) {
+	p := &Profile{
+		locFuncs:  map[uint64][]uint64{},
+		funcNames: map[uint64]string{},
+	}
+	var strTab []string
+	var sampleBodies, locBodies, fnBodies [][]byte
+	var ptBody []byte
+	var stBodies [][]byte
+	var defaultIdx uint64
+
+	w := &walker{buf: data}
+	for !w.done() {
+		f, err := w.next()
+		if err != nil {
+			return nil, err
+		}
+		switch f.num {
+		case 1: // sample_type
+			if f.wire != 2 {
+				return nil, fmt.Errorf("prof: sample_type: wire type %d", f.wire)
+			}
+			stBodies = append(stBodies, f.body)
+		case 2: // sample
+			if f.wire != 2 {
+				return nil, fmt.Errorf("prof: sample: wire type %d", f.wire)
+			}
+			sampleBodies = append(sampleBodies, f.body)
+		case 4: // location
+			if f.wire != 2 {
+				return nil, fmt.Errorf("prof: location: wire type %d", f.wire)
+			}
+			locBodies = append(locBodies, f.body)
+		case 5: // function
+			if f.wire != 2 {
+				return nil, fmt.Errorf("prof: function: wire type %d", f.wire)
+			}
+			fnBodies = append(fnBodies, f.body)
+		case 6: // string_table
+			if f.wire != 2 {
+				return nil, fmt.Errorf("prof: string_table: wire type %d", f.wire)
+			}
+			strTab = append(strTab, string(f.body))
+		case 9:
+			p.TimeNanos = int64(f.val)
+		case 10:
+			p.DurationNanos = int64(f.val)
+		case 11: // period_type
+			if f.wire == 2 {
+				ptBody = f.body
+			}
+		case 12:
+			p.Period = int64(f.val)
+		case 14:
+			defaultIdx = f.val
+		}
+	}
+
+	str := func(idx uint64) string {
+		if idx < uint64(len(strTab)) {
+			return strTab[idx]
+		}
+		return ""
+	}
+
+	for _, body := range stBodies {
+		vt, err := parseValueType(body, str)
+		if err != nil {
+			return nil, err
+		}
+		p.SampleTypes = append(p.SampleTypes, vt)
+	}
+	if ptBody != nil {
+		vt, err := parseValueType(ptBody, str)
+		if err != nil {
+			return nil, err
+		}
+		p.PeriodType = vt
+	}
+	p.DefaultSampleType = str(defaultIdx)
+
+	for _, body := range fnBodies {
+		if err := parseFunction(body, str, p.funcNames); err != nil {
+			return nil, err
+		}
+	}
+	for _, body := range locBodies {
+		if err := parseLocation(body, p.locFuncs); err != nil {
+			return nil, err
+		}
+	}
+	for _, body := range sampleBodies {
+		s, err := parseSample(body, str)
+		if err != nil {
+			return nil, err
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+func parseValueType(body []byte, str func(uint64) string) (ValueType, error) {
+	var vt ValueType
+	w := &walker{buf: body}
+	for !w.done() {
+		f, err := w.next()
+		if err != nil {
+			return vt, err
+		}
+		switch f.num {
+		case 1:
+			vt.Type = str(f.val)
+		case 2:
+			vt.Unit = str(f.val)
+		}
+	}
+	return vt, nil
+}
+
+func parseFunction(body []byte, str func(uint64) string, names map[uint64]string) error {
+	var id uint64
+	var name string
+	w := &walker{buf: body}
+	for !w.done() {
+		f, err := w.next()
+		if err != nil {
+			return err
+		}
+		switch f.num {
+		case 1:
+			id = f.val
+		case 2:
+			name = str(f.val)
+		}
+	}
+	names[id] = name
+	return nil
+}
+
+// parseLocation records a location's function ids in Line order — pprof
+// puts the innermost inlined frame first, which Leaf relies on.
+func parseLocation(body []byte, locFuncs map[uint64][]uint64) error {
+	var id uint64
+	var fids []uint64
+	w := &walker{buf: body}
+	for !w.done() {
+		f, err := w.next()
+		if err != nil {
+			return err
+		}
+		switch f.num {
+		case 1:
+			id = f.val
+		case 4: // line
+			if f.wire != 2 {
+				return fmt.Errorf("prof: line: wire type %d", f.wire)
+			}
+			lw := &walker{buf: f.body}
+			for !lw.done() {
+				lf, err := lw.next()
+				if err != nil {
+					return err
+				}
+				if lf.num == 1 { // function_id
+					fids = append(fids, lf.val)
+				}
+			}
+		}
+	}
+	locFuncs[id] = fids
+	return nil
+}
+
+func parseSample(body []byte, str func(uint64) string) (Sample, error) {
+	var s Sample
+	w := &walker{buf: body}
+	for !w.done() {
+		f, err := w.next()
+		if err != nil {
+			return s, err
+		}
+		switch f.num {
+		case 1: // location_id
+			if s.LocationIDs, err = appendUints(s.LocationIDs, f); err != nil {
+				return s, err
+			}
+		case 2: // value
+			if s.Values, err = appendInts(s.Values, f); err != nil {
+				return s, err
+			}
+		case 3: // label
+			if f.wire != 2 {
+				return s, fmt.Errorf("prof: label: wire type %d", f.wire)
+			}
+			key, sval, nval, isNum, err := parseLabel(f.body, str)
+			if err != nil {
+				return s, err
+			}
+			if isNum {
+				if s.NumLabels == nil {
+					s.NumLabels = map[string]int64{}
+				}
+				s.NumLabels[key] = nval
+			} else if key != "" {
+				if s.Labels == nil {
+					s.Labels = map[string]string{}
+				}
+				s.Labels[key] = sval
+			}
+		}
+	}
+	return s, nil
+}
+
+func parseLabel(body []byte, str func(uint64) string) (key, sval string, nval int64, isNum bool, err error) {
+	w := &walker{buf: body}
+	for !w.done() {
+		f, ferr := w.next()
+		if ferr != nil {
+			return "", "", 0, false, ferr
+		}
+		switch f.num {
+		case 1:
+			key = str(f.val)
+		case 2:
+			sval = str(f.val)
+		case 3:
+			nval, isNum = int64(f.val), true
+		}
+	}
+	return key, sval, nval, isNum, nil
+}

@@ -1,0 +1,201 @@
+package prof
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// heapProfileBytes captures this process's heap profile in the gzipped
+// protobuf format runtime/pprof archives use.
+func heapProfileBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatalf("heap profile: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// sink keeps allocations from being optimised away.
+var sink [][]byte
+
+func TestDecodeHeapRoundTrip(t *testing.T) {
+	// Allocate something attributable so the profile is not empty.
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 64<<10))
+	}
+	runtime.GC() // heap profile snapshots as of the last GC
+	data := heapProfileBytes(t)
+	p, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	types := map[string]bool{}
+	for _, st := range p.SampleTypes {
+		types[st.Type] = true
+	}
+	for _, want := range []string{"alloc_objects", "alloc_space", "inuse_objects", "inuse_space"} {
+		if !types[want] {
+			t.Fatalf("sample types %v missing %s", p.SampleTypes, want)
+		}
+	}
+	vi := p.ValueIndex("inuse_space")
+	if unit := p.Unit(vi); unit != "bytes" {
+		t.Fatalf("inuse_space unit = %q, want bytes", unit)
+	}
+	if TotalValue(p, vi) <= 0 {
+		t.Fatal("no in-use bytes decoded from a live heap")
+	}
+	// Function names must resolve through the string table: at least one
+	// frame of the allocation above should name this package or testing.
+	stats := FlatTable(p, vi)
+	if len(stats) == 0 {
+		t.Fatal("no functions folded")
+	}
+	var found bool
+	for _, st := range stats {
+		if strings.Contains(st.Name, "prof.") || strings.Contains(st.Name, "testing.") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no resolvable function names in %d stats (first: %q)", len(stats), stats[0].Name)
+	}
+}
+
+func TestDecodeCPULabels(t *testing.T) {
+	// Capture a short CPU profile with labeled busy work; loaded CI boxes
+	// can deliver zero samples, so retry and skip rather than flake.
+	var p *Profile
+	for attempt := 0; attempt < 3; attempt++ {
+		var buf bytes.Buffer
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			t.Skipf("cpu profile unavailable: %v", err)
+		}
+		pprof.Do(context.Background(), pprof.Labels("stage", "spin"), func(context.Context) {
+			deadline := time.Now().Add(150 * time.Millisecond)
+			x := 0
+			for time.Now().Before(deadline) {
+				x += x*31 + 7
+			}
+			runtime.KeepAlive(x)
+		})
+		pprof.StopCPUProfile()
+		var err error
+		p, err = Decode(buf.Bytes())
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if len(p.Samples) > 0 {
+			break
+		}
+	}
+	if p == nil || len(p.Samples) == 0 {
+		t.Skip("no CPU samples captured (machine too loaded or clock too coarse)")
+	}
+	if p.PeriodType.Type != "cpu" {
+		t.Fatalf("period type %+v, want cpu", p.PeriodType)
+	}
+	vi := p.ValueIndex("cpu")
+	if unit := p.Unit(vi); unit != "nanoseconds" {
+		t.Fatalf("cpu unit = %q, want nanoseconds", unit)
+	}
+	if share := LabeledShare(p, "stage", vi); share <= 0 {
+		t.Fatalf("no samples carry the stage label (share %.3f)", share)
+	}
+	labels := LabelTable(p, "stage", vi)
+	if len(labels) == 0 || labels[0].Value != "spin" && !hasLabel(labels, "spin") {
+		t.Fatalf("label table %v missing spin", labels)
+	}
+}
+
+func hasLabel(ls []LabelStat, v string) bool {
+	for _, l := range ls {
+		if l.Value == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		{0x08},                   // truncated varint field
+		{0xff, 0xff, 0xff, 0xff}, // nonsense keys
+		{0x1f, 0x8b, 0x00},       // gzip magic, torn header
+	} {
+		if _, err := Decode(data); err == nil {
+			t.Fatalf("Decode(%x) accepted garbage", data)
+		}
+	}
+	// Empty input decodes to an empty profile: zero fields is a valid
+	// (if useless) protobuf message.
+	p, err := Decode(nil)
+	if err != nil {
+		t.Fatalf("Decode(nil): %v", err)
+	}
+	if len(p.Samples) != 0 {
+		t.Fatal("empty input produced samples")
+	}
+}
+
+// TestRenderDeterministic pins the byte-identity of the rendered tables:
+// five renders of the same profile bytes must agree exactly, which is the
+// same guarantee `scfruns prof show` makes about an archived profile.
+func TestRenderDeterministic(t *testing.T) {
+	runtime.GC()
+	data := heapProfileBytes(t)
+	var first string
+	for i := 0; i < 5; i++ {
+		p, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vi := p.ValueIndex("inuse_space")
+		out := RenderTop(p, vi, 10) + RenderLabels(p, "stage", vi)
+		if i == 0 {
+			first = out
+			continue
+		}
+		if out != first {
+			t.Fatalf("render %d differs from first:\n%s\nvs\n%s", i, out, first)
+		}
+	}
+}
+
+func TestDiffFlatMinSampleFloor(t *testing.T) {
+	runtime.GC()
+	data := heapProfileBytes(t)
+	p1, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical profiles: zero drift everywhere, never TooSmall at floor 0.
+	d := DiffFlat(p1, p2, "inuse_space", 0)
+	if d.TooSmall {
+		t.Fatal("identical live profiles flagged TooSmall at floor 0")
+	}
+	for _, r := range d.Rows {
+		if r.DeltaPct != 0 {
+			t.Fatalf("self-diff drift %+.2fpp on %s", r.DeltaPct, r.Name)
+		}
+	}
+	// An absurd floor must flag TooSmall with no rows — tiny profiles never gate.
+	d = DiffFlat(p1, p2, "inuse_space", 1<<62)
+	if !d.TooSmall || len(d.Rows) != 0 {
+		t.Fatalf("floor not honoured: TooSmall=%v rows=%d", d.TooSmall, len(d.Rows))
+	}
+	if out := RenderDrift(d, 10); !strings.Contains(out, "too few samples") {
+		t.Fatalf("TooSmall render missing advisory: %q", out)
+	}
+}

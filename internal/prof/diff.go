@@ -1,0 +1,166 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DriftRow is one function's flat-value movement between a baseline and a
+// candidate profile. Shares are fractions of each profile's own total, so
+// two machines with different absolute speeds still compare: a function
+// whose share of the run grew got relatively slower no matter the hardware.
+type DriftRow struct {
+	Name     string
+	BaseFlat int64
+	CandFlat int64
+	BasePct  float64 // share of baseline total, in percent
+	CandPct  float64 // share of candidate total, in percent
+	DeltaPct float64 // CandPct - BasePct, percentage points
+	DeltaAbs int64   // CandFlat - BaseFlat
+}
+
+// Drift is the per-function flat-share comparison of two profiles.
+type Drift struct {
+	// TooSmall is set when either side's total is under the min-sample
+	// floor; Rows is then empty and any consumer must treat the comparison
+	// as "not enough signal", never as "no drift".
+	TooSmall  bool
+	BaseTotal int64
+	CandTotal int64
+	Unit      string
+	Type      string
+	Rows      []DriftRow // sorted by |DeltaPct| descending, name ascending
+}
+
+// DiffFlat compares per-function flat values between base and cand on the
+// value column named typ ("" selects each profile's default column).
+// minTotal is the min-sample floor: when either profile's total is below
+// it, the result is marked TooSmall and carries no rows — tiny profiles
+// produce share noise, not signal, and must never gate anything.
+func DiffFlat(base, cand *Profile, typ string, minTotal int64) Drift {
+	bvi, cvi := base.ValueIndex(typ), cand.ValueIndex(typ)
+	d := Drift{
+		BaseTotal: TotalValue(base, bvi),
+		CandTotal: TotalValue(cand, cvi),
+		Unit:      cand.Unit(cvi),
+	}
+	if cvi >= 0 && cvi < len(cand.SampleTypes) {
+		d.Type = cand.SampleTypes[cvi].Type
+	}
+	if minTotal > 0 && (d.BaseTotal < minTotal || d.CandTotal < minTotal) {
+		d.TooSmall = true
+		return d
+	}
+	if d.BaseTotal == 0 || d.CandTotal == 0 {
+		d.TooSmall = true
+		return d
+	}
+	flat := map[string]*DriftRow{}
+	for _, st := range FlatTable(base, bvi) {
+		flat[st.Name] = &DriftRow{Name: st.Name, BaseFlat: st.Flat}
+	}
+	for _, st := range FlatTable(cand, cvi) {
+		r := flat[st.Name]
+		if r == nil {
+			r = &DriftRow{Name: st.Name}
+			flat[st.Name] = r
+		}
+		r.CandFlat = st.Flat
+	}
+	for _, r := range flat {
+		r.BasePct = 100 * float64(r.BaseFlat) / float64(d.BaseTotal)
+		r.CandPct = 100 * float64(r.CandFlat) / float64(d.CandTotal)
+		r.DeltaPct = r.CandPct - r.BasePct
+		r.DeltaAbs = r.CandFlat - r.BaseFlat
+		d.Rows = append(d.Rows, *r)
+	}
+	sort.Slice(d.Rows, func(i, j int) bool {
+		ai, aj := abs(d.Rows[i].DeltaPct), abs(d.Rows[j].DeltaPct)
+		if ai != aj {
+			return ai > aj
+		}
+		return d.Rows[i].Name < d.Rows[j].Name
+	})
+	return d
+}
+
+// RenderDrift renders the top-n drift rows as aligned text, largest
+// absolute share movement first. Deterministic given the same profiles.
+func RenderDrift(d Drift, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Flat %s drift, candidate vs baseline (totals %s -> %s)\n",
+		d.Type, FormatValue(d.BaseTotal, d.Unit), FormatValue(d.CandTotal, d.Unit))
+	if d.TooSmall {
+		b.WriteString("  too few samples on at least one side; drift not comparable\n")
+		return b.String()
+	}
+	if n <= 0 || n > len(d.Rows) {
+		n = len(d.Rows)
+	}
+	rows := make([][4]string, 0, n)
+	for _, r := range d.Rows[:n] {
+		rows = append(rows, [4]string{
+			fmt.Sprintf("%.2f%%", r.BasePct),
+			fmt.Sprintf("%.2f%%", r.CandPct),
+			fmt.Sprintf("%+.2fpp", r.DeltaPct),
+			r.Name,
+		})
+	}
+	w1, w2, w3 := len("base"), len("cand"), len("Δshare")
+	for _, r := range rows {
+		w1, w2, w3 = maxLen(w1, r[0]), maxLen(w2, r[1]), maxLen(w3, r[2])
+	}
+	fmt.Fprintf(&b, "  %*s  %*s  %*s  %s\n", w1, "base", w2, "cand", w3, "Δshare", "function")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %*s  %*s  %*s  %s\n", w1, r[0], w2, r[1], w3, r[2], r[3])
+	}
+	return b.String()
+}
+
+// RenderGrowth renders the top-n rows by absolute growth (DeltaAbs
+// descending) — the shape the live delta-heap endpoint wants, where "which
+// function's in-use bytes grew" matters more than share movement.
+func RenderGrowth(d Drift, n int) string {
+	rows := append([]DriftRow(nil), d.Rows...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].DeltaAbs != rows[j].DeltaAbs {
+			return rows[i].DeltaAbs > rows[j].DeltaAbs
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s growth over the window (totals %s -> %s)\n",
+		d.Type, FormatValue(d.BaseTotal, d.Unit), FormatValue(d.CandTotal, d.Unit))
+	if d.TooSmall {
+		b.WriteString("  too few samples on at least one side; growth not comparable\n")
+		return b.String()
+	}
+	if n <= 0 || n > len(rows) {
+		n = len(rows)
+	}
+	out := make([][3]string, 0, n)
+	for _, r := range rows[:n] {
+		delta := FormatValue(r.DeltaAbs, d.Unit)
+		if r.DeltaAbs > 0 {
+			delta = "+" + delta
+		}
+		out = append(out, [3]string{delta, FormatValue(r.CandFlat, d.Unit), r.Name})
+	}
+	w1, w2 := len("delta"), len("now")
+	for _, r := range out {
+		w1, w2 = maxLen(w1, r[0]), maxLen(w2, r[1])
+	}
+	fmt.Fprintf(&b, "  %*s  %*s  %s\n", w1, "delta", w2, "now", "function")
+	for _, r := range out {
+		fmt.Fprintf(&b, "  %*s  %*s  %s\n", w1, r[0], w2, r[1], r[2])
+	}
+	return b.String()
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

@@ -1,0 +1,234 @@
+package prof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FuncStat is one function's folded sample values: Flat is the value of the
+// samples whose leaf is the function, Cum the value of every sample the
+// function appears anywhere in (each function counted once per sample, so
+// recursion does not double-count).
+type FuncStat struct {
+	Name string
+	Flat int64
+	Cum  int64
+}
+
+// LabelStat is the folded value of one pprof label value; samples without
+// the label fold under Unlabeled.
+type LabelStat struct {
+	Value string
+	Total int64
+}
+
+// Unlabeled is the LabelStat bucket for samples that do not carry the
+// requested label key.
+const Unlabeled = "(unlabeled)"
+
+// TotalValue sums value column vi over every sample.
+func TotalValue(p *Profile, vi int) int64 {
+	var total int64
+	for i := range p.Samples {
+		total += sampleValue(&p.Samples[i], vi)
+	}
+	return total
+}
+
+func sampleValue(s *Sample, vi int) int64 {
+	if vi < 0 || vi >= len(s.Values) {
+		return 0
+	}
+	return s.Values[vi]
+}
+
+// FlatTable folds the profile into per-function flat/cumulative values on
+// value column vi, sorted by flat descending (name ascending breaks ties),
+// so the order — like everything else here — is a pure function of the
+// profile bytes.
+func FlatTable(p *Profile, vi int) []FuncStat {
+	stats := map[string]*FuncStat{}
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		v := sampleValue(s, vi)
+		if v == 0 {
+			continue
+		}
+		stack := p.Stack(s)
+		if len(stack) == 0 {
+			continue
+		}
+		seen := map[string]bool{}
+		for j, name := range stack {
+			st := stats[name]
+			if st == nil {
+				st = &FuncStat{Name: name}
+				stats[name] = st
+			}
+			if j == 0 {
+				st.Flat += v
+			}
+			if !seen[name] {
+				st.Cum += v
+				seen[name] = true
+			}
+		}
+	}
+	out := make([]FuncStat, 0, len(stats))
+	for _, st := range stats {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// LabelTable folds value column vi by the given pprof label key (e.g.
+// "stage", "shard"), sorted by total descending then value ascending.
+func LabelTable(p *Profile, key string, vi int) []LabelStat {
+	totals := map[string]int64{}
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		v := sampleValue(s, vi)
+		if v == 0 {
+			continue
+		}
+		lv, ok := s.Labels[key]
+		if !ok || lv == "" {
+			lv = Unlabeled
+		}
+		totals[lv] += v
+	}
+	out := make([]LabelStat, 0, len(totals))
+	for lv, t := range totals {
+		out = append(out, LabelStat{Value: lv, Total: t})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// LabeledShare is the fraction of value column vi carried by samples that
+// have the given label key at all — the attribution coverage the capture
+// layer promises (≥ 80% of CPU flat time should carry a stage label).
+func LabeledShare(p *Profile, key string, vi int) float64 {
+	var total, labeled int64
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		v := sampleValue(s, vi)
+		total += v
+		if lv, ok := s.Labels[key]; ok && lv != "" {
+			labeled += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(labeled) / float64(total)
+}
+
+// RenderTop renders the top-n flat/cum hotspot table for value column vi as
+// aligned text. Deterministic: same profile bytes, same output bytes.
+func RenderTop(p *Profile, vi, n int) string {
+	stats := FlatTable(p, vi)
+	total := TotalValue(p, vi)
+	unit := p.Unit(vi)
+	typ := ""
+	if vi >= 0 && vi < len(p.SampleTypes) {
+		typ = p.SampleTypes[vi].Type
+	}
+	if n <= 0 || n > len(stats) {
+		n = len(stats)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Top %d of %d functions by flat %s (total %s)\n", n, len(stats), typ, FormatValue(total, unit))
+	rows := make([][4]string, 0, n)
+	for _, st := range stats[:n] {
+		rows = append(rows, [4]string{
+			FormatValue(st.Flat, unit), pct(st.Flat, total),
+			FormatValue(st.Cum, unit), st.Name,
+		})
+	}
+	w1, w2, w3 := len("flat"), len("flat%"), len("cum")
+	for _, r := range rows {
+		w1, w2, w3 = maxLen(w1, r[0]), maxLen(w2, r[1]), maxLen(w3, r[2])
+	}
+	fmt.Fprintf(&b, "  %*s  %*s  %*s  %s\n", w1, "flat", w2, "flat%", w3, "cum", "function")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %*s  %*s  %*s  %s\n", w1, r[0], w2, r[1], w3, r[2], r[3])
+	}
+	return b.String()
+}
+
+// RenderLabels renders the per-label-value attribution table for the given
+// key, with each value's share of the column total.
+func RenderLabels(p *Profile, key string, vi int) string {
+	stats := LabelTable(p, key, vi)
+	if len(stats) == 0 {
+		return ""
+	}
+	total := TotalValue(p, vi)
+	unit := p.Unit(vi)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Attribution by pprof label %q (%.1f%% of samples labeled)\n", key, 100*LabeledShare(p, key, vi))
+	w1, w2 := len("value"), len("share")
+	rows := make([][3]string, 0, len(stats))
+	for _, st := range stats {
+		r := [3]string{FormatValue(st.Total, unit), pct(st.Total, total), st.Value}
+		w1, w2 = maxLen(w1, r[0]), maxLen(w2, r[1])
+		rows = append(rows, r)
+	}
+	fmt.Fprintf(&b, "  %*s  %*s  %s\n", w1, "value", w2, "share", key)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %*s  %*s  %s\n", w1, r[0], w2, r[1], r[2])
+	}
+	return b.String()
+}
+
+// FormatValue renders a sample value in its unit: durations for
+// nanoseconds, binary sizes for bytes, plain counts otherwise.
+func FormatValue(v int64, unit string) string {
+	switch unit {
+	case "nanoseconds":
+		return strings.ReplaceAll(time.Duration(v).Round(10*time.Microsecond).String(), "µs", "us")
+	case "bytes":
+		switch {
+		case v < 0:
+			return fmt.Sprintf("%d B", v)
+		case v < 1<<10:
+			return fmt.Sprintf("%d B", v)
+		case v < 1<<20:
+			return fmt.Sprintf("%.1f KiB", float64(v)/(1<<10))
+		case v < 1<<30:
+			return fmt.Sprintf("%.1f MiB", float64(v)/(1<<20))
+		default:
+			return fmt.Sprintf("%.2f GiB", float64(v)/(1<<30))
+		}
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+func pct(v, total int64) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(v)/float64(total))
+}
+
+func maxLen(w int, s string) int {
+	if len(s) > w {
+		return len(s)
+	}
+	return w
+}

@@ -5,8 +5,9 @@
 // turn two archives into a regression verdict. The archive splits into a
 // deterministic half (summary.json and artifacts/ — a pure function of
 // seed, config, and workers) and a machine-varying half (timings.json,
-// manifest.json, events.jsonl, trace.json), so "did the measurement change?"
-// and "did the measurement get slower?" are separately answerable.
+// manifest.json, events.jsonl, trace.json, profiles/), so "did the
+// measurement change?" and "did the measurement get slower?" are separately
+// answerable.
 package runs
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/prof"
 )
 
 // Archive file names inside a run directory.
@@ -37,6 +39,9 @@ const (
 	// WriteDir preserves it across the atomic overwrite of an archive slot,
 	// so re-running a config never erases its crash-recovery lineage.
 	CheckpointsDir = "checkpoints"
+	// ProfilesDir holds the run's captured pprof profiles
+	// (<stage>-<kind>.pb.gz) — strictly machine-varying, like timings.
+	ProfilesDir = "profiles"
 )
 
 // DeterministicArtifacts names the emitted artifacts that are bit-identical
@@ -122,6 +127,11 @@ type Archive struct {
 	Events    *obs.EventLog
 	Trace     []obs.SpanRecord
 	Artifacts map[string]string
+	// Profiles are the run's captured pprof snapshots, written under
+	// profiles/ on the machine-varying side: they are never fingerprinted
+	// and never participate in the summary, so a profiled run's
+	// deterministic half is byte-identical to an unprofiled one's.
+	Profiles []prof.Snapshot
 }
 
 // Record is an archive read back from disk. ModTime is the archive's
@@ -295,6 +305,19 @@ func writeArchiveFiles(dir string, a *Archive) error {
 			}
 		}
 	}
+	if len(a.Profiles) > 0 {
+		pdir := filepath.Join(dir, ProfilesDir)
+		if err := os.MkdirAll(pdir, 0o755); err != nil {
+			return fmt.Errorf("runs: %w", err)
+		}
+		// Later snapshots of the same (stage, kind) overwrite earlier ones:
+		// the archive keeps one file per name, the newest capture.
+		for _, s := range a.Profiles {
+			if err := os.WriteFile(filepath.Join(pdir, s.FileName()), s.Data, 0o644); err != nil {
+				return fmt.Errorf("runs: profile %s: %w", s.FileName(), err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -387,10 +410,11 @@ func ListWarn(root string) ([]*Record, []string, error) {
 }
 
 // looksPartial reports whether dir holds the debris of an interrupted run —
-// any run-archive file or a checkpoints directory — as opposed to being an
-// unrelated directory that happens to live under the runs root.
+// any run-archive file, a checkpoints directory, or a profiles directory —
+// as opposed to being an unrelated directory that happens to live under the
+// runs root.
 func looksPartial(dir string) bool {
-	for _, name := range []string{SummaryFile, TimingsFile, ManifestFile, EventsFile, TraceFile, CheckpointsDir} {
+	for _, name := range []string{SummaryFile, TimingsFile, ManifestFile, EventsFile, TraceFile, CheckpointsDir, ProfilesDir} {
 		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
 			return true
 		}
@@ -405,6 +429,84 @@ func (r *Record) ReadArtifact(name string) (string, error) {
 		return "", fmt.Errorf("runs: %w", err)
 	}
 	return string(b), nil
+}
+
+// ProfileInfo describes one captured pprof profile in a run archive's
+// profiles/ directory.
+type ProfileInfo struct {
+	Name  string // file name, <stage>-<kind>.pb.gz
+	Stage string
+	Kind  string
+	Size  int64
+}
+
+// ListProfiles enumerates the pprof profiles archived under dir/profiles/,
+// sorted by name. An absent or empty profiles directory is not an error —
+// most runs are unprofiled — so callers get a nil slice and can render
+// "no profiles" without special-casing.
+func ListProfiles(dir string) ([]ProfileInfo, error) {
+	entries, err := os.ReadDir(filepath.Join(dir, ProfilesDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("runs: %w", err)
+	}
+	var infos []ProfileInfo
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".pb.gz") {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue // file vanished between readdir and stat; skip it
+		}
+		stem := strings.TrimSuffix(e.Name(), ".pb.gz")
+		stage, kind := stem, ""
+		if i := strings.LastIndex(stem, "-"); i >= 0 {
+			stage, kind = stem[:i], stem[i+1:]
+		}
+		infos = append(infos, ProfileInfo{Name: e.Name(), Stage: stage, Kind: kind, Size: fi.Size()})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
+}
+
+// ReadProfile returns the raw bytes of one archived profile.
+func ReadProfile(dir, name string) ([]byte, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ProfilesDir, name))
+	if err != nil {
+		return nil, fmt.Errorf("runs: %w", err)
+	}
+	return b, nil
+}
+
+// ProfilesLine renders a one-line inventory of a run's profiles, grouped by
+// kind with per-kind stage counts and total bytes — compact enough for the
+// show view's header block.
+func ProfilesLine(infos []ProfileInfo) string {
+	if len(infos) == 0 {
+		return "profiles: none"
+	}
+	counts := map[string]int{}
+	stages := map[string]bool{}
+	var kinds []string
+	var total int64
+	for _, in := range infos {
+		if counts[in.Kind] == 0 {
+			kinds = append(kinds, in.Kind)
+		}
+		counts[in.Kind]++
+		stages[in.Stage] = true
+		total += in.Size
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s x%d", k, counts[k]))
+	}
+	return fmt.Sprintf("profiles: %d across %d stage(s) (%s; %d bytes)",
+		len(infos), len(stages), strings.Join(parts, ", "), total)
 }
 
 // Stage returns the stage timing with the given path, or nil.

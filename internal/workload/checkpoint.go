@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -290,6 +291,11 @@ func AggregateParallelCkpt(ctx context.Context, pop *Population, resolver *dnssi
 		wg.Add(1)
 		go func(wkr int) {
 			defer wg.Done()
+			// Shard attribution for CPU profiles: merge a "shard" pprof
+			// label into whatever labels ctx already carries (core's
+			// startStage puts the "stage" label there), so profile samples
+			// answer "which shard of identify burnt the time".
+			pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels("shard", fmt.Sprintf("%d", wkr))))
 			if len(mutate) == 0 {
 				agg := aggs[wkr]
 				sink := func(b *pdns.RecordBatch) error {
