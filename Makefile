@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-matrix report prof chaos gate health crash crash-full check
+.PHONY: build test race vet bench bench-json bench-matrix report prof timeline chaos gate health crash crash-full check
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,18 @@ prof:
 		-profile -run-dir .runs > /dev/null
 	$(GO) run ./cmd/scfruns prof show -dir .runs -o PROF_HOTSPOTS.md r-3ed4ac535b0d
 	@cat PROF_HOTSPOTS.md
+
+# Telemetry timeline pass: run the golden configuration with the windowed
+# recorder on (the timeline lands on the archive's machine-varying side, so
+# the run ID and every deterministic fingerprint are unchanged and this
+# shares the gate's .runs slot), then render the deterministic timeline
+# table — window deltas, anomaly annotations, health breaches — into
+# TIMELINE.md. A clean golden run annotates zero anomalies.
+timeline:
+	$(GO) run ./cmd/scfpipe -seed 1 -scale 0.01 -workers 4 -chaos none -skip-c2 \
+		-timeline-interval 250ms -run-dir .runs > /dev/null
+	$(GO) run ./cmd/scfruns timeline -dir .runs -o TIMELINE.md r-3ed4ac535b0d
+	@cat TIMELINE.md
 
 # Regression gate: archive a fresh run of the golden configuration and diff
 # it against the committed baseline (internal/runs/testdata/golden). The

@@ -19,6 +19,7 @@
 //	scfpipe -resume                          # resume an interrupted run
 //	scfpipe -chaos crash=probe               # seeded crash injection (testing)
 //	scfpipe -profile                         # archive per-stage pprof profiles
+//	scfpipe -timeline-interval 250ms         # windowed telemetry + anomaly markers
 //
 // With -chaos the run injects a seeded, reproducible fault schedule (DNS
 // failures, connection resets, flapping and truncating endpoints, latency
@@ -68,6 +69,16 @@
 // machine-varying side under profiles/ — toggling -profile never moves the
 // run ID or any artifact fingerprint. Inspect them with
 // `scfruns prof show|diff`.
+//
+// With -timeline-interval the run captures a windowed telemetry timeline:
+// every interval, the metric registry's per-window deltas (counters, labeled
+// vectors, histogram window quantiles), gauge last-values, health breaches,
+// resource high-water marks, and seeded-deterministic anomaly annotations
+// (error-class activations and EWMA drift) land as one window record. The
+// timeline is archived as timeline.jsonl on the machine-varying side —
+// enabling it never moves the run ID or an artifact fingerprint — and, when
+// -metrics-addr is set, streams live to the /dash dashboard over SSE.
+// Inspect archived timelines with `scfruns timeline`.
 package main
 
 import (
@@ -85,6 +96,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	"repro/internal/runs"
 )
 
@@ -110,6 +122,7 @@ func main() {
 		healthStrict = flag.Bool("health-strict", false, "exit non-zero when any SLO health rule fired during the run")
 		ckptEvery    = flag.Int64("checkpoint-interval", 250000, "also checkpoint every N emitted PDNS rows (0 = stage boundaries only; negative = disable checkpointing)")
 		resume       = flag.Bool("resume", false, "resume the interrupted run with this configuration from its newest checkpoint")
+		tlInterval   = flag.Duration("timeline-interval", 0, "capture windowed telemetry (metric deltas, anomaly annotations, breaches, resource peaks) on this interval into timeline.jsonl; 0 disables")
 		profile      = flag.Bool("profile", false, "record per-stage pprof profiles (CPU with stage/shard labels, heap/allocs/block/mutex at stage boundaries) into the run archive's profiles/ directory")
 	)
 	flag.Parse()
@@ -156,13 +169,19 @@ func main() {
 		os.Exit(130)
 	}()
 
+	// The timeline recorder is created here, not inside core, so the /dash
+	// dashboard can subscribe to it before the pipeline starts; core adopts it
+	// via Config.Timeline and drives its lifecycle (start, stage annotations,
+	// breach folding, stop-and-collect).
+	tlRec := timeline.NewRecorder(metrics, timeline.Options{Interval: *tlInterval})
+
 	if *metricsAddr != "" {
-		srv, err := obs.Serve(*metricsAddr, metrics, trace, events)
+		srv, err := obs.Serve(*metricsAddr, metrics, trace, events, timeline.DashMounts(tlRec)...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		log.Printf("serving metrics on http://%s/metrics (trace: /trace, /trace.json; events: /events; pprof: /debug/pprof/)", srv.Addr())
+		log.Printf("serving metrics on http://%s/metrics (dash: /dash; trace: /trace, /trace.json; events: /events; pprof: /debug/pprof/)", srv.Addr())
 	}
 
 	res, err := core.RunContext(ctx, core.Config{
@@ -182,6 +201,7 @@ func main() {
 		CheckpointInterval: *ckptEvery,
 		Resume:             *resume,
 		Profile:            *profile,
+		Timeline:           tlRec,
 	})
 	exitCode := 0
 	if res != nil && *manifest != "" {
@@ -244,6 +264,10 @@ func main() {
 	}
 	if rt := res.RenderResources(); rt != "" {
 		fmt.Println(rt)
+	}
+	if n := len(res.Timeline); n > 0 {
+		log.Printf("timeline: %d windows, %d anomaly annotation(s) — inspect with `scfruns timeline %s`",
+			n, timeline.AnomalyCount(res.Timeline), res.RunID())
 	}
 	fmt.Println(res.RenderMetrics())
 	if *healthStrict && health.Fired(res.Health) {

@@ -19,6 +19,8 @@
 //	scfruns report -bench BENCH_pipeline.json -history BENCH_history.jsonl
 //	scfruns prof show r-1a2b3c4d5e6f        # hotspots + stage attribution
 //	scfruns prof diff -baseline r-aaaa r-bbbb
+//	scfruns timeline r-1a2b3c4d5e6f         # windowed telemetry + anomalies
+//	scfruns timeline -diff r-aaaa r-bbbb    # when did behaviour diverge?
 //
 // A run argument is either a directory containing summary.json or a run ID
 // resolved under -dir (default .runs, or $SCF_RUN_DIR). gate diffs the
@@ -74,6 +76,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/runs"
@@ -123,6 +126,8 @@ func run(args []string) int {
 		err = cmdReport(args[1:])
 	case "prof":
 		err = cmdProf(args[1:])
+	case "timeline":
+		err = cmdTimeline(args[1:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return 0
@@ -151,7 +156,7 @@ func run(args []string) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: scfruns <list|show|diff|gate|bench|matrix|report|prof> [flags] [args]
+	fmt.Fprintln(os.Stderr, `usage: scfruns <list|show|diff|gate|bench|matrix|report|prof|timeline> [flags] [args]
 
   list                     list archived runs under -dir, newest first
   show <run>               print one archive: config, stages, calibration
@@ -170,6 +175,11 @@ func usage() {
                            run's archived pprof profiles
   prof diff -baseline <run> <candidate>
                            per-function CPU flat% drift between two runs
+  timeline <run>           render a run's windowed-telemetry timeline as a
+                           deterministic Markdown table with anomaly callouts
+                           (-json for raw windows, -o to write a file)
+  timeline -diff <a> <b>   align two timelines window-by-window and localize
+                           when their behaviour diverged
 
 run arguments are directories holding summary.json, or run IDs under -dir
 (default .runs, or $SCF_RUN_DIR). See 'scfruns <cmd> -h' for flags.`)
@@ -249,12 +259,16 @@ func cmdList(args []string) error {
 		fmt.Printf("no runs under %s\n", *dir)
 		return nil
 	}
-	t := report.NewTable("Archived runs ("+*dir+")", "Run", "Tool", "Created", "Elapsed", "Seed", "Scale", "Chaos", "Degr", "Cal")
+	t := report.NewTable("Archived runs ("+*dir+")", "Run", "Tool", "Created", "Elapsed", "Seed", "Scale", "Chaos", "Degr", "Anom", "Cal")
 	for _, r := range recs {
+		anom := "-"
+		if n, ok := runs.TimelineAnomalies(r.Dir); ok {
+			anom = fmt.Sprintf("%d", n)
+		}
 		t.AddRow(r.Summary.ID, r.Summary.Tool, r.Timings.CreatedAt,
 			time.Duration(r.Timings.ElapsedNS).Round(time.Millisecond).String(),
 			r.Summary.Meta["seed"], r.Summary.Meta["scale"], r.Summary.Meta["chaos"],
-			len(r.Summary.Degradations), calVerdict(r.Summary.Calibration))
+			len(r.Summary.Degradations), anom, calVerdict(r.Summary.Calibration))
 	}
 	fmt.Println(t.String())
 	return nil
@@ -970,4 +984,76 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// cmdTimeline renders a run's windowed-telemetry timeline (timeline.jsonl)
+// as a deterministic Markdown table with anomaly and breach callouts, or —
+// with -diff — aligns two runs' timelines window-by-window to localize when
+// their behaviour diverged. The render is a pure function of the archived
+// bytes: five renders of the same archive are byte-identical.
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+	dir := dirFlag(fs)
+	asJSON := fs.Bool("json", false, "print the raw window records as a JSON array")
+	out := fs.String("o", "", "write the rendered output to this file instead of stdout")
+	diff := fs.Bool("diff", false, "align two runs window-by-window")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	var rendered string
+	switch {
+	case *diff:
+		if fs.NArg() != 2 {
+			return usageError{"timeline -diff: want exactly two run arguments"}
+		}
+		a, err := load(*dir, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		b, err := load(*dir, fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		aws, err := runs.ReadTimeline(a.Dir)
+		if err != nil {
+			return err
+		}
+		bws, err := runs.ReadTimeline(b.Dir)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return usageError{"timeline: -json and -diff are mutually exclusive"}
+		}
+		rendered = report.RenderTimelineDiff(a.Summary.ID, b.Summary.ID, aws, bws)
+	default:
+		if fs.NArg() != 1 {
+			return usageError{"timeline: want exactly one run argument"}
+		}
+		rec, err := load(*dir, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		ws, err := runs.ReadTimeline(rec.Dir)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			if ws == nil {
+				ws = []timeline.Window{}
+			}
+			b, err := json.MarshalIndent(ws, "", "  ")
+			if err != nil {
+				return err
+			}
+			rendered = string(b) + "\n"
+		} else {
+			rendered = report.RenderTimeline(rec.Summary.ID, ws)
+		}
+	}
+	if *out != "" {
+		return os.WriteFile(*out, []byte(rendered), 0o644)
+	}
+	fmt.Print(rendered)
+	return nil
 }

@@ -59,6 +59,7 @@ func (r *Results) BuildArchive(tool string, events *obs.EventLog) *runs.Archive 
 		Events:   events,
 		Trace:    r.Stages,
 		Profiles: r.Profiles,
+		Timeline: r.Timeline,
 		Artifacts: map[string]string{
 			"table2.txt":      r.RenderTable2(),
 			"table3.txt":      r.RenderTable3(),

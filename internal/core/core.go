@@ -37,6 +37,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	"repro/internal/pdns"
 	"repro/internal/probe"
 	"repro/internal/prof"
@@ -134,6 +135,22 @@ type Config struct {
 	// does not change one, so toggling it must not move the run ID or any
 	// golden fingerprint.
 	Profile bool
+
+	// TimelineInterval enables the windowed-telemetry recorder: every
+	// interval the run closes one timeline window — registry deltas,
+	// per-window histogram quantiles, stage annotations, health breaches,
+	// resource peaks, anomaly markers — appended to timeline.jsonl on the
+	// machine-varying side of the run archive (and streamed to /dash when
+	// the obs endpoint is up). Zero disables recording. Like
+	// ResourceInterval it is deliberately NOT part of configMeta: the
+	// timeline observes a run, it does not change one, so toggling it must
+	// not move the run ID or any golden fingerprint.
+	TimelineInterval time.Duration
+	// Timeline, when non-nil, is a pre-built recorder to use instead of
+	// constructing one from TimelineInterval — cmd/scfpipe creates it
+	// up front so the live dashboard can subscribe before the run starts.
+	// The run still owns its lifecycle (Start/Stop).
+	Timeline *timeline.Recorder
 
 	// CheckpointDir enables durable checkpointing: versioned snapshots of
 	// pipeline progress land under <dir>/<run-id>/checkpoints — written
@@ -250,6 +267,13 @@ type Results struct {
 	// not checkpoint. Archived in timings.json (machine-varying side):
 	// whether a run was interrupted must never move a golden fingerprint.
 	Recovery *runs.RecoveryInfo
+
+	// Timeline is the run's windowed-telemetry sequence (empty unless
+	// Config.TimelineInterval or Config.Timeline): one window per interval
+	// with metric deltas, stage/health annotations, resource peaks, and
+	// anomaly markers. Machine-varying — archived as timeline.jsonl, never
+	// fingerprinted.
+	Timeline []timeline.Window
 
 	Elapsed time.Duration
 }
@@ -406,6 +430,22 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 	// interval yields the nil no-op sampler.
 	sampler := obs.NewResourceSampler(reg, elog, cfg.ResourceInterval)
 	sampler.Start()
+	// The timeline recorder windows the registry on its own clock for the
+	// whole run. Health firings are stamped with (and annotated onto) the
+	// window they happened in; resource peaks drain into each window. A
+	// nil recorder (interval 0, none pre-built) no-ops throughout.
+	rec := cfg.Timeline
+	if rec == nil {
+		rec = timeline.NewRecorder(reg, timeline.Options{Interval: cfg.TimelineInterval})
+	}
+	rec.SetPeakFn(sampler.TakePeaks)
+	if rec != nil {
+		mon.SetWindowIndex(rec.WindowIndex)
+		mon.SetOnFiring(func(hr health.Result) {
+			rec.NoteBreach(timeline.Breach{Rule: hr.Rule, Group: hr.Group, Value: hr.Value, Max: hr.Max})
+		})
+	}
+	rec.Start()
 	// The continuous-profiling capturer mirrors the sampler's lifecycle: it
 	// observes the run from the side, so a capture failure degrades to an
 	// event-log note, never a run error.
@@ -419,6 +459,7 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 		// any of this stage's work, exactly like a power loss between them.
 		injector.CrashAtStage(name)
 		sampler.SetStage(name)
+		rec.SetStage(name)
 		capturer.StageBoundary(name)
 		// Stage attribution for CPU profiles rides on pprof labels: the
 		// orchestration goroutine is labeled here, and every goroutine a
@@ -438,6 +479,11 @@ func RunContext(ctx context.Context, cfg Config) (*Results, error) {
 			}
 		}
 		res.Resources = sampler.Stop()
+		// The recorder stops after the sampler (so the final resource
+		// sample lands in the tail window) and before the health monitor
+		// finalizes (so post-run cumulative firings cannot be attributed
+		// to a window that no longer exists).
+		res.Timeline = rec.Stop()
 		res.Profiles = capturer.Stop()
 		// Drop this goroutine's stage label so a later run on the same
 		// goroutine (tests, the scenario matrix) starts unlabeled.

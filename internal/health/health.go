@@ -63,6 +63,11 @@ type Result struct {
 	Samples int64   `json:"samples"`
 	Window  string  `json:"window"` // "run", or the rolling window that first fired
 	Fired   bool    `json:"fired"`
+	// WindowIndex is the telemetry-timeline window the firing was first
+	// attributed to, when a timeline recorder was wired (SetWindowIndex);
+	// 0 otherwise. Machine-varying: it depends on where wall-clock windows
+	// fell, so it never feeds the deterministic summary.
+	WindowIndex int64 `json:"window_index,omitempty"`
 }
 
 // DefaultRules is the pipeline's SLO rule set. The bounds are chosen so a
@@ -214,9 +219,11 @@ type Monitor struct {
 	interval time.Duration
 	window   time.Duration
 
-	mu    sync.Mutex
-	ring  []timedSnap
-	fired map[string]Result // rule\x00group → first firing
+	mu       sync.Mutex
+	ring     []timedSnap
+	fired    map[string]Result // rule\x00group → first firing
+	windowFn func() int64      // current timeline window index, nil when unwired
+	onFiring func(Result)      // first-firing hook, nil when unwired
 
 	stop chan struct{}
 	done chan struct{}
@@ -240,6 +247,29 @@ func NewMonitor(reg *obs.Registry, elog *obs.EventLog, rules []Rule) *Monitor {
 		window:   10 * time.Second,
 		fired:    make(map[string]Result),
 	}
+}
+
+// SetWindowIndex wires the timeline recorder's current-window source; each
+// first firing is stamped with the window it happened in. Call before Start.
+func (m *Monitor) SetWindowIndex(fn func() int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.windowFn = fn
+	m.mu.Unlock()
+}
+
+// SetOnFiring registers a hook invoked (under the monitor's lock — keep it
+// cheap) for each first firing per (rule, group); the timeline recorder uses
+// it to annotate the breach onto the current window. Call before Start.
+func (m *Monitor) SetOnFiring(fn func(Result)) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.onFiring = fn
+	m.mu.Unlock()
 }
 
 // Start launches the sampling goroutine. Finalize stops it.
@@ -276,7 +306,7 @@ func (m *Monitor) tick(now time.Time) {
 	if len(m.ring) < 2 {
 		return
 	}
-	delta := deltaSnapshot(m.ring[0].snap, m.ring[len(m.ring)-1].snap)
+	delta := obs.DeltaSnapshot(m.ring[0].snap, m.ring[len(m.ring)-1].snap)
 	window := fmt.Sprintf("%gs", m.window.Seconds())
 	for _, res := range Evaluate(delta, m.rules, window) {
 		if res.Fired {
@@ -292,14 +322,22 @@ func (m *Monitor) recordFiring(res Result) {
 	if _, seen := m.fired[key]; seen {
 		return
 	}
+	attrs := []obs.Attr{
+		{Key: "group", Value: res.Group},
+		{Key: "value", Value: fmt.Sprintf("%.6g", res.Value)},
+		{Key: "max", Value: fmt.Sprintf("%.6g", res.Max)},
+		{Key: "window", Value: res.Window},
+		{Key: "samples", Value: fmt.Sprintf("%d", res.Samples)},
+	}
+	if m.windowFn != nil {
+		res.WindowIndex = m.windowFn()
+		attrs = append(attrs, obs.Attr{Key: "window_index", Value: fmt.Sprintf("%d", res.WindowIndex)})
+	}
 	m.fired[key] = res
-	m.elog.Emit(obs.EventHealth, res.Rule,
-		obs.Attr{Key: "group", Value: res.Group},
-		obs.Attr{Key: "value", Value: fmt.Sprintf("%.6g", res.Value)},
-		obs.Attr{Key: "max", Value: fmt.Sprintf("%.6g", res.Max)},
-		obs.Attr{Key: "window", Value: res.Window},
-		obs.Attr{Key: "samples", Value: fmt.Sprintf("%d", res.Samples)},
-	)
+	m.elog.Emit(obs.EventHealth, res.Rule, attrs...)
+	if m.onFiring != nil {
+		m.onFiring(res)
+	}
 }
 
 // Finalize stops the sampler, evaluates every rule against the cumulative
@@ -323,6 +361,11 @@ func (m *Monitor) Finalize() []Result {
 		key := res.Rule + "\x00" + res.Group
 		if res.Fired {
 			m.recordFiring(res)
+			// The cumulative row keeps its whole-run value, but the window
+			// stamp belongs to the first firing — that's when it happened.
+			if first, ok := m.fired[key]; ok {
+				final[i].WindowIndex = first.WindowIndex
+			}
 		} else if first, ok := m.fired[key]; ok {
 			final[i] = first // transient mid-run breach: keep the firing
 		}
@@ -361,59 +404,3 @@ func Fired(rs []Result) bool {
 	return false
 }
 
-// deltaSnapshot returns b minus a: counter-kind values subtract, gauges
-// keep b's reading, histograms subtract bucket-wise. Series absent from a
-// pass through from b.
-func deltaSnapshot(a, b obs.Snapshot) obs.Snapshot {
-	d := obs.Snapshot{
-		Counters:   make(map[string]int64, len(b.Counters)),
-		Gauges:     b.Gauges,
-		Histograms: make(map[string]obs.HistogramSnapshot, len(b.Histograms)),
-	}
-	for name, v := range b.Counters {
-		d.Counters[name] = v - a.Counters[name]
-	}
-	for name, h := range b.Histograms {
-		d.Histograms[name] = deltaHist(a.Histograms[name], h)
-	}
-	if len(b.CounterVecs) > 0 {
-		d.CounterVecs = make(map[string]obs.VecSnapshot, len(b.CounterVecs))
-		for name, v := range b.CounterVecs {
-			prev := a.CounterVecs[name]
-			series := make(map[string]int64, len(v.Series))
-			for key, val := range v.Series {
-				series[key] = val - prev.Series[key]
-			}
-			d.CounterVecs[name] = obs.VecSnapshot{Labels: v.Labels, Series: series, Dropped: v.Dropped - prev.Dropped}
-		}
-	}
-	if len(b.HistogramVecs) > 0 {
-		d.HistogramVecs = make(map[string]obs.HistVecSnapshot, len(b.HistogramVecs))
-		for name, v := range b.HistogramVecs {
-			prev := a.HistogramVecs[name]
-			series := make(map[string]obs.HistogramSnapshot, len(v.Series))
-			for key, h := range v.Series {
-				series[key] = deltaHist(prev.Series[key], h)
-			}
-			d.HistogramVecs[name] = obs.HistVecSnapshot{Labels: v.Labels, Series: series, Dropped: v.Dropped - prev.Dropped}
-		}
-	}
-	return d
-}
-
-func deltaHist(a, b obs.HistogramSnapshot) obs.HistogramSnapshot {
-	if len(a.Counts) != len(b.Counts) {
-		return b
-	}
-	d := obs.HistogramSnapshot{
-		Bounds:   b.Bounds,
-		Counts:   make([]int64, len(b.Counts)),
-		Count:    b.Count - a.Count,
-		Sum:      b.Sum - a.Sum,
-		Overflow: b.Overflow - a.Overflow,
-	}
-	for i := range b.Counts {
-		d.Counts[i] = b.Counts[i] - a.Counts[i]
-	}
-	return d
-}

@@ -183,3 +183,45 @@ func TestDefaultRulesFeedDrop(t *testing.T) {
 		t.Fatal("2% feed drop rate did not fire feed-drop-rate")
 	}
 }
+
+// TestMonitorTimelineHooks: with SetWindowIndex/SetOnFiring wired, each
+// first firing is stamped with the current timeline window, the event log
+// carries a window_index attribute, and the hook sees the firing exactly
+// once (the cumulative re-firing at Finalize deduplicates).
+func TestMonitorTimelineHooks(t *testing.T) {
+	r := obs.NewRegistry()
+	elog := obs.NewEventLog()
+	m := NewMonitor(r, elog, []Rule{{Name: "quarantined", Metric: "pdns_reader_quarantined_total", Max: 0}})
+	m.SetWindowIndex(func() int64 { return 7 })
+	var hooked []Result
+	m.SetOnFiring(func(res Result) { hooked = append(hooked, res) })
+
+	base := time.Unix(1000, 0)
+	m.tick(base)
+	r.Counter("pdns_reader_quarantined_total").Add(3)
+	m.tick(base.Add(time.Second))
+	res := m.Finalize()
+
+	if !Fired(res) {
+		t.Fatalf("results = %+v, want the quarantined rule fired", res)
+	}
+	if len(hooked) != 1 || hooked[0].Rule != "quarantined" || hooked[0].WindowIndex != 7 {
+		t.Fatalf("onFiring saw %+v, want one firing stamped window 7", hooked)
+	}
+	for _, rr := range res {
+		if rr.Fired && rr.WindowIndex != 7 {
+			t.Fatalf("final result %+v lost its window stamp", rr)
+		}
+	}
+	var events strings.Builder
+	if err := elog.WriteJSONL(&events); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(events.String(), `{"key":"window_index","value":"7"}`) {
+		t.Fatalf("health event lacks window_index:\n%s", events.String())
+	}
+	// Unwired monitors stay exactly as before: no stamp, no attribute.
+	var nilMon *Monitor
+	nilMon.SetWindowIndex(func() int64 { return 1 })
+	nilMon.SetOnFiring(func(Result) {})
+}

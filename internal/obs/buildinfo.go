@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfoMetric is the provenance gauge the live endpoints expose: a
+// constant-1 gauge labeled with the Go version and the VCS revision the
+// binary was built from. It is injected into the *served* snapshot only —
+// never into the registry — so two binaries built from different commits
+// still produce byte-identical deterministic snapshots, event logs, and run
+// archives. What the process is never changes what it measured.
+const BuildInfoMetric = "obs_build_info"
+
+var buildInfoOnce = sync.OnceValues(func() (string, string) {
+	rev := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				rev = s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+			}
+		}
+	}
+	return runtime.Version(), rev
+})
+
+// BuildInfo returns the running binary's Go version and (short) VCS
+// revision, "unknown" when the binary was built outside a checkout.
+func BuildInfo() (goVersion, revision string) { return buildInfoOnce() }
+
+// WithBuildInfo returns a copy of s carrying the obs_build_info gauge
+// vector. The receiver-less copy keeps the contract one-directional:
+// snapshots taken from a registry never contain the series, and only the
+// live endpoints opt in at render time.
+func WithBuildInfo(s Snapshot) Snapshot {
+	goVersion, revision := BuildInfo()
+	gv := make(map[string]VecSnapshot, len(s.GaugeVecs)+1)
+	for name, v := range s.GaugeVecs {
+		gv[name] = v
+	}
+	gv[BuildInfoMetric] = VecSnapshot{
+		Labels: []string{"go_version", "revision"},
+		Series: map[string]int64{JoinSeriesKey([]string{goVersion, revision}): 1},
+	}
+	s.GaugeVecs = gv
+	return s
+}

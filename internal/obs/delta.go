@@ -1,0 +1,101 @@
+package obs
+
+// Delta snapshots: the windowed-telemetry primitive. Given two registry
+// snapshots taken at different instants, DeltaSnapshot computes "what
+// happened in between": counter-kind values subtract, gauges keep the newer
+// reading, histograms subtract bucket-wise so per-window quantiles fall out
+// of the standard fixed-bucket estimate over the difference.
+//
+// All counter-kind subtractions clamp at zero. A negative delta can only
+// mean the newer side saw a counter reset — a fresh registry after a process
+// restart, or a snapshot pair passed in the wrong order — and propagating
+// the underflow would poison every rate and quantile derived downstream.
+// Clamping loses the (unknowable) pre-reset remainder and keeps the window
+// well-formed, which is the same trade Prometheus' rate() makes.
+
+// DeltaSnapshot returns b minus a: counters (plain and vector) subtract and
+// clamp at zero, gauges keep b's reading, histograms subtract bucket-wise
+// via DeltaHist. Series absent from a pass through from b unchanged; series
+// absent from b are gone (their delta is unobservable, not negative).
+func DeltaSnapshot(a, b Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]int64, len(b.Counters)),
+		Gauges:     b.Gauges,
+		Histograms: make(map[string]HistogramSnapshot, len(b.Histograms)),
+	}
+	for name, v := range b.Counters {
+		d.Counters[name] = clamp0(v - a.Counters[name])
+	}
+	for name, h := range b.Histograms {
+		d.Histograms[name] = DeltaHist(a.Histograms[name], h)
+	}
+	if len(b.CounterVecs) > 0 {
+		d.CounterVecs = make(map[string]VecSnapshot, len(b.CounterVecs))
+		for name, v := range b.CounterVecs {
+			prev := a.CounterVecs[name]
+			series := make(map[string]int64, len(v.Series))
+			for key, val := range v.Series {
+				series[key] = clamp0(val - prev.Series[key])
+			}
+			d.CounterVecs[name] = VecSnapshot{Labels: v.Labels, Series: series, Dropped: clamp0(v.Dropped - prev.Dropped)}
+		}
+	}
+	if len(b.GaugeVecs) > 0 {
+		// Gauge semantics: the window's value is the last reading, so the
+		// newer side passes through whole.
+		d.GaugeVecs = b.GaugeVecs
+	}
+	if len(b.HistogramVecs) > 0 {
+		d.HistogramVecs = make(map[string]HistVecSnapshot, len(b.HistogramVecs))
+		for name, v := range b.HistogramVecs {
+			prev := a.HistogramVecs[name]
+			series := make(map[string]HistogramSnapshot, len(v.Series))
+			for key, h := range v.Series {
+				series[key] = DeltaHist(prev.Series[key], h)
+			}
+			d.HistogramVecs[name] = HistVecSnapshot{Labels: v.Labels, Series: series, Dropped: clamp0(v.Dropped - prev.Dropped)}
+		}
+	}
+	return d
+}
+
+// DeltaHist returns b minus a bucket-wise. Mismatched bucket layouts (a
+// re-created histogram with different bounds) and counter resets both yield
+// b's state verbatim as the best available window estimate, so Count, Sum,
+// and every bucket stay non-negative in all cases.
+func DeltaHist(a, b HistogramSnapshot) HistogramSnapshot {
+	if len(a.Counts) != len(b.Counts) {
+		return b
+	}
+	// A cumulative histogram is monotone in every bucket, so any decrease —
+	// total count, overflow, or a single bucket — proves the newer side saw
+	// a reset. Everything b holds happened after it, so b is the window.
+	reset := b.Count < a.Count || b.Overflow < a.Overflow
+	for i := range b.Counts {
+		reset = reset || b.Counts[i] < a.Counts[i]
+	}
+	if reset {
+		return b
+	}
+	d := HistogramSnapshot{
+		Bounds:   b.Bounds,
+		Counts:   make([]int64, len(b.Counts)),
+		Count:    b.Count - a.Count,
+		Sum:      b.Sum - a.Sum,
+		Overflow: b.Overflow - a.Overflow,
+	}
+	if d.Sum < 0 {
+		d.Sum = 0
+	}
+	for i := range b.Counts {
+		d.Counts[i] = b.Counts[i] - a.Counts[i]
+	}
+	return d
+}
+
+func clamp0(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDeltaSnapshotBasics: counters subtract, gauges keep the newer reading,
+// vec series subtract per key.
+func TestDeltaSnapshotBasics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(10)
+	reg.Gauge("g").Set(3)
+	reg.CounterVec("v", "provider").With("aws").Add(4)
+	a := reg.Snapshot()
+
+	reg.Counter("c").Add(7)
+	reg.Gauge("g").Set(9)
+	reg.CounterVec("v", "provider").With("aws").Add(2)
+	reg.CounterVec("v", "provider").With("gcp").Add(5)
+	b := reg.Snapshot()
+
+	d := DeltaSnapshot(a, b)
+	if d.Counters["c"] != 7 {
+		t.Fatalf("counter delta = %d, want 7", d.Counters["c"])
+	}
+	if d.Gauges["g"] != 9 {
+		t.Fatalf("gauge delta keeps last value, got %d", d.Gauges["g"])
+	}
+	if got := d.CounterVecs["v"].Series["aws"]; got != 2 {
+		t.Fatalf("vec aws delta = %d, want 2", got)
+	}
+	if got := d.CounterVecs["v"].Series["gcp"]; got != 5 {
+		t.Fatalf("vec gcp (absent from base) delta = %d, want 5", got)
+	}
+}
+
+// TestDeltaHistogramWindowQuantile: subtracting two snapshots isolates the
+// window's observations, so the delta's quantile reflects only them.
+func TestDeltaHistogramWindowQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	a := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(5) // the window is all slow samples
+	}
+	b := h.Snapshot()
+	d := DeltaHist(a, b)
+	if d.Count != 100 {
+		t.Fatalf("window count = %d, want 100", d.Count)
+	}
+	if q := d.Quantile(0.5); q <= 1 {
+		t.Fatalf("window p50 = %v, want > 1 (fast pre-window samples must not leak in)", q)
+	}
+}
+
+// TestDeltaCounterResetClampsToZero is the counter-reset regression test:
+// when the newer side of the subtraction saw a reset (a fresh registry whose
+// totals are below the older side's), every counter-kind delta must clamp to
+// zero instead of underflowing negative. Both argument orders are exercised:
+// the correct order with a reset in between, and the reversed order (old
+// snapshot as "newer"), which is the same shape.
+func TestDeltaCounterResetClampsToZero(t *testing.T) {
+	warm := NewRegistry()
+	warm.Counter("c").Add(100)
+	warm.CounterVec("v", "shard").With("0").Add(50)
+	warm.Histogram("h", []float64{1, 10}).Observe(5)
+	old := warm.Snapshot()
+
+	fresh := NewRegistry()
+	fresh.Counter("c").Add(3)
+	fresh.CounterVec("v", "shard").With("0").Add(2)
+	fresh.Histogram("h", []float64{1, 10}).Observe(0.5)
+	newer := fresh.Snapshot()
+
+	// Order 1: delta(old, fresh) — the newer side reset.
+	d := DeltaSnapshot(old, newer)
+	if got := d.Counters["c"]; got != 0 {
+		t.Fatalf("reset counter delta = %d, want 0 (clamped)", got)
+	}
+	if got := d.CounterVecs["v"].Series["0"]; got != 0 {
+		t.Fatalf("reset vec delta = %d, want 0 (clamped)", got)
+	}
+	hd := d.Histograms["h"]
+	if hd.Count != newer.Histograms["h"].Count || hd.Sum != newer.Histograms["h"].Sum {
+		t.Fatalf("reset histogram delta = %+v, want the fresh side's own state", hd)
+	}
+	for i, c := range hd.Counts {
+		if c < 0 {
+			t.Fatalf("reset histogram bucket %d underflowed: %d", i, c)
+		}
+	}
+
+	// Order 2: delta(fresh, old) — the normal growth order still subtracts.
+	d2 := DeltaSnapshot(newer, old)
+	if got := d2.Counters["c"]; got != 97 {
+		t.Fatalf("growth counter delta = %d, want 97", got)
+	}
+	h2 := d2.Histograms["h"]
+	// old had 1 observation, fresh had 1: equal totals but a bucket moved,
+	// which the per-bucket monotonicity check reads as a reset on the newer
+	// side — the delta is the newer snapshot verbatim, never negative.
+	for i, c := range h2.Counts {
+		if c < 0 {
+			t.Fatalf("growth-order histogram bucket %d underflowed: %d", i, c)
+		}
+	}
+}
+
+// TestDeltaHistMismatchedBounds: a re-created histogram with a different
+// bucket layout passes the newer side through unchanged.
+func TestDeltaHistMismatchedBounds(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 3})
+	a.Observe(1.5)
+	b := NewHistogram([]float64{1, 10})
+	b.Observe(5)
+	d := DeltaHist(a.Snapshot(), b.Snapshot())
+	if !reflect.DeepEqual(d, b.Snapshot()) {
+		t.Fatalf("mismatched bounds: delta = %+v, want newer side verbatim", d)
+	}
+}

@@ -32,16 +32,24 @@ import (
 //	/               a plain-text index of the above
 //
 // Any of reg, tr, elog may be nil; the corresponding endpoint then serves an
-// empty document.
-func Handler(reg *Registry, tr *Trace, elog *EventLog) http.Handler {
+// empty document. Extra mounts (the timeline dashboard, say) attach their
+// handlers at the given patterns and are listed on the index page.
+//
+// Both metric endpoints serve the registry snapshot with the obs_build_info
+// provenance gauge (Go version, VCS revision) injected at render time; the
+// gauge never enters the registry itself, so deterministic snapshots stay
+// byte-identical across binaries built from different commits.
+func Handler(reg *Registry, tr *Trace, elog *EventLog, mounts ...Mount) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		reg.WriteJSON(w)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(WithBuildInfo(reg.Snapshot()))
 	})
 	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		reg.WritePrometheus(w)
+		WriteSnapshotPrometheus(w, WithBuildInfo(reg.Snapshot()))
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -63,14 +71,30 @@ func Handler(reg *Registry, tr *Trace, elog *EventLog) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	extra := ""
+	for _, m := range mounts {
+		if m.Handler == nil || m.Pattern == "" {
+			continue
+		}
+		mux.Handle(m.Pattern, m.Handler)
+		extra += "\n  " + m.Pattern
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "pipeline introspection:\n  /metrics\n  /metrics.prom\n  /trace\n  /trace.json\n  /events\n  /debug/pprof/\n  /debug/pprof/delta-heap")
+		fmt.Fprintln(w, "pipeline introspection:\n  /metrics\n  /metrics.prom\n  /trace\n  /trace.json\n  /events\n  /debug/pprof/\n  /debug/pprof/delta-heap"+extra)
 	})
 	return mux
+}
+
+// Mount attaches an extra handler to the introspection mux — the timeline
+// dashboard mounts itself this way, which keeps obs free of an import cycle
+// on obs/timeline.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
 }
 
 // deltaHeap serves the heap growth over a short window: it captures a heap
@@ -141,12 +165,12 @@ func (s *Server) Close() error {
 
 // Serve starts the introspection endpoint on addr (e.g. ":6060") in a
 // background goroutine and returns immediately. elog may be nil.
-func Serve(addr string, reg *Registry, tr *Trace, elog *EventLog) (*Server, error) {
+func Serve(addr string, reg *Registry, tr *Trace, elog *EventLog, mounts ...Mount) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{srv: &http.Server{Handler: Handler(reg, tr, elog)}, ln: ln}
+	s := &Server{srv: &http.Server{Handler: Handler(reg, tr, elog, mounts...)}, ln: ln}
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -77,6 +77,78 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 }
 
+// TestBuildInfoServedNotSnapshotted: the obs_build_info provenance gauge is
+// injected into both live metric endpoints at render time but never enters
+// the registry's own snapshot, keeping deterministic outputs build-invariant.
+func TestBuildInfoServedNotSnapshotted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Add(1)
+	srv := httptest.NewServer(Handler(reg, nil, nil))
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	var served Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics")), &served); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	bi, ok := served.GaugeVecs[BuildInfoMetric]
+	if !ok {
+		t.Fatalf("/metrics missing %s gauge vec: %+v", BuildInfoMetric, served.GaugeVecs)
+	}
+	goVersion, revision := BuildInfo()
+	key := JoinSeriesKey([]string{goVersion, revision})
+	if bi.Series[key] != 1 {
+		t.Fatalf("%s series = %v, want %q=1", BuildInfoMetric, bi.Series, key)
+	}
+	if prom := get("/metrics.prom"); !strings.Contains(prom, BuildInfoMetric) || !strings.Contains(prom, goVersion) {
+		t.Fatalf("/metrics.prom missing build info: %q", prom)
+	}
+	if _, ok := reg.Snapshot().GaugeVecs[BuildInfoMetric]; ok {
+		t.Fatalf("%s leaked into the registry's own snapshot", BuildInfoMetric)
+	}
+}
+
+// TestHandlerMounts: extra mounts serve at their patterns and appear on the
+// index page; nil/empty mounts are skipped.
+func TestHandlerMounts(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "dash-ok")
+	})
+	srv := httptest.NewServer(Handler(NewRegistry(), nil, nil,
+		Mount{Pattern: "/dash", Handler: h},
+		Mount{}, // ignored
+	))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "dash-ok" {
+		t.Fatalf("/dash = %q", b)
+	}
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(idx), "/dash") {
+		t.Fatalf("index missing /dash mount: %q", idx)
+	}
+}
+
 func TestServe(t *testing.T) {
 	reg := NewRegistry()
 	s, err := Serve("127.0.0.1:0", reg, nil, nil)

@@ -59,6 +59,7 @@ type ResourceSampler struct {
 	lastGC    uint32
 	lastAlloc uint64
 	started   bool
+	peaks     ResourcePeaks // since the last TakePeaks call
 
 	stop chan struct{}
 	done chan struct{}
@@ -153,6 +154,31 @@ func (s *ResourceSampler) Stop() []ResourceStats {
 	return out
 }
 
+// ResourcePeaks is a window-sized high-water-mark record: the worst reading
+// of each dimension since the last TakePeaks call. The timeline recorder
+// folds one into every window.
+type ResourcePeaks struct {
+	HeapInuseBytes int64 `json:"heap_inuse_bytes,omitempty"`
+	RSSBytes       int64 `json:"rss_bytes,omitempty"`
+	Goroutines     int64 `json:"goroutines,omitempty"`
+}
+
+// TakePeaks returns the high-water marks observed since the previous call
+// (or since Start) and resets them, so consecutive calls partition the
+// sample stream into disjoint windows. Returns the zero value — and ok=false
+// — when no sample landed in the window or the sampler is nil/disabled.
+func (s *ResourceSampler) TakePeaks() (ResourcePeaks, bool) {
+	if s == nil {
+		return ResourcePeaks{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.peaks
+	s.peaks = ResourcePeaks{}
+	ok := p != (ResourcePeaks{})
+	return p, ok
+}
+
 // sample takes one reading: gauges into the registry, one event into the
 // log (when emit is set), and the current stage's high-water marks.
 func (s *ResourceSampler) sample(emit bool) {
@@ -194,6 +220,15 @@ func (s *ResourceSampler) sample(emit bool) {
 	}
 	st.AllocBytes += allocDelta
 	st.GCCount += gcDelta
+	if h := int64(ms.HeapInuse); h > s.peaks.HeapInuseBytes {
+		s.peaks.HeapInuseBytes = h
+	}
+	if rss > s.peaks.RSSBytes {
+		s.peaks.RSSBytes = rss
+	}
+	if goroutines > s.peaks.Goroutines {
+		s.peaks.Goroutines = goroutines
+	}
 	for i := int64(0); i < newPauses; i++ {
 		p := ms.PauseNs[(uint32(int64(ms.NumGC)-i)+255)%256]
 		s.pauses[stage] = append(s.pauses[stage], p)

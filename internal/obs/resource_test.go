@@ -120,3 +120,33 @@ func TestResourceSamplerRace(t *testing.T) {
 		})
 	}
 }
+
+// TestTakePeaksWindowed: TakePeaks hands back the high-water marks since the
+// previous call and resets them, so consecutive calls see disjoint windows;
+// an empty window and a nil sampler both report ok=false.
+func TestTakePeaksWindowed(t *testing.T) {
+	var nilSampler *ResourceSampler
+	if p, ok := nilSampler.TakePeaks(); ok || p != (ResourcePeaks{}) {
+		t.Fatalf("nil sampler TakePeaks = %+v ok=%v, want zero/false", p, ok)
+	}
+
+	s := NewResourceSampler(NewRegistry(), NewEventLog(), time.Hour)
+	if _, ok := s.TakePeaks(); ok {
+		t.Fatal("TakePeaks before any sample reported ok")
+	}
+	s.sample(false)
+	p, ok := s.TakePeaks()
+	if !ok {
+		t.Fatal("TakePeaks after a sample reported no data")
+	}
+	if p.HeapInuseBytes <= 0 || p.Goroutines <= 0 {
+		t.Fatalf("peaks = %+v, want positive heap and goroutine readings", p)
+	}
+	if _, ok := s.TakePeaks(); ok {
+		t.Fatal("second TakePeaks without a new sample should be empty")
+	}
+	s.sample(false)
+	if _, ok := s.TakePeaks(); !ok {
+		t.Fatal("TakePeaks after a fresh sample should see data again")
+	}
+}

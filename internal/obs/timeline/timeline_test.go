@@ -1,0 +1,348 @@
+package timeline
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// driveRun pushes a fixed per-phase workload into reg from `workers`
+// goroutines, closing one window per phase. Barriers between phases make the
+// cumulative totals at each capture instant worker-count-invariant, which is
+// exactly the situation the recorder promises determinism for.
+func driveRun(t *testing.T, workers int) []Window {
+	t.Helper()
+	reg := obs.NewRegistry()
+	clock := NewFakeClock(t0)
+	rec := NewRecorder(reg, Options{Interval: time.Second, Clock: clock})
+	rec.Start()
+
+	// Phase 0: clean ingest. Phase 1: clean probe. Phase 2: faults appear
+	// (activation). Phase 3: fault burst (drift material for later phases).
+	phases := []struct {
+		stage  string
+		clean  int64
+		faults int64
+	}{
+		{"ingest", 300, 0},
+		{"probe", 300, 0},
+		{"probe", 300, 6},
+		{"probe", 300, 60},
+	}
+	for _, ph := range phases {
+		rec.SetStage(ph.stage)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Split the phase's fixed totals across workers; the sums
+				// at the barrier are identical for any worker count.
+				for i := int64(w); i < ph.clean; i += int64(workers) {
+					reg.Counter("pdns_records_total").Inc()
+					reg.CounterVec("probe_outcomes_total", "provider", "outcome").With("aws", "ok").Inc()
+				}
+				for i := int64(w); i < ph.faults; i += int64(workers) {
+					reg.Counter("fault_resets_injected_total").Inc()
+				}
+			}(w)
+		}
+		wg.Wait()
+		want := len(rec.Windows()) + 1
+		clock.Advance(time.Second)
+		waitWindows(t, rec, want)
+	}
+	return rec.Stop()
+}
+
+// waitWindows blocks until the recorder has at least n windows; the fake
+// clock delivers ticks synchronously but the capture itself runs on the
+// recorder goroutine.
+func waitWindows(t *testing.T, rec *Recorder, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(rec.Windows()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d windows (have %d)", n, len(rec.Windows()))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// deterministic projects a window onto its worker-invariant fields.
+type deterministic struct {
+	Index     int64
+	Stage     string
+	Stages    []string
+	Counters  map[string]int64
+	Series    map[string]int64
+	Anomalies []Anomaly
+}
+
+func project(ws []Window) []deterministic {
+	out := make([]deterministic, len(ws))
+	for i, w := range ws {
+		out[i] = deterministic{
+			Index: w.Index, Stage: w.Stage, Stages: w.Stages,
+			Counters: w.Counters, Series: w.Series, Anomalies: w.Anomalies,
+		}
+	}
+	return out
+}
+
+// TestWorkerInvariantWindows: with a fixed fake-clock capture schedule,
+// workers 1/2/8 produce identical window sequences for the deterministic
+// fields — window index, stage annotations, counter/series deltas, anomaly
+// flags.
+func TestWorkerInvariantWindows(t *testing.T) {
+	base := project(driveRun(t, 1))
+	for _, workers := range []int{2, 8} {
+		got := project(driveRun(t, workers))
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d window sequence diverged:\n 1: %+v\n%2d: %+v", workers, base, workers, got)
+		}
+	}
+	// And the sequence itself is what the drive implies: window 2 carries
+	// the fault activation, clean windows carry none.
+	if len(base[0].Anomalies) != 0 || len(base[1].Anomalies) != 0 {
+		t.Fatalf("clean windows carry anomalies: %+v / %+v", base[0].Anomalies, base[1].Anomalies)
+	}
+	w2 := base[2]
+	if len(w2.Anomalies) != 1 || w2.Anomalies[0].Kind != "activation" || w2.Anomalies[0].Series != "fault_resets_injected_total" {
+		t.Fatalf("window 2 anomalies = %+v, want one fault activation", w2.Anomalies)
+	}
+	if w2.Counters["fault_resets_injected_total"] != 6 {
+		t.Fatalf("window 2 fault delta = %d, want 6", w2.Counters["fault_resets_injected_total"])
+	}
+	if got := base[0].Stages; len(got) != 1 || got[0] != "ingest" {
+		t.Fatalf("window 0 stages = %v, want [ingest]", got)
+	}
+}
+
+// TestDriftDetection: a series with a stable per-window rate that suddenly
+// spikes gets a drift annotation once warmup has passed, and the EWMA state
+// is a pure function of the delta sequence.
+func TestDriftDetection(t *testing.T) {
+	det := newDetector([]string{"errs_total"})
+	cum := int64(0)
+	observe := func(delta int64) []Anomaly {
+		cum += delta
+		c := obs.Snapshot{Counters: map[string]int64{"errs_total": cum}}
+		d := obs.Snapshot{Counters: map[string]int64{"errs_total": delta}}
+		return det.observe(c, d)
+	}
+	if as := observe(5); len(as) != 1 || as[0].Kind != "activation" {
+		t.Fatalf("first nonzero window = %+v, want activation", as)
+	}
+	for i := 0; i < 8; i++ {
+		if as := observe(5); len(as) != 0 {
+			t.Fatalf("steady window %d flagged %+v", i, as)
+		}
+	}
+	as := observe(500)
+	if len(as) != 1 || as[0].Kind != "drift" {
+		t.Fatalf("spike window = %+v, want one drift anomaly", as)
+	}
+	if as[0].Score <= 3 {
+		t.Fatalf("spike z-score = %v, want > 3", as[0].Score)
+	}
+}
+
+// TestWatchlistIgnoresUnwatched: non-watchlist series never produce
+// anomalies no matter how wild their deltas.
+func TestWatchlistIgnoresUnwatched(t *testing.T) {
+	det := newDetector(DefaultWatch())
+	c := obs.Snapshot{Counters: map[string]int64{"pdns_records_total": 1 << 30}}
+	if as := det.observe(c, c); len(as) != 0 {
+		t.Fatalf("unwatched series flagged: %+v", as)
+	}
+}
+
+// TestVecSeriesWatched: a watched vector metric is tracked per labeled
+// series, and the anomaly order is sorted by series name.
+func TestVecSeriesWatched(t *testing.T) {
+	det := newDetector([]string{"pdns_quarantined_total"})
+	vec := obs.VecSnapshot{Labels: []string{"shard", "reason"}, Series: map[string]int64{
+		obs.JoinSeriesKey([]string{"3", "corrupt"}): 2,
+		obs.JoinSeriesKey([]string{"1", "corrupt"}): 4,
+	}}
+	s := obs.Snapshot{CounterVecs: map[string]obs.VecSnapshot{"pdns_quarantined_total": vec}}
+	as := det.observe(s, s)
+	if len(as) != 2 || as[0].Kind != "activation" || as[1].Kind != "activation" {
+		t.Fatalf("vec activations = %+v, want 2", as)
+	}
+	if as[0].Series >= as[1].Series {
+		t.Fatalf("anomalies unsorted: %q then %q", as[0].Series, as[1].Series)
+	}
+}
+
+// TestRecorderLifecycle: nil recorder no-ops everywhere; breaches land in
+// the window they fired in; NoteBreach after Stop is dropped; Stop flushes
+// the tail and is idempotent.
+func TestRecorderLifecycle(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Start()
+	nilRec.SetStage("x")
+	nilRec.NoteBreach(Breach{Rule: "r"})
+	nilRec.CaptureNow()
+	if ws := nilRec.Stop(); ws != nil {
+		t.Fatalf("nil recorder windows = %v", ws)
+	}
+	if nilRec.WindowIndex() != 0 {
+		t.Fatal("nil recorder WindowIndex != 0")
+	}
+	if NewRecorder(obs.NewRegistry(), Options{Interval: 0}) != nil {
+		t.Fatal("zero interval should disable the recorder")
+	}
+
+	reg := obs.NewRegistry()
+	clock := NewFakeClock(t0)
+	rec := NewRecorder(reg, Options{Interval: time.Second, Clock: clock})
+	rec.Start()
+	rec.NoteBreach(Breach{Rule: "probe-conn-error-rate", Group: "aws", Value: 0.5, Max: 0.02})
+	if idx := rec.WindowIndex(); idx != 0 {
+		t.Fatalf("pre-capture WindowIndex = %d", idx)
+	}
+	rec.CaptureNow()
+	if idx := rec.WindowIndex(); idx != 1 {
+		t.Fatalf("post-capture WindowIndex = %d", idx)
+	}
+	reg.Counter("tail_total").Inc()
+	ws := rec.Stop()
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d, want 2 (explicit + tail flush)", len(ws))
+	}
+	if len(ws[0].Breaches) != 1 || ws[0].Breaches[0].Group != "aws" {
+		t.Fatalf("window 0 breaches = %+v", ws[0].Breaches)
+	}
+	if ws[1].Counters["tail_total"] != 1 {
+		t.Fatalf("tail window counters = %+v, want the post-capture increment", ws[1].Counters)
+	}
+	rec.NoteBreach(Breach{Rule: "late"}) // dropped
+	if again := rec.Stop(); len(again) != 2 {
+		t.Fatalf("second Stop windows = %d, want 2", len(again))
+	}
+}
+
+// TestTickerDrivesCapture: the fake clock's ticker path produces windows
+// without any explicit CaptureNow.
+func TestTickerDrivesCapture(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := NewFakeClock(t0)
+	rec := NewRecorder(reg, Options{Interval: 250 * time.Millisecond, Clock: clock})
+	rec.Start()
+	reg.Counter("c").Add(3)
+	clock.Advance(time.Second) // 4 ticks
+	waitWindows(t, rec, 4)
+	ws := rec.Stop()
+	if len(ws) != 5 { // 4 ticked + tail flush
+		t.Fatalf("windows = %d, want 5", len(ws))
+	}
+	if ws[0].Counters["c"] != 3 || ws[0].EndUS != 250_000 {
+		t.Fatalf("window 0 = %+v, want c=3 end=250ms", ws[0])
+	}
+	if ws[3].EndUS != 1_000_000 {
+		t.Fatalf("window 3 end = %dµs, want 1s", ws[3].EndUS)
+	}
+}
+
+// TestJSONLRoundTrip: WriteJSONL/ReadJSONL are inverses and the encoding is
+// byte-stable across renders of the same sequence.
+func TestJSONLRoundTrip(t *testing.T) {
+	ws := []Window{
+		{Index: 0, EndUS: 1000, Stage: "ingest", Stages: []string{"ingest"},
+			Counters: map[string]int64{"a": 1}, Hists: map[string]HistWindow{"h": {Count: 2, P50: 0.1, P90: 0.2, P99: 0.3}}},
+		{Index: 1, StartUS: 1000, EndUS: 2000,
+			Anomalies: []Anomaly{{Series: "fault_resets_injected_total", Kind: "activation", Value: 4}},
+			Breaches:  []Breach{{Rule: "r", Value: 1, Max: 0}},
+			Resources: &obs.ResourcePeaks{HeapInuseBytes: 1 << 20, Goroutines: 12}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, ws); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ws, got) {
+		t.Fatalf("round trip:\n in: %+v\nout: %+v", ws, got)
+	}
+	var buf2 bytes.Buffer
+	WriteJSONL(&buf2, got)
+	if buf2.String() != first {
+		t.Fatal("re-encoding the parsed windows changed the bytes")
+	}
+	if _, err := ReadJSONL(bytes.NewReader([]byte("{bad\n"))); err == nil {
+		t.Fatal("corrupt line parsed without error")
+	}
+}
+
+// TestSubscribeStream: subscribers see each window once and the channel
+// closes on Stop; a canceled subscription stops receiving.
+func TestSubscribeStream(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := NewRecorder(reg, Options{Interval: time.Second, Clock: NewFakeClock(t0)})
+	rec.Start()
+	ch, cancel := rec.Subscribe(8)
+	defer cancel()
+	rec.CaptureNow()
+	rec.CaptureNow()
+	rec.Stop() // flush + close
+	var got []int64
+	for w := range ch {
+		got = append(got, w.Index)
+	}
+	want := []int64{0, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("subscriber saw %v, want %v", got, want)
+	}
+	// Subscribing after Stop yields a closed channel immediately.
+	ch2, cancel2 := rec.Subscribe(1)
+	defer cancel2()
+	if _, open := <-ch2; open {
+		t.Fatal("post-Stop subscription delivered a window")
+	}
+}
+
+// TestFakeClockOrdering: ticks are delivered in time order across tickers
+// of different periods, and Now advances with the delivered tick.
+func TestFakeClockOrdering(t *testing.T) {
+	clock := NewFakeClock(t0)
+	fast := clock.NewTicker(100 * time.Millisecond)
+	slow := clock.NewTicker(250 * time.Millisecond)
+	var order []string
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 7; i++ {
+			select {
+			case at := <-fast.Chan():
+				order = append(order, fmt.Sprintf("fast@%d", at.Sub(t0).Milliseconds()))
+			case at := <-slow.Chan():
+				order = append(order, fmt.Sprintf("slow@%d", at.Sub(t0).Milliseconds()))
+			}
+		}
+	}()
+	clock.Advance(500 * time.Millisecond)
+	<-done
+	// Ties (fast@500 vs slow@500) break by ticker registration order.
+	want := []string{"fast@100", "fast@200", "slow@250", "fast@300", "fast@400", "fast@500", "slow@500"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("tick order = %v, want %v", order, want)
+	}
+	if clock.Now() != t0.Add(500*time.Millisecond) {
+		t.Fatalf("Now = %v after advance", clock.Now())
+	}
+	fast.Stop()
+	slow.Stop()
+	clock.Advance(time.Second) // stopped tickers: no delivery, no deadlock
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 	"repro/internal/prof"
 )
 
@@ -42,6 +43,11 @@ const (
 	// ProfilesDir holds the run's captured pprof profiles
 	// (<stage>-<kind>.pb.gz) — strictly machine-varying, like timings.
 	ProfilesDir = "profiles"
+	// TimelineFile is the windowed-telemetry record stream, one JSON window
+	// per line (see internal/obs/timeline). Machine-varying: wall-clock
+	// windows slice the run differently on every machine, so it never
+	// participates in fingerprints.
+	TimelineFile = "timeline.jsonl"
 )
 
 // DeterministicArtifacts names the emitted artifacts that are bit-identical
@@ -132,6 +138,10 @@ type Archive struct {
 	// and never participate in the summary, so a profiled run's
 	// deterministic half is byte-identical to an unprofiled one's.
 	Profiles []prof.Snapshot
+	// Timeline is the run's windowed-telemetry sequence, written as
+	// timeline.jsonl on the machine-varying side; nil when the run did not
+	// record one (-timeline-interval 0).
+	Timeline []timeline.Window
 }
 
 // Record is an archive read back from disk. ModTime is the archive's
@@ -318,6 +328,19 @@ func writeArchiveFiles(dir string, a *Archive) error {
 			}
 		}
 	}
+	if len(a.Timeline) > 0 {
+		f, err := os.Create(filepath.Join(dir, TimelineFile))
+		if err != nil {
+			return fmt.Errorf("runs: %w", err)
+		}
+		werr := timeline.WriteJSONL(f, a.Timeline)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("runs: timeline: %w", werr)
+		}
+	}
 	return nil
 }
 
@@ -414,7 +437,7 @@ func ListWarn(root string) ([]*Record, []string, error) {
 // as opposed to being an unrelated directory that happens to live under the
 // runs root.
 func looksPartial(dir string) bool {
-	for _, name := range []string{SummaryFile, TimingsFile, ManifestFile, EventsFile, TraceFile, CheckpointsDir, ProfilesDir} {
+	for _, name := range []string{SummaryFile, TimingsFile, ManifestFile, EventsFile, TraceFile, CheckpointsDir, ProfilesDir, TimelineFile} {
 		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
 			return true
 		}
@@ -470,6 +493,36 @@ func ListProfiles(dir string) ([]ProfileInfo, error) {
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	return infos, nil
+}
+
+// ReadTimeline loads a run's windowed-telemetry sequence. An absent
+// timeline is not an error — most runs don't record one — so callers get a
+// nil slice and render "no timeline" without special-casing.
+func ReadTimeline(dir string) ([]timeline.Window, error) {
+	f, err := os.Open(filepath.Join(dir, TimelineFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("runs: %w", err)
+	}
+	defer f.Close()
+	ws, err := timeline.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("runs: %s: %w", TimelineFile, err)
+	}
+	return ws, nil
+}
+
+// TimelineAnomalies counts a run's timeline anomaly annotations: (count,
+// true) when a timeline exists, (0, false) when none was recorded or it is
+// unreadable — the list view renders the latter as "-".
+func TimelineAnomalies(dir string) (int, bool) {
+	ws, err := ReadTimeline(dir)
+	if err != nil || ws == nil {
+		return 0, false
+	}
+	return timeline.AnomalyCount(ws), true
 }
 
 // ReadProfile returns the raw bytes of one archived profile.

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/obs/timeline"
 )
 
 func sampleArchive(created string) *Archive {
@@ -163,5 +164,50 @@ func TestWriteOptionalPieces(t *testing.T) {
 	}
 	if !strings.HasPrefix(strings.TrimSpace(string(b)), "[") {
 		t.Fatalf("trace.json is not a JSON array: %.40s", b)
+	}
+}
+
+// TestArchiveTimelineRoundtrip: an archive carrying timeline windows lands
+// them as timeline.jsonl, ReadTimeline restores them, TimelineAnomalies
+// counts annotations, and a timeline-free archive reports (0, false).
+func TestArchiveTimelineRoundtrip(t *testing.T) {
+	root := t.TempDir()
+	a := sampleArchive("2026-01-01T00:00:00Z")
+	a.Timeline = []timeline.Window{
+		{Index: 0, EndUS: 250_000, Stage: "identify", Counters: map[string]int64{"pdns_records_total": 10}},
+		{Index: 1, StartUS: 250_000, EndUS: 500_000, Stage: "probe",
+			Anomalies: []timeline.Anomaly{{Series: "fault_resets_injected_total", Kind: "activation", Value: 4}},
+			Breaches:  []timeline.Breach{{Rule: "probe-conn-error-rate", Group: "aws", Value: 0.4, Max: 0.02}}},
+	}
+	dir, err := Write(root, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := ReadTimeline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[1].Anomalies[0].Kind != "activation" || ws[0].Counters["pdns_records_total"] != 10 {
+		t.Fatalf("restored timeline = %+v", ws)
+	}
+	if n, ok := TimelineAnomalies(dir); !ok || n != 1 {
+		t.Fatalf("TimelineAnomalies = %d,%v, want 1,true", n, ok)
+	}
+
+	// No timeline: no file, nil read, ok=false count.
+	b := sampleArchive("2026-01-01T00:00:00Z")
+	b.Summary.Meta = map[string]string{"seed": "2"}
+	bdir, err := Write(root, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(bdir, TimelineFile)); !os.IsNotExist(err) {
+		t.Fatalf("timeline-free archive wrote %s (err=%v)", TimelineFile, err)
+	}
+	if ws, err := ReadTimeline(bdir); err != nil || ws != nil {
+		t.Fatalf("ReadTimeline without file = %v, %v", ws, err)
+	}
+	if _, ok := TimelineAnomalies(bdir); ok {
+		t.Fatal("TimelineAnomalies reported ok without a timeline")
 	}
 }
